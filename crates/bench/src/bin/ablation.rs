@@ -1,0 +1,5 @@
+//! Hardware design-choice ablations (spike-count width, SRAM bank width,
+//! max-tree fan-in).
+fn main() {
+    println!("{}", nc_bench::gen_extensions::ablation());
+}

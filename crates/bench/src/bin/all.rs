@@ -1,0 +1,23 @@
+//! Regenerates every table and figure in order, printing an
+//! EXPERIMENTS.md-ready report. The hardware tables are instant; the
+//! accuracy experiments honor `--scale`.
+fn main() {
+    let scale = nc_bench::scale_from_args();
+    println!("{}", nc_bench::gen_tables::table1());
+    println!("{}", nc_bench::gen_tables::table2());
+    println!("{}", nc_bench::gen_models::table3(scale));
+    println!("{}", nc_bench::gen_tables::table4());
+    println!("{}", nc_bench::gen_tables::table5());
+    println!("{}", nc_bench::gen_tables::table6());
+    println!("{}", nc_bench::gen_tables::table7());
+    println!("{}", nc_bench::gen_tables::table8());
+    println!("{}", nc_bench::gen_tables::table9());
+    println!("{}", nc_bench::gen_models::fig3(scale));
+    println!("{}", nc_bench::gen_models::fig5());
+    println!("{}", nc_bench::gen_models::fig6(scale));
+    println!("{}", nc_bench::gen_models::fig8(scale));
+    println!("{}", nc_bench::gen_models::fig14(scale));
+    println!("{}", nc_bench::gen_models::workloads(scale));
+    let acc = nc_bench::gen_models::snnwot_accuracy(scale);
+    println!("{}", nc_bench::gen_tables::truenorth_comparison(acc));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (activation profiles) as CSV.
+fn main() {
+    println!("{}", nc_bench::gen_models::fig5());
+}

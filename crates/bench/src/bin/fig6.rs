@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (sigmoid-to-step error bridging).
+fn main() {
+    let scale = nc_bench::scale_from_args();
+    println!("{}", nc_bench::gen_models::fig6(scale));
+}

@@ -1,0 +1,4 @@
+//! Power decomposition of the folded designs.
+fn main() {
+    println!("{}", nc_bench::gen_extensions::power_table());
+}

@@ -1,0 +1,5 @@
+//! Test-time input-noise robustness sweep.
+fn main() {
+    let scale = nc_bench::scale_from_args();
+    println!("{}", nc_bench::gen_extensions::robustness(scale));
+}

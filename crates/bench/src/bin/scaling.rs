@@ -1,0 +1,5 @@
+//! Large-scale projection: where the expanded SNN's advantage grows and
+//! the folded MLP's persists (the paper's closing observation).
+fn main() {
+    println!("{}", nc_bench::gen_extensions::scaling());
+}

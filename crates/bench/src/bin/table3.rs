@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 3 (accuracy comparison).
+//! Usage: `cargo run -p nc-bench --release --bin table3 [-- --scale quick|standard|full]`.
+fn main() {
+    let scale = nc_bench::scale_from_args();
+    println!("{}", nc_bench::gen_models::table3(scale));
+}

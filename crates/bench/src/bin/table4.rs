@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4. Usage: `cargo run -p nc-bench --release --bin table4`.
+fn main() {
+    println!("{}", nc_bench::gen_tables::table4());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 5. Usage: `cargo run -p nc-bench --release --bin table5`.
+fn main() {
+    println!("{}", nc_bench::gen_tables::table5());
+}

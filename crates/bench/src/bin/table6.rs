@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 6. Usage: `cargo run -p nc-bench --release --bin table6`.
+fn main() {
+    println!("{}", nc_bench::gen_tables::table6());
+}

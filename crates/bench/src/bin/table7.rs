@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 7. Usage: `cargo run -p nc-bench --release --bin table7`.
+fn main() {
+    println!("{}", nc_bench::gen_tables::table7());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 8. Usage: `cargo run -p nc-bench --release --bin table8`.
+fn main() {
+    println!("{}", nc_bench::gen_tables::table8());
+}

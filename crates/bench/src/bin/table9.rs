@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 9. Usage: `cargo run -p nc-bench --release --bin table9`.
+fn main() {
+    println!("{}", nc_bench::gen_tables::table9());
+}

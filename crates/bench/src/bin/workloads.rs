@@ -1,0 +1,6 @@
+//! Regenerates the §4.5 validation on the shapes (MPEG-7) and spoken
+//! (Spoken Arabic Digits) workloads.
+fn main() {
+    let scale = nc_bench::scale_from_args();
+    println!("{}", nc_bench::gen_models::workloads(scale));
+}

@@ -1,0 +1,260 @@
+//! Generators for the model-level experiments: Table 3, Figures 3, 5, 6,
+//! 8 and 14, and the §4.5 workload validation. These train networks, so
+//! they take an [`ExperimentScale`].
+
+use crate::write_results;
+use nc_core::experiment::{AccuracyComparison, ExperimentScale, Workload};
+use nc_core::reference;
+use nc_core::report::{csv, pct, TextTable};
+use nc_core::sweeps;
+use nc_hw::folded::{FoldedMlp, FoldedSnnWot};
+use nc_mlp::Activation;
+use nc_snn::coding::CodingScheme;
+use nc_snn::{SnnNetwork, SnnParams};
+
+/// Table 3: the accuracy comparison on the digits workload.
+pub fn table3(scale: ExperimentScale) -> String {
+    let results = AccuracyComparison::new(Workload::Digits, scale).run();
+    format!(
+        "== Table 3 ==\n{}\nordering holds (MLP > SNN+BP > SNN+STDP, wot ~ wt): {}\n",
+        results.to_table(),
+        results.ordering_holds()
+    )
+}
+
+/// Figure 3: spike raster + membrane potentials for one presentation.
+pub fn fig3(scale: ExperimentScale) -> String {
+    let (train, _) = Workload::Digits.generate(scale);
+    let train_small = train.take(600);
+    let mut snn = SnnNetwork::new(
+        train.input_dim(),
+        train.num_classes(),
+        SnnParams::tuned(50),
+        0xF163,
+    );
+    snn.set_stdp_delta(4);
+    snn.train_stdp(&train_small, 2);
+    let sample = &train.samples()[0];
+    let trace = snn.present_traced(&sample.pixels, 0x316);
+    write_results("fig3_raster.csv", &trace.raster_csv());
+    write_results("fig3_potentials.csv", &trace.potentials_csv());
+    format!(
+        "== Figure 3: spike raster and membrane potentials ==\n\
+         one presentation of a digit-{} image to a 50-neuron SNN:\n\
+         {} input spikes, {} potential samples, {} output fires\n\
+         series written to results/fig3_raster.csv and results/fig3_potentials.csv\n",
+        sample.label,
+        trace.input_spikes().len(),
+        trace.potential_samples().len(),
+        trace.fires().len(),
+    )
+}
+
+/// Figure 5: activation-function profiles.
+pub fn fig5() -> String {
+    let slopes = [1.0, 2.0, 4.0, 8.0, 16.0];
+    let mut rows = Vec::new();
+    let xs: Vec<f64> = (0..=200).map(|i| -5.0 + 10.0 * i as f64 / 200.0).collect();
+    for &x in &xs {
+        let mut row = vec![format!("{x:.3}")];
+        for &a in &slopes {
+            row.push(format!("{:.5}", Activation::sigmoid_slope(a).eval(x)));
+        }
+        row.push(format!("{:.1}", Activation::Step.eval(x)));
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("x".to_string())
+        .chain(slopes.iter().map(|a| format!("sigmoid_a{a}")))
+        .chain(std::iter::once("step".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    write_results("fig5_activations.csv", &csv(&header_refs, &rows));
+    "== Figure 5: activation profiles (parameterized sigmoid and step) ==\n\
+     f_a(x) = 1/(1+exp(-a*x)) for a in {1,2,4,8,16} plus the [0/1] step;\n\
+     series written to results/fig5_activations.csv\n"
+        .to_string()
+}
+
+/// Figure 6: bridging error rates between sigmoid and step functions.
+pub fn fig6(scale: ExperimentScale) -> String {
+    let (train, test) = Workload::Digits.generate(scale);
+    let slopes = [1.0, 2.0, 4.0, 8.0, 16.0];
+    let points = sweeps::sigmoid_bridge_sweep(
+        &train,
+        &test,
+        &slopes,
+        Workload::Digits.paper_topology().0.min(40),
+        scale.mlp_epochs(),
+        0xF6,
+    );
+    let mut t = TextTable::new(&["activation", "error rate", "paper (MNIST)"]);
+    let mut rows = Vec::new();
+    for p in &points {
+        let label = match p.slope {
+            Some(a) => format!("sigmoid (a={a})"),
+            None => "step function".to_string(),
+        };
+        let paper = match p.slope {
+            Some(a) => reference::PAPER_FIG6
+                .iter()
+                .find(|(s, _)| *s == a)
+                .map(|(_, e)| format!("{e:.2}%"))
+                .unwrap_or_default(),
+            None => "~2.9%".to_string(),
+        };
+        t.row_owned(vec![label.clone(), pct(p.error_rate), paper]);
+        rows.push(vec![
+            p.slope.map_or("step".to_string(), |a| format!("{a}")),
+            format!("{:.5}", p.error_rate),
+        ]);
+    }
+    write_results("fig6_bridge.csv", &csv(&["slope", "error_rate"], &rows));
+    // The bridging claim: the steepest sigmoid's error is closer to the
+    // step function's than the classical sigmoid's is.
+    let step_err = points.last().map_or(0.0, |p| p.error_rate);
+    let first_err = points.first().map_or(0.0, |p| p.error_rate);
+    let steepest_err = points[points.len().saturating_sub(2)].error_rate;
+    format!(
+        "== Figure 6: bridging error rates between sigmoid and step ==\n{}\
+         bridge: |err(a=16) - err(step)| = {:.2}% vs |err(a=1) - err(step)| = {:.2}%\n\
+         (the steep sigmoid approaches the step function's error, paper 3.2)\n",
+        t.render(),
+        (steepest_err - step_err).abs() * 100.0,
+        (first_err - step_err).abs() * 100.0,
+    )
+}
+
+/// Figure 8: impact of #neurons on MLP and SNN accuracy.
+pub fn fig8(scale: ExperimentScale) -> String {
+    let mlp_widths = [10usize, 15, 20, 30, 50, 100, 200];
+    let snn_sizes = [10usize, 20, 50, 100, 200, 300];
+    let mlp = sweeps::fig8_mlp(Workload::Digits, scale, &mlp_widths);
+    let snn = sweeps::fig8_snn(Workload::Digits, scale, &snn_sizes);
+    let mut t = TextTable::new(&["model", "#neurons", "accuracy"]);
+    let mut rows = Vec::new();
+    for p in &mlp {
+        t.row_owned(vec!["MLP".into(), format!("{}", p.neurons), pct(p.accuracy)]);
+        rows.push(vec!["mlp".into(), format!("{}", p.neurons), format!("{:.4}", p.accuracy)]);
+    }
+    for p in &snn {
+        t.row_owned(vec!["SNN".into(), format!("{}", p.neurons), pct(p.accuracy)]);
+        rows.push(vec!["snn".into(), format!("{}", p.neurons), format!("{:.4}", p.accuracy)]);
+    }
+    write_results("fig8_neurons.csv", &csv(&["model", "neurons", "accuracy"], &rows));
+    let mlp_plateau = mlp.last().map_or(0.0, |p| p.accuracy)
+        - mlp.iter().find(|p| p.neurons == 100).map_or(0.0, |p| p.accuracy);
+    format!(
+        "== Figure 8: impact of #neurons on MLP and SNN ==\n{}\
+         MLP accuracy gain beyond 100 hidden neurons: {:.2}% (paper: 'marginal')\n",
+        t.render(),
+        mlp_plateau * 100.0
+    )
+}
+
+/// Figure 14: SNN accuracy per coding scheme.
+pub fn fig14(scale: ExperimentScale) -> String {
+    let (train, test) = Workload::Digits.generate(scale);
+    let sizes = [10usize, 50, 100, 300];
+    let schemes = [
+        CodingScheme::GaussianRate,
+        CodingScheme::RankOrder,
+        CodingScheme::TimeToFirstSpike,
+    ];
+    let points = sweeps::coding_sweep(&train, &test, &schemes, &sizes, scale, 0xF14);
+    let mut t = TextTable::new(&["coding scheme", "#neurons", "accuracy"]);
+    let mut rows = Vec::new();
+    for p in &points {
+        let name = match p.scheme {
+            CodingScheme::PoissonRate => "rate (Poisson)",
+            CodingScheme::GaussianRate => "rate (Gaussian)",
+            CodingScheme::RankOrder => "temporal (rank order)",
+            CodingScheme::TimeToFirstSpike => "temporal (time-to-first-spike)",
+        };
+        t.row_owned(vec![name.into(), format!("{}", p.neurons), pct(p.accuracy)]);
+        rows.push(vec![
+            name.replace(' ', "_"),
+            format!("{}", p.neurons),
+            format!("{:.4}", p.accuracy),
+        ]);
+    }
+    write_results("fig14_coding.csv", &csv(&["scheme", "neurons", "accuracy"], &rows));
+    let best = |scheme: CodingScheme| {
+        points
+            .iter()
+            .filter(|p| p.scheme == scheme)
+            .map(|p| p.accuracy)
+            .fold(0.0f64, f64::max)
+    };
+    format!(
+        "== Figure 14: SNN coding schemes ==\n{}\
+         best rate (Gaussian): {} vs best temporal: {} \
+         (paper at 300 neurons: {} vs {})\n",
+        t.render(),
+        pct(best(CodingScheme::GaussianRate)),
+        pct(best(CodingScheme::RankOrder).max(best(CodingScheme::TimeToFirstSpike))),
+        pct(reference::PAPER_FIG14_RATE),
+        pct(reference::PAPER_FIG14_TEMPORAL),
+    )
+}
+
+/// §4.5: validation on the shapes (MPEG-7) and spoken (SAD) workloads —
+/// accuracy plus the folded SNNwot/MLP cost ratios with each workload's
+/// paper topology.
+pub fn workloads(scale: ExperimentScale) -> String {
+    let mut out = String::from("== Section 4.5: validation on additional workloads ==\n");
+    for (workload, paper_acc, paper_ratios) in [
+        (
+            Workload::Shapes,
+            reference::PAPER_SHAPES_ACCURACY,
+            reference::PAPER_SHAPES_RATIOS,
+        ),
+        (
+            Workload::Spoken,
+            reference::PAPER_SPOKEN_ACCURACY,
+            reference::PAPER_SPOKEN_RATIOS,
+        ),
+    ] {
+        let results = AccuracyComparison::new(workload, scale).run();
+        let (hidden, neurons) = workload.paper_topology();
+        let (train, _) = workload.generate(ExperimentScale::Quick);
+        let inputs = train.input_dim();
+        let classes = train.num_classes();
+        let mut area_ratios = Vec::new();
+        let mut energy_ratios = Vec::new();
+        for ni in [1usize, 4, 8, 16] {
+            let snn = FoldedSnnWot::new(inputs, neurons, ni).report();
+            let mlp = FoldedMlp::new(&[inputs, hidden, classes], ni).report();
+            area_ratios.push(snn.total_area_mm2 / mlp.total_area_mm2);
+            energy_ratios.push(snn.energy_per_image_j / mlp.energy_per_image_j);
+        }
+        let amin = area_ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        let amax = area_ratios.iter().copied().fold(0.0f64, f64::max);
+        let emin = energy_ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        let emax = energy_ratios.iter().copied().fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "\n{workload} (MLP {inputs}x{hidden}x{classes}, SNN {inputs}x{neurons}):\n\
+             accuracy: MLP {} / SNN+STDP {}   (paper: {} / {})\n\
+             folded SNNwot vs MLP over ni=1..16: area {:.2}x-{:.2}x, energy {:.2}x-{:.2}x\n\
+             (paper: area {:.2}x-{:.2}x, energy {:.2}x-{:.2}x)\n",
+            pct(results.mlp_bp),
+            pct(results.snn_stdp_lif),
+            pct(paper_acc.0),
+            pct(paper_acc.1),
+            amin,
+            amax,
+            emin,
+            emax,
+            paper_ratios.0,
+            paper_ratios.1,
+            paper_ratios.2,
+            paper_ratios.3,
+        ));
+    }
+    out
+}
+
+/// Measures the SNNwot accuracy used by the §5 TrueNorth comparison.
+pub fn snnwot_accuracy(scale: ExperimentScale) -> f64 {
+    let results = AccuracyComparison::new(Workload::Digits, scale).run();
+    results.snn_stdp_wot
+}

@@ -1,0 +1,90 @@
+//! # nc-bench
+//!
+//! The regeneration harness: one binary per table and figure of the
+//! paper (`cargo run -p nc-bench --release --bin table7`, etc.), the
+//! `all` binary that regenerates everything in order, and the criterion
+//! micro-benchmarks (`cargo bench`).
+//!
+//! Every binary prints a paper-vs-measured view and, where a figure is
+//! being regenerated, writes the plotted series as CSV into `results/`.
+//!
+//! Common conventions:
+//! * `--scale quick|standard|full` (default `standard`) selects the
+//!   experiment scale for accuracy experiments (hardware tables are
+//!   analytic and scale-free).
+//! * Results land in `results/<name>.csv` relative to the working
+//!   directory.
+
+pub mod gen_extensions;
+pub mod gen_models;
+pub mod gen_tables;
+
+use nc_core::experiment::ExperimentScale;
+use std::path::PathBuf;
+
+/// Parses the common `--scale` flag from `std::env::args`.
+///
+/// Unknown arguments are ignored so binaries can add their own flags.
+pub fn scale_from_args() -> ExperimentScale {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            match args.next().as_deref() {
+                Some("tiny") => return ExperimentScale::Tiny,
+                Some("quick") => return ExperimentScale::Quick,
+                Some("standard") => return ExperimentScale::Standard,
+                Some("full") => return ExperimentScale::Full,
+                other => {
+                    eprintln!("unknown scale {other:?}, using standard");
+                    return ExperimentScale::Standard;
+                }
+            }
+        }
+    }
+    ExperimentScale::Standard
+}
+
+/// Ensures `results/` exists and returns the path for a named CSV.
+pub fn results_path(name: &str) -> PathBuf {
+    let dir = PathBuf::from("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create results/: {e}");
+    }
+    dir.join(name)
+}
+
+/// Writes a CSV payload, logging rather than failing on IO errors (the
+/// printed output is the primary artifact).
+pub fn write_results(name: &str, payload: &str) {
+    let path = results_path(name);
+    match std::fs::write(&path, payload) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Formats a `(measured, paper)` pair for table cells.
+pub fn vs(measured: f64, paper: f64) -> String {
+    format!("{measured:.2} (paper {paper:.2})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_standard() {
+        assert_eq!(scale_from_args(), ExperimentScale::Standard);
+    }
+
+    #[test]
+    fn vs_formats_both_numbers() {
+        assert_eq!(vs(1.234, 5.678), "1.23 (paper 5.68)");
+    }
+
+    #[test]
+    fn results_path_is_under_results_dir() {
+        let p = results_path("x.csv");
+        assert!(p.to_string_lossy().contains("results"));
+    }
+}

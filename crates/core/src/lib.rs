@@ -1,0 +1,36 @@
+//! # nc-core
+//!
+//! The experiment framework reproducing the paper's methodology end to
+//! end: it wires the models (`nc-mlp`, `nc-snn`), the synthetic
+//! workloads (`nc-dataset`) and the hardware cost model (`nc-hw`) into
+//! the concrete experiments behind every table and figure, and formats
+//! the results next to the paper's published values.
+//!
+//! * [`experiment`] — workload selection, experiment scales and the
+//!   accuracy-comparison runner (Table 3, §4.5).
+//! * [`sweeps`] — the parameter sweeps: accuracy vs #neurons (Figure 8),
+//!   the sigmoid→step bridging sweep (Figures 5–6), the coding-scheme
+//!   comparison (Figure 14), and the folded-design `ni` sweep (Table 7).
+//! * [`reference`] — the paper's published numbers (Tables 2 and 3,
+//!   and the headline ratios) used for paper-vs-measured reporting.
+//! * [`robustness`] — test-time input-noise robustness sweep (extension).
+//! * [`report`] — plain-text table and CSV formatting shared by the
+//!   `nc-bench` regeneration binaries.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use nc_core::experiment::{AccuracyComparison, ExperimentScale, Workload};
+//!
+//! // Regenerate Table 3 at the quick scale (minutes, not hours).
+//! let results = AccuracyComparison::new(Workload::Digits, ExperimentScale::Quick).run();
+//! println!("{}", results.to_table());
+//! ```
+
+pub mod experiment;
+pub mod reference;
+pub mod report;
+pub mod robustness;
+pub mod sweeps;
+
+pub use experiment::{AccuracyComparison, AccuracyResults, ExperimentScale, Workload};

@@ -1,0 +1,164 @@
+//! Input-noise robustness: an extension experiment the paper's framing
+//! invites. The introduction motivates accelerators with "processing of
+//! real-world input data", and a recurring claim for spike codes is
+//! robustness to input noise. This sweep trains both models once on
+//! clean(er) data, then evaluates them under increasing test-time pixel
+//! noise — measuring which accelerator's accuracy degrades faster when
+//! the sensor gets worse, without retraining.
+
+use nc_dataset::{Dataset, Sample};
+use nc_mlp::{metrics, Mlp};
+use nc_snn::{SnnNetwork, WotSnn};
+use nc_substrate::rng::SplitMix64;
+use nc_substrate::stats::Confusion;
+
+/// One point of the robustness sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessPoint {
+    /// Added uniform test-time noise amplitude, in luminance units [0,1].
+    pub noise: f64,
+    /// MLP accuracy under this noise.
+    pub mlp_accuracy: f64,
+    /// SNN (STDP, LIF readout) accuracy.
+    pub snn_accuracy: f64,
+    /// SNNwot accuracy.
+    pub wot_accuracy: f64,
+}
+
+/// Applies test-time uniform noise to every pixel of a dataset, with
+/// deterministic seeding.
+pub fn corrupt(data: &Dataset, noise: f64, seed: u64) -> Dataset {
+    let mut rng = SplitMix64::new(seed ^ 0x2015_CE50);
+    let samples: Vec<Sample> = data
+        .iter()
+        .map(|s| Sample {
+            pixels: s
+                .pixels
+                .iter()
+                .map(|&p| {
+                    let delta = rng.next_range(-noise, noise) * 255.0;
+                    (f64::from(p) + delta).clamp(0.0, 255.0) as u8
+                })
+                .collect(),
+            label: s.label,
+        })
+        .collect();
+    Dataset::from_samples(data.width(), data.height(), data.num_classes(), samples)
+        .expect("same geometry")
+}
+
+/// Evaluates pre-trained models under each noise level. The SNN is
+/// evaluated through both its readouts (LIF first-to-fire and the
+/// SNNwot max-potential path).
+pub fn sweep(
+    mlp: &Mlp,
+    snn: &mut SnnNetwork,
+    test: &Dataset,
+    noise_levels: &[f64],
+) -> Vec<RobustnessPoint> {
+    let wot = WotSnn::from_network(snn);
+    noise_levels
+        .iter()
+        .map(|&noise| {
+            let noisy = corrupt(test, noise, (noise * 1e4) as u64);
+            let mlp_accuracy = metrics::evaluate(mlp, &noisy).accuracy();
+            let snn_accuracy = snn.evaluate(&noisy).accuracy();
+            let wot_accuracy = wot.evaluate(&noisy).accuracy();
+            RobustnessPoint {
+                noise,
+                mlp_accuracy,
+                snn_accuracy,
+                wot_accuracy,
+            }
+        })
+        .collect()
+}
+
+/// Relative degradation of an accuracy series: `1 - acc(last)/acc(first)`
+/// (0 = fully robust). Returns 0 for degenerate series.
+pub fn degradation(points: &[RobustnessPoint], extract: impl Fn(&RobustnessPoint) -> f64) -> f64 {
+    match (points.first(), points.last()) {
+        (Some(first), Some(last)) if extract(first) > 0.0 => {
+            1.0 - extract(last) / extract(first)
+        }
+        _ => 0.0,
+    }
+}
+
+/// Evaluates a single confusion under noise, exposed for custom models.
+pub fn evaluate_under_noise<F>(test: &Dataset, noise: f64, seed: u64, mut predict: F) -> Confusion
+where
+    F: FnMut(&[u8]) -> usize,
+{
+    let noisy = corrupt(test, noise, seed);
+    let mut confusion = Confusion::new(test.num_classes());
+    for s in noisy.iter() {
+        confusion.record(s.label, predict(&s.pixels));
+    }
+    confusion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_dataset::{digits::DigitsSpec, Difficulty};
+    use nc_mlp::{Activation, TrainConfig, Trainer};
+    use nc_snn::SnnParams;
+
+    fn task() -> (Dataset, Dataset) {
+        DigitsSpec {
+            train: 250,
+            test: 80,
+            seed: 55,
+            difficulty: Difficulty::default(),
+        }
+        .generate()
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_bounded() {
+        let (_, test) = task();
+        let a = corrupt(&test, 0.2, 7);
+        let b = corrupt(&test, 0.2, 7);
+        assert_eq!(a, b);
+        let c = corrupt(&test, 0.2, 8);
+        assert_ne!(a, c);
+        // Zero noise is the identity.
+        assert_eq!(corrupt(&test, 0.0, 7), test);
+    }
+
+    #[test]
+    fn accuracy_degrades_with_noise() {
+        let (train, test) = task();
+        let mut mlp = Mlp::new(&[784, 16, 10], Activation::sigmoid(), 3).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, &train);
+        let mut snn = SnnNetwork::new(784, 10, SnnParams::tuned(15), 3);
+        snn.set_stdp_delta(8);
+        snn.train_stdp(&train, 2);
+        snn.self_label(&train);
+        let points = sweep(&mlp, &mut snn, &test, &[0.0, 0.6]);
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].mlp_accuracy <= points[0].mlp_accuracy + 0.05,
+            "{points:?}"
+        );
+        let deg = degradation(&points, |p| p.mlp_accuracy);
+        assert!((-0.1..=1.0).contains(&deg));
+    }
+
+    #[test]
+    fn custom_predictor_hook_works() {
+        let (_, test) = task();
+        let confusion = evaluate_under_noise(&test, 0.1, 1, |_| 0);
+        assert_eq!(confusion.total(), test.len() as u64);
+    }
+
+    #[test]
+    fn degradation_of_empty_series_is_zero() {
+        assert_eq!(degradation(&[], |p| p.mlp_accuracy), 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Parameter sweeps behind the figures: #neurons (Figure 8), sigmoid
+//! slope (Figures 5–6), coding schemes (Figure 14).
+
+use crate::experiment::{ExperimentScale, Workload};
+use nc_dataset::Dataset;
+use nc_mlp::{metrics, Activation, Mlp, TrainConfig, Trainer};
+use nc_snn::coding::CodingScheme;
+use nc_snn::{SnnNetwork, SnnParams};
+
+/// One point of the Figure 8 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeuronSweepPoint {
+    /// Neuron count (hidden neurons for the MLP, layer size for the SNN).
+    pub neurons: usize,
+    /// Test accuracy at that size.
+    pub accuracy: f64,
+}
+
+/// Figure 8 (MLP side): accuracy vs hidden-layer width.
+pub fn mlp_neuron_sweep(
+    train: &Dataset,
+    test: &Dataset,
+    widths: &[usize],
+    epochs: usize,
+    seed: u64,
+) -> Vec<NeuronSweepPoint> {
+    widths
+        .iter()
+        .map(|&h| {
+            let mut mlp = Mlp::new(
+                &[train.input_dim(), h, train.num_classes()],
+                Activation::sigmoid(),
+                seed,
+            )
+            .expect("valid topology");
+            Trainer::new(TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            })
+            .fit(&mut mlp, train);
+            NeuronSweepPoint {
+                neurons: h,
+                accuracy: metrics::evaluate(&mlp, test).accuracy(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 8 (SNN side): accuracy vs layer size, STDP-trained.
+pub fn snn_neuron_sweep(
+    train: &Dataset,
+    test: &Dataset,
+    sizes: &[usize],
+    scale: ExperimentScale,
+    seed: u64,
+) -> Vec<NeuronSweepPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut snn = SnnNetwork::new(
+                train.input_dim(),
+                train.num_classes(),
+                SnnParams::tuned(n),
+                seed,
+            );
+            snn.set_stdp_delta(scale.stdp_delta());
+            snn.train_stdp(train, scale.stdp_epochs());
+            snn.self_label(train);
+            NeuronSweepPoint {
+                neurons: n,
+                accuracy: snn.evaluate(test).accuracy(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure 6 bridging sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BridgePoint {
+    /// Sigmoid slope `a` (`None` = the step function reference).
+    pub slope: Option<f64>,
+    /// Test error rate (1 − accuracy).
+    pub error_rate: f64,
+}
+
+/// Figures 5–6: train/test the MLP under `f_a` for each slope plus the
+/// step function, returning error rates.
+pub fn sigmoid_bridge_sweep(
+    train: &Dataset,
+    test: &Dataset,
+    slopes: &[f64],
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<BridgePoint> {
+    let mut points = Vec::new();
+    for &a in slopes {
+        let mut mlp = Mlp::new(
+            &[train.input_dim(), hidden, train.num_classes()],
+            Activation::sigmoid_slope(a),
+            seed,
+        )
+        .expect("valid topology");
+        Trainer::new(TrainConfig {
+            epochs,
+            // The gradient carries a slope factor (capped at 4, see
+            // Activation::derivative_from_output); keep the effective
+            // step size constant across the family.
+            learning_rate: 0.3 / a.min(nc_mlp::Activation::SURROGATE_SLOPE_CAP),
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, train);
+        points.push(BridgePoint {
+            slope: Some(a),
+            error_rate: 1.0 - metrics::evaluate(&mlp, test).accuracy(),
+        });
+    }
+    // The step-function reference: straight-through training (forward
+    // and surrogate gradients through the steepest sigmoid of the
+    // family), deployed with the true [0/1] step — the standard recipe
+    // for binary-activation networks, and the honest hardware scenario:
+    // the silicon comparator cannot be trained through directly.
+    let mut step_mlp = Mlp::new(
+        &[train.input_dim(), hidden, train.num_classes()],
+        Activation::sigmoid_slope(16.0),
+        seed,
+    )
+    .expect("valid topology");
+    Trainer::new(TrainConfig {
+        epochs,
+        learning_rate: 0.3 / nc_mlp::Activation::SURROGATE_SLOPE_CAP,
+        ..TrainConfig::default()
+    })
+    .fit(&mut step_mlp, train);
+    step_mlp.set_activation(Activation::Step);
+    points.push(BridgePoint {
+        slope: None,
+        error_rate: 1.0 - metrics::evaluate(&step_mlp, test).accuracy(),
+    });
+    points
+}
+
+/// One point of the Figure 14 coding sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodingPoint {
+    /// The input code under test.
+    pub scheme: CodingScheme,
+    /// Layer size.
+    pub neurons: usize,
+    /// Test accuracy.
+    pub accuracy: f64,
+}
+
+/// Figure 14: STDP accuracy per coding scheme per layer size.
+pub fn coding_sweep(
+    train: &Dataset,
+    test: &Dataset,
+    schemes: &[CodingScheme],
+    sizes: &[usize],
+    scale: ExperimentScale,
+    seed: u64,
+) -> Vec<CodingPoint> {
+    let mut points = Vec::new();
+    for &scheme in schemes {
+        for &n in sizes {
+            let mut snn = SnnNetwork::with_coding(
+                train.input_dim(),
+                train.num_classes(),
+                SnnParams::tuned(n),
+                scheme,
+                seed,
+            );
+            snn.set_stdp_delta(scale.stdp_delta());
+            snn.train_stdp(train, scale.stdp_epochs());
+            snn.self_label(train);
+            points.push(CodingPoint {
+                scheme,
+                neurons: n,
+                accuracy: snn.evaluate(test).accuracy(),
+            });
+        }
+    }
+    points
+}
+
+/// Convenience: generate a workload and run the MLP sweep in one call
+/// (used by the `fig8` binary).
+pub fn fig8_mlp(workload: Workload, scale: ExperimentScale, widths: &[usize]) -> Vec<NeuronSweepPoint> {
+    let (train, test) = workload.generate(scale);
+    mlp_neuron_sweep(&train, &test, widths, scale.mlp_epochs(), 0xF168)
+}
+
+/// Convenience: generate a workload and run the SNN sweep in one call.
+pub fn fig8_snn(workload: Workload, scale: ExperimentScale, sizes: &[usize]) -> Vec<NeuronSweepPoint> {
+    let (train, test) = workload.generate(scale);
+    snn_neuron_sweep(&train, &test, sizes, scale, 0xF168)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_dataset::{digits::DigitsSpec, Difficulty};
+
+    fn tiny() -> (Dataset, Dataset) {
+        DigitsSpec {
+            train: 250,
+            test: 80,
+            seed: 13,
+            difficulty: Difficulty::default(),
+        }
+        .generate()
+    }
+
+    #[test]
+    fn mlp_sweep_improves_with_width() {
+        let (train, test) = tiny();
+        let pts = mlp_neuron_sweep(&train, &test, &[2, 24], 8, 1);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].accuracy > pts[0].accuracy,
+            "wider net should win: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn snn_sweep_improves_with_size() {
+        let (train, test) = tiny();
+        let pts = snn_neuron_sweep(&train, &test, &[5, 40], ExperimentScale::Quick, 1);
+        assert!(
+            pts[1].accuracy >= pts[0].accuracy,
+            "larger layer should win: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn bridge_sweep_includes_the_step_reference() {
+        let (train, test) = tiny();
+        let pts = sigmoid_bridge_sweep(&train, &test, &[1.0, 8.0], 12, 6, 1);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[2].slope, None);
+        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.error_rate)));
+    }
+
+    #[test]
+    fn coding_sweep_covers_the_grid() {
+        let (train, test) = tiny();
+        let train = train.take(120);
+        let pts = coding_sweep(
+            &train,
+            &test,
+            &[CodingScheme::PoissonRate, CodingScheme::TimeToFirstSpike],
+            &[8],
+            ExperimentScale::Quick,
+            1,
+        );
+        assert_eq!(pts.len(), 2);
+    }
+}

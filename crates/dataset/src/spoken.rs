@@ -1,0 +1,223 @@
+//! Procedural spoken-digit feature generator (Spoken Arabic Digits
+//! stand-in).
+//!
+//! The UCI Spoken Arabic Digits dataset consists of 13 MFCC coefficients
+//! over time for utterances of the ten digits; the paper resamples each
+//! utterance onto a fixed 13×13 time/cepstrum grid (its SAD networks are
+//! `13x13-60-10` and `13x13-90`, §4.5). This generator synthesizes
+//! class-conditional 13×13 "cepstrograms": each class has a smooth
+//! prototype built from a few Gaussian bumps in time/coefficient space;
+//! samples apply a random monotone time-warp, amplitude jitter and noise —
+//! the same nuisance structure real speech has, which is why the paper's
+//! SAD accuracies are markedly lower than its MNIST accuracies. The
+//! generator reproduces that relative hardness via stronger warping than
+//! the visual workloads.
+
+use crate::image::GreyImage;
+use crate::{Dataset, Difficulty, Sample};
+use nc_substrate::rng::SplitMix64;
+
+/// Time frames (columns) in the resampled utterance.
+pub const FRAMES: usize = 13;
+/// Cepstral coefficients (rows).
+pub const COEFFS: usize = 13;
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// Specification of a synthetic spoken-digit dataset.
+///
+/// # Examples
+///
+/// ```
+/// use nc_dataset::spoken::SpokenSpec;
+/// use nc_dataset::Difficulty;
+///
+/// let (train, test) = SpokenSpec {
+///     train: 30,
+///     test: 10,
+///     seed: 3,
+///     difficulty: Difficulty::default(),
+/// }
+/// .generate();
+/// assert_eq!(train.input_dim(), 13 * 13);
+/// assert_eq!(train.num_classes(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpokenSpec {
+    /// Number of training samples.
+    pub train: usize,
+    /// Number of test samples.
+    pub test: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Jitter/noise knobs (`max_shift` maps to time-warp strength).
+    pub difficulty: Difficulty,
+}
+
+impl Default for SpokenSpec {
+    /// 6 600 train / 2 200 test mirrors the real SAD protocol
+    /// (8 800 utterances, 75/25 split); scale down for quick runs.
+    fn default() -> Self {
+        SpokenSpec {
+            train: 6_600,
+            test: 2_200,
+            seed: 0x5AD0_0D17,
+            difficulty: Difficulty::default(),
+        }
+    }
+}
+
+impl SpokenSpec {
+    /// Generates the `(train, test)` datasets, class-balanced round-robin.
+    pub fn generate(&self) -> (Dataset, Dataset) {
+        let train = split(self.train, self.seed, 0xA1, self.difficulty);
+        let test = split(self.test, self.seed, 0xB2, self.difficulty);
+        (train, test)
+    }
+}
+
+fn split(n: usize, seed: u64, stream: u64, difficulty: Difficulty) -> Dataset {
+    let mut rng = SplitMix64::new(seed ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    let samples: Vec<Sample> = (0..n)
+        .map(|i| {
+            let label = i % CLASSES;
+            let img = render_utterance(label, &mut rng, difficulty);
+            Sample {
+                pixels: img.into_pixels(),
+                label,
+            }
+        })
+        .collect();
+    Dataset::from_samples(FRAMES, COEFFS, CLASSES, samples).expect("consistent geometry")
+}
+
+/// One Gaussian bump in (time, coefficient) space.
+#[derive(Debug, Clone, Copy)]
+struct Bump {
+    t: f64,
+    c: f64,
+    sigma_t: f64,
+    sigma_c: f64,
+    amp: f64,
+}
+
+/// The class prototype: a deterministic set of bumps derived from the
+/// class index (so prototypes are stable across runs and documented by
+/// construction rather than data files).
+fn prototype(class: usize) -> Vec<Bump> {
+    // A per-class stream keyed only by the class gives stable prototypes.
+    let mut rng = SplitMix64::new(0x0515_0AD5 ^ (class as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let bumps = 3 + class % 3; // 3..5 formant-like trajectories
+    (0..bumps)
+        .map(|_| Bump {
+            t: rng.next_range(0.1, 0.9),
+            c: rng.next_range(0.1, 0.9),
+            sigma_t: rng.next_range(0.10, 0.25),
+            sigma_c: rng.next_range(0.06, 0.16),
+            amp: rng.next_range(0.6, 1.0),
+        })
+        .collect()
+}
+
+/// Renders one jittered utterance patch.
+///
+/// # Panics
+///
+/// Panics if `class >= 10`.
+pub fn render_utterance(
+    class: usize,
+    rng: &mut SplitMix64,
+    difficulty: Difficulty,
+) -> GreyImage {
+    assert!(class < CLASSES, "class must be 0..=9");
+    let proto = prototype(class);
+    // Monotone time warp: t' = t + w·sin(π t); |w| < 1/π keeps it monotone.
+    let warp = rng.next_range(-1.0, 1.0) * (0.05 + 0.05 * difficulty.max_shift.min(3.0) / 3.0);
+    let amp_jitter = 1.0 + rng.next_range(-difficulty.scale_jitter, difficulty.scale_jitter);
+    let coeff_shift = rng.next_range(-difficulty.max_shift, difficulty.max_shift) / COEFFS as f64;
+    let mut img = GreyImage::new(FRAMES, COEFFS);
+    for col in 0..FRAMES {
+        let t_raw = (col as f64 + 0.5) / FRAMES as f64;
+        let t = t_raw + warp * (std::f64::consts::PI * t_raw).sin();
+        for row in 0..COEFFS {
+            let c = (row as f64 + 0.5) / COEFFS as f64 + coeff_shift;
+            let mut v = 0.0;
+            for b in &proto {
+                let dt = (t - b.t) / b.sigma_t;
+                let dc = (c - b.c) / b.sigma_c;
+                v += b.amp * (-0.5 * (dt * dt + dc * dc)).exp();
+            }
+            img.set(col, row, ((v * amp_jitter).clamp(0.0, 1.0) * 255.0) as u8);
+        }
+    }
+    img.add_noise(difficulty.noise * 1.5, rng);
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SpokenSpec {
+            train: 20,
+            test: 10,
+            seed: 77,
+            difficulty: Difficulty::default(),
+        };
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn geometry_matches_paper_sad_config() {
+        let (train, _) = SpokenSpec {
+            train: 10,
+            test: 0,
+            seed: 1,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        assert_eq!(train.width(), 13);
+        assert_eq!(train.height(), 13);
+        assert_eq!(train.input_dim(), 169);
+    }
+
+    #[test]
+    fn prototypes_differ_between_classes() {
+        let mut rng_a = SplitMix64::new(1);
+        let mut rng_b = SplitMix64::new(1);
+        let a = render_utterance(0, &mut rng_a, Difficulty::none());
+        let b = render_utterance(1, &mut rng_b, Difficulty::none());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noiseless_rendering_is_class_stable() {
+        let mut rng_a = SplitMix64::new(1);
+        let mut rng_b = SplitMix64::new(1);
+        assert_eq!(
+            render_utterance(4, &mut rng_a, Difficulty::none()),
+            render_utterance(4, &mut rng_b, Difficulty::none())
+        );
+    }
+
+    #[test]
+    fn utterances_have_energy() {
+        let mut rng = SplitMix64::new(2);
+        for c in 0..CLASSES {
+            let img = render_utterance(c, &mut rng, Difficulty::default());
+            assert!(
+                img.pixels().iter().map(|&p| u32::from(p)).sum::<u32>() > 500,
+                "class {c} nearly silent"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "class must be 0..=9")]
+    fn rejects_out_of_range_class() {
+        let mut rng = SplitMix64::new(0);
+        let _ = render_utterance(10, &mut rng, Difficulty::none());
+    }
+}

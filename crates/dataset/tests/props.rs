@@ -1,0 +1,93 @@
+//! Property-based tests for the synthetic workload generators.
+
+use nc_dataset::{digits, shapes, spoken, Dataset, Difficulty, Sample};
+use proptest::prelude::*;
+
+fn arb_difficulty() -> impl Strategy<Value = Difficulty> {
+    (
+        0.0f64..3.0,
+        0.0f64..0.4,
+        0.0f64..0.2,
+        0.0f64..0.15,
+        0.0f64..0.5,
+    )
+        .prop_map(|(max_shift, max_rotation, scale_jitter, noise, thickness_jitter)| {
+            Difficulty {
+                max_shift,
+                max_rotation,
+                scale_jitter,
+                noise,
+                thickness_jitter,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn digit_generation_is_structurally_valid(
+        n in 0usize..40,
+        seed in any::<u64>(),
+        difficulty in arb_difficulty(),
+    ) {
+        let (train, test) = digits::DigitsSpec { train: n, test: n / 2, seed, difficulty }.generate();
+        prop_assert_eq!(train.len(), n);
+        prop_assert_eq!(test.len(), n / 2);
+        prop_assert_eq!(train.input_dim(), 784);
+        for s in train.iter().chain(test.iter()) {
+            prop_assert_eq!(s.pixels.len(), 784);
+            prop_assert!(s.label < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_spec(
+        seed in any::<u64>(),
+        difficulty in arb_difficulty(),
+    ) {
+        let spec = shapes::ShapesSpec { train: 12, test: 6, seed, difficulty };
+        prop_assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn spoken_patches_are_class_balanced(n10 in 1usize..6, seed in any::<u64>()) {
+        let n = n10 * 10;
+        let (train, _) = spoken::SpokenSpec {
+            train: n, test: 0, seed, difficulty: Difficulty::default(),
+        }.generate();
+        prop_assert_eq!(train.class_counts(), vec![n10; 10]);
+    }
+
+    #[test]
+    fn every_digit_class_renders_nonempty_under_any_difficulty(
+        digit in 0usize..10,
+        seed in any::<u64>(),
+        difficulty in arb_difficulty(),
+    ) {
+        let mut rng = nc_substrate::rng::SplitMix64::new(seed);
+        let img = digits::render_digit(digit, &mut rng, difficulty);
+        let ink: usize = img.pixels().iter().filter(|&&p| p > 64).count();
+        prop_assert!(ink > 5, "digit {digit} rendered almost empty");
+    }
+
+    #[test]
+    fn take_is_a_prefix(n in 0usize..30, k in 0usize..40) {
+        let samples: Vec<Sample> = (0..n)
+            .map(|i| Sample { pixels: vec![i as u8], label: 0 })
+            .collect();
+        let ds = Dataset::from_samples(1, 1, 1, samples.clone()).unwrap();
+        let taken = ds.take(k);
+        prop_assert_eq!(taken.len(), n.min(k));
+        prop_assert_eq!(taken.samples(), &samples[..n.min(k)]);
+    }
+
+    #[test]
+    fn mean_luminance_is_a_valid_fraction(seed in any::<u64>()) {
+        let (train, _) = shapes::ShapesSpec {
+            train: 10, test: 0, seed, difficulty: Difficulty::default(),
+        }.generate();
+        let lum = train.mean_luminance();
+        prop_assert!((0.0..=1.0).contains(&lum));
+    }
+}

@@ -1,0 +1,247 @@
+//! Hardware-design ablations: how do the paper's silent design choices
+//! move the numbers? `DESIGN.md` calls these out as the knobs a reader
+//! would want to turn:
+//!
+//! * the SNNwot **spike-count width** (the paper's 4-bit/≤10-spike
+//!   encoding comes from `Tperiod = 500 ms` @ 20 Hz; fewer bits shrink
+//!   the shifter/adder lanes but quantize the rate code harder);
+//! * the **SRAM bank width** (128 bits in Table 6; narrower banks
+//!   reduce per-row energy but multiply the bank count);
+//! * the readout **max-tree fan-in** (20 in §4.3.2).
+//!
+//! Each ablation returns the *hardware* consequence from the cost model;
+//! the accuracy consequence of the count-width ablation is measured by
+//! `nc_snn::explore::precision_sweep` and the `ablation` bench binary
+//! combines the two views.
+
+use crate::folded::FoldedSnnWot;
+use crate::report::HwReport;
+use crate::tech::{MAX20_AREA, MAX_FANIN};
+
+/// One point of the spike-count-width ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountWidthPoint {
+    /// Bits per spike count (the paper uses 4: counts 0..=10).
+    pub count_bits: u32,
+    /// Maximum representable spike count.
+    pub max_count: u32,
+    /// The resulting SNNwot report (lane width scales with count bits).
+    pub report: HwReport,
+}
+
+/// Sweeps the SNNwot spike-count width. The shifter/adder lane performs
+/// `count_bits` shift-adds per input, so lane area and datapath energy
+/// scale with `count_bits / 4` relative to the calibrated baseline.
+///
+/// # Panics
+///
+/// Panics if any width is zero or exceeds 8.
+pub fn count_width_sweep(
+    inputs: usize,
+    neurons: usize,
+    ni: usize,
+    widths: &[u32],
+) -> Vec<CountWidthPoint> {
+    widths
+        .iter()
+        .map(|&count_bits| {
+            assert!(
+                (1..=8).contains(&count_bits),
+                "count bits must be in 1..=8"
+            );
+            let base = FoldedSnnWot::new(inputs, neurons, ni);
+            let baseline = base.report();
+            let lane_scale = f64::from(count_bits) / 4.0;
+            // Lane-proportional parts scale; SRAM (weights) does not.
+            let lane_area = (base.neuron_area_um2() - crate::folded::SNNWOT_NEURON_BASE)
+                * neurons as f64
+                / 1e6;
+            let fixed_area = baseline.logic_area_mm2 - lane_area;
+            let logic = fixed_area + lane_area * lane_scale;
+            let report = HwReport {
+                logic_area_mm2: logic,
+                sram_area_mm2: baseline.sram_area_mm2,
+                total_area_mm2: logic + baseline.sram_area_mm2,
+                clock_ns: baseline.clock_ns,
+                cycles_per_image: baseline.cycles_per_image,
+                energy_per_image_j: baseline.energy_per_image_j
+                    * (0.6 + 0.4 * lane_scale), // SRAM share (~60%) is width-invariant
+            };
+            CountWidthPoint {
+                count_bits,
+                max_count: (1u32 << count_bits) - 1,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// One point of the SRAM bank-width ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankWidthPoint {
+    /// Bank width in bits.
+    pub width_bits: usize,
+    /// Banks needed.
+    pub banks: usize,
+    /// Total SRAM area, mm².
+    pub area_mm2: f64,
+    /// Energy of one all-banks fetch, pJ.
+    pub fetch_pj: f64,
+}
+
+/// Sweeps the SRAM bank width for a layer, holding the per-cycle weight
+/// bandwidth (`neurons × ni × 8` bits) constant. Area per bank scales
+/// with width (the cell array dominates); the fixed periphery term does
+/// not, which is why narrow banks lose: `area = periphery + cells`.
+///
+/// # Panics
+///
+/// Panics if arguments are zero or a width is not a multiple of 8.
+pub fn bank_width_sweep(
+    neurons: usize,
+    inputs: usize,
+    ni: usize,
+    widths: &[usize],
+) -> Vec<BankWidthPoint> {
+    assert!(neurons > 0 && inputs > 0 && ni > 0, "empty layer");
+    widths
+        .iter()
+        .map(|&width_bits| {
+            assert!(
+                width_bits >= 8 && width_bits % 8 == 0,
+                "width must be a positive multiple of 8"
+            );
+            let bandwidth_bits = neurons * ni * 8;
+            let banks = bandwidth_bits.div_ceil(width_bits);
+            // Rows hold the full weight set across the banks.
+            let total_bits = neurons * inputs * 8;
+            let depth = (total_bits.div_ceil(banks * width_bits)).max(128);
+            // Scale the Table 6 fit: cell array ∝ width·depth, periphery
+            // fixed per bank. At 128 bits the fit is 27,588 + 103·d, of
+            // which the cell array is ≈ 0.805·d µm²/bit-column.
+            let cells = 103.0 * depth as f64 * width_bits as f64 / 128.0;
+            let area_um2 = 27_588.0 + cells;
+            let energy_pj = 30.13 + 0.0182 * depth as f64 * width_bits as f64 / 128.0;
+            BankWidthPoint {
+                width_bits,
+                banks,
+                area_mm2: banks as f64 * area_um2 / 1e6,
+                fetch_pj: banks as f64 * energy_pj,
+            }
+        })
+        .collect()
+}
+
+/// One point of the max-tree fan-in ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxTreePoint {
+    /// Fan-in per max unit.
+    pub fanin: usize,
+    /// Units needed for the layer.
+    pub units: usize,
+    /// Total readout area, mm².
+    pub area_mm2: f64,
+    /// Tree depth (levels), which bounds readout latency.
+    pub levels: usize,
+}
+
+/// Sweeps the readout max-tree fan-in for a layer of `neurons`. Unit
+/// area is scaled linearly from the 20-input anchor (a max unit is a
+/// comparator chain, linear in fan-in).
+///
+/// # Panics
+///
+/// Panics if `neurons == 0` or any fan-in is < 2.
+pub fn max_tree_sweep(neurons: usize, fanins: &[usize]) -> Vec<MaxTreePoint> {
+    assert!(neurons > 0, "empty layer");
+    fanins
+        .iter()
+        .map(|&fanin| {
+            assert!(fanin >= 2, "fan-in must be at least 2");
+            let unit_area = MAX20_AREA * fanin as f64 / MAX_FANIN as f64;
+            let mut remaining = neurons;
+            let mut units = 0usize;
+            let mut levels = 0usize;
+            while remaining > 1 {
+                let this_level = remaining.div_ceil(fanin);
+                units += this_level;
+                remaining = this_level;
+                levels += 1;
+            }
+            MaxTreePoint {
+                fanin,
+                units,
+                area_mm2: units as f64 * unit_area / 1e6,
+                levels,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_width_4_is_the_baseline() {
+        let pts = count_width_sweep(784, 300, 16, &[4]);
+        let base = FoldedSnnWot::new(784, 300, 16).report();
+        assert!((pts[0].report.total_area_mm2 - base.total_area_mm2).abs() < 1e-9);
+        assert!((pts[0].report.energy_per_image_j - base.energy_per_image_j).abs() < 1e-15);
+        assert_eq!(pts[0].max_count, 15);
+    }
+
+    #[test]
+    fn narrower_counts_shrink_logic_but_not_sram() {
+        let pts = count_width_sweep(784, 300, 16, &[2, 4]);
+        assert!(pts[0].report.logic_area_mm2 < pts[1].report.logic_area_mm2);
+        assert_eq!(pts[0].report.sram_area_mm2, pts[1].report.sram_area_mm2);
+        assert!(pts[0].report.energy_per_image_j < pts[1].report.energy_per_image_j);
+    }
+
+    #[test]
+    fn bank_width_128_matches_table_6_fit() {
+        let pts = bank_width_sweep(300, 784, 1, &[128]);
+        assert_eq!(pts[0].banks, 19); // 300·8/128 → ceil = 19
+        assert!((pts[0].area_mm2 - 2.06).abs() < 0.15, "{}", pts[0].area_mm2);
+    }
+
+    #[test]
+    fn narrow_banks_pay_periphery_overhead() {
+        let pts = bank_width_sweep(300, 784, 1, &[32, 128, 256]);
+        // Same bandwidth, more banks → more fixed periphery → more area.
+        assert!(pts[0].banks > pts[1].banks);
+        assert!(pts[0].area_mm2 > pts[1].area_mm2);
+        assert!(pts[2].banks < pts[1].banks);
+    }
+
+    #[test]
+    fn max_tree_20_matches_the_anchor() {
+        let pts = max_tree_sweep(300, &[20]);
+        assert_eq!(pts[0].units, 16);
+        let (_, anchor_area) = crate::tech::max_tree(300);
+        assert!((pts[0].area_mm2 - anchor_area / 1e6).abs() < 1e-9);
+        assert_eq!(pts[0].levels, 2);
+    }
+
+    #[test]
+    fn wider_fanin_means_fewer_levels() {
+        let pts = max_tree_sweep(300, &[2, 8, 32]);
+        assert!(pts[0].levels > pts[1].levels);
+        assert!(pts[1].levels >= pts[2].levels);
+        // Binary tree needs the most units.
+        assert!(pts[0].units > pts[2].units);
+    }
+
+    #[test]
+    #[should_panic(expected = "count bits must be in 1..=8")]
+    fn zero_count_bits_rejected() {
+        let _ = count_width_sweep(10, 10, 1, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn bad_bank_width_rejected() {
+        let _ = bank_width_sweep(10, 10, 1, &[12]);
+    }
+}

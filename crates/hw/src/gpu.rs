@@ -1,0 +1,181 @@
+//! The GPU reference model (paper §4.3.3, Table 8).
+//!
+//! The paper runs CUBLAS (`sgemv`) implementations of the two most
+//! efficient accelerator workloads on an NVIDIA K20M and reports the
+//! accelerators' speedups and energy benefits. It attributes the large
+//! gaps to "the time to fetch data from global memory to the
+//! computational operators, the lack of reuse for the target operations,
+//! and the small size of the data structures (100 to 300 neurons, 784
+//! inputs)".
+//!
+//! We model exactly those effects: a fixed host/driver overhead per
+//! inference (input transfer + synchronization), a per-kernel-launch
+//! cost, and a memory-bound `sgemv` term (the weight matrix is streamed
+//! from global memory with no reuse at batch size 1). The two free
+//! constants are calibrated so the paper's Table 8 reference points are
+//! reproduced (MLP ≈ 82 µs, SNN ≈ 58 µs per image — back-solved from the
+//! published speedups and the accelerator times); the bandwidth and
+//! board-power figures are the K20M datasheet values.
+
+/// An analytical model of single-image NN inference on a 2013-class GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Fixed per-inference overhead (host→device input copy, final
+    /// device→host result copy, stream synchronization), µs.
+    pub fixed_overhead_us: f64,
+    /// Per-kernel launch latency, µs.
+    pub launch_us: f64,
+    /// Global-memory bandwidth, GB/s (K20M: 208 GB/s).
+    pub bandwidth_gb_s: f64,
+    /// Effective dynamic power during these tiny kernels, W. The K20M
+    /// board TDP is 225 W; small un-batched sgemv kernels draw far less —
+    /// 60 W reproduces the paper's energy-benefit column.
+    pub power_w: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            fixed_overhead_us: 30.0,
+            launch_us: 25.0,
+            bandwidth_gb_s: 208.0,
+            power_w: 60.0,
+        }
+    }
+}
+
+/// A GPU workload: the layer shapes executed as one `sgemv` per layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GpuWorkload {
+    /// `(rows, cols)` of each `sgemv` (one per layer).
+    pub layers: Vec<(usize, usize)>,
+}
+
+impl GpuWorkload {
+    /// The MLP workload (two layers: 784×100 and 100×10).
+    pub fn mlp(sizes: &[usize]) -> Self {
+        GpuWorkload {
+            layers: sizes.windows(2).map(|w| (w[1], w[0])).collect(),
+        }
+    }
+
+    /// The SNN workload (one layer plus the argmax fused in).
+    pub fn snn(inputs: usize, neurons: usize) -> Self {
+        GpuWorkload {
+            layers: vec![(neurons, inputs)],
+        }
+    }
+
+    /// Total weight bytes streamed (fp32, no reuse at batch 1).
+    pub fn bytes(&self) -> usize {
+        self.layers.iter().map(|&(r, c)| r * c * 4).sum()
+    }
+}
+
+impl GpuModel {
+    /// Time to run one inference, µs.
+    pub fn time_per_image_us(&self, w: &GpuWorkload) -> f64 {
+        let mem_us = w.bytes() as f64 / (self.bandwidth_gb_s * 1e9) * 1e6;
+        self.fixed_overhead_us + self.launch_us * w.layers.len() as f64 + mem_us
+    }
+
+    /// Energy per inference, joules.
+    pub fn energy_per_image_j(&self, w: &GpuWorkload) -> f64 {
+        self.time_per_image_us(w) * 1e-6 * self.power_w
+    }
+
+    /// Speedup of an accelerator taking `accel_time_ns` per image.
+    pub fn speedup_over(&self, w: &GpuWorkload, accel_time_ns: f64) -> f64 {
+        self.time_per_image_us(w) * 1000.0 / accel_time_ns
+    }
+
+    /// Energy benefit of an accelerator spending `accel_energy_j` per
+    /// image.
+    pub fn energy_benefit_over(&self, w: &GpuWorkload, accel_energy_j: f64) -> f64 {
+        self.energy_per_image_j(w) / accel_energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expanded::{ExpandedMlp, ExpandedSnn, SnnVariant};
+    use crate::folded::{FoldedMlp, FoldedSnnWot};
+
+    #[test]
+    fn calibration_reproduces_back_solved_gpu_times() {
+        let gpu = GpuModel::default();
+        let mlp = gpu.time_per_image_us(&GpuWorkload::mlp(&[784, 100, 10]));
+        let snn = gpu.time_per_image_us(&GpuWorkload::snn(784, 300));
+        // Back-solved from Table 8: ≈ 82 µs (MLP) and ≈ 58 µs (SNN).
+        assert!((mlp - 82.0).abs() < 4.0, "mlp {mlp}");
+        assert!((snn - 58.0).abs() < 4.0, "snn {snn}");
+    }
+
+    #[test]
+    fn mlp_speedups_match_table_8_shape() {
+        let gpu = GpuModel::default();
+        let w = GpuWorkload::mlp(&[784, 100, 10]);
+        // ni = 1: paper 40.44; ni = 16: paper 626; expanded: 5409.
+        let s1 = gpu.speedup_over(&w, FoldedMlp::new(&[784, 100, 10], 1).report().time_per_image_ns());
+        let s16 = gpu.speedup_over(&w, FoldedMlp::new(&[784, 100, 10], 16).report().time_per_image_ns());
+        let se = gpu.speedup_over(&w, ExpandedMlp::new(&[784, 100, 10]).report().time_per_image_ns());
+        assert!(s1 > 30.0 && s1 < 55.0, "{s1}");
+        assert!(s16 > 480.0 && s16 < 800.0, "{s16}");
+        assert!(se > 4000.0 && se < 7000.0, "{se}");
+    }
+
+    #[test]
+    fn snnwot_speedups_match_table_8_shape() {
+        let gpu = GpuModel::default();
+        let w = GpuWorkload::snn(784, 300);
+        // ni = 1: paper 59.10; ni = 16: 543; expanded: 6086.
+        let s1 = gpu.speedup_over(&w, FoldedSnnWot::new(784, 300, 1).report().time_per_image_ns());
+        let s16 = gpu.speedup_over(&w, FoldedSnnWot::new(784, 300, 16).report().time_per_image_ns());
+        let se = gpu.speedup_over(
+            &w,
+            ExpandedSnn::new(SnnVariant::Wot, 784, 300).report().time_per_image_ns(),
+        );
+        assert!(s1 > 45.0 && s1 < 75.0, "{s1}");
+        assert!(s16 > 420.0 && s16 < 700.0, "{s16}");
+        assert!(se > 4500.0 && se < 7500.0, "{se}");
+    }
+
+    #[test]
+    fn snnwt_barely_beats_the_gpu_when_folded() {
+        // Table 8: SNNwt speedups are 0.12 (ni=1), 1.14 (ni=16), 44.6
+        // (expanded) — the 500-cycle emulation eats the advantage.
+        let gpu = GpuModel::default();
+        let w = GpuWorkload::snn(784, 300);
+        let wt1 = crate::folded::FoldedSnnWt::new(784, 300, 1).report();
+        let s1 = gpu.speedup_over(&w, wt1.time_per_image_ns());
+        assert!(s1 < 0.2, "{s1}");
+        let wt16 = crate::folded::FoldedSnnWt::new(784, 300, 16).report();
+        let s16 = gpu.speedup_over(&w, wt16.time_per_image_ns());
+        assert!(s16 > 0.8 && s16 < 1.6, "{s16}");
+    }
+
+    #[test]
+    fn energy_benefits_are_orders_of_magnitude() {
+        // Table 8: MLP energy benefits 12,743–79,151; SNNwot 2,800–31,542.
+        let gpu = GpuModel::default();
+        let w = GpuWorkload::mlp(&[784, 100, 10]);
+        let b1 = gpu.energy_benefit_over(
+            &w,
+            FoldedMlp::new(&[784, 100, 10], 1).report().energy_per_image_j,
+        );
+        assert!(b1 > 8_000.0 && b1 < 20_000.0, "{b1}");
+        let wsnn = GpuWorkload::snn(784, 300);
+        let bs = gpu.energy_benefit_over(
+            &wsnn,
+            FoldedSnnWot::new(784, 300, 1).report().energy_per_image_j,
+        );
+        assert!(bs > 2_000.0 && bs < 5_000.0, "{bs}");
+    }
+
+    #[test]
+    fn bytes_counts_all_layers() {
+        let w = GpuWorkload::mlp(&[784, 100, 10]);
+        assert_eq!(w.bytes(), (784 * 100 + 100 * 10) * 4);
+    }
+}

@@ -1,0 +1,190 @@
+//! The SNN accelerator with online STDP learning (paper §4.4, Figure 12,
+//! Table 9).
+//!
+//! "The neuron-level STDP circuit manages several information through a
+//! simple finite-state machine … it records the time elapsed since the
+//! last output spike … manages a refractory counter and an inhibitory
+//! counter … In order to implement LTP and LTD, a neuron also keeps an
+//! internal counter which is reset every time it fires." Homeostasis
+//! adds one per-neuron firing counter plus a single shared epoch counter.
+//!
+//! The paper's punchline: the online-learning core's total area is only
+//! 1.34x (ni = 16) to 1.93x (ni = 1) that of the inference-only SNNwt,
+//! the cycle time rises no more than 7%, and energy 1.02x-1.50x — "the
+//! hardware overhead of implementing STDP is quite small".
+
+use crate::folded::FoldedSnnWt;
+use crate::report::HwReport;
+use crate::sram::BankConfig;
+use crate::tech::{
+    clock_period_ns, datapath_energy_per_cycle_pj, max_tree, DesignKind, GAUSSIAN_RNG_AREA,
+};
+
+/// Per-neuron STDP/homeostasis circuit area, µm², base part: the
+/// refractory, inhibition, time-since-fire and homeostasis counters,
+/// their comparators, the threshold register, and the piecewise-linear
+/// leak unit (Figure 13). Calibrated residual of Table 9's ni = 1 point
+/// over the SNNwt neuron.
+const STDP_NEURON_BASE: f64 = 6_316.0;
+
+/// Per-lane STDP area, µm²: the per-lane LTP window check and the ±1
+/// weight increment/decrement adder with write-back mux (calibrated
+/// slope of Table 9).
+const STDP_LANE_AREA: f64 = 584.0;
+
+/// An SNNwt core extended with online STDP + homeostasis learning.
+///
+/// # Examples
+///
+/// ```
+/// use nc_hw::online::OnlineSnn;
+///
+/// let core = OnlineSnn::new(784, 300, 16);
+/// let with_learning = core.report();
+/// let inference_only = core.inference_core().report();
+/// let ratio = with_learning.total_area_mm2 / inference_only.total_area_mm2;
+/// assert!(ratio > 1.1 && ratio < 2.2, "area overhead {ratio}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineSnn {
+    inputs: usize,
+    neurons: usize,
+    ni: usize,
+}
+
+impl OnlineSnn {
+    /// Creates the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(inputs: usize, neurons: usize, ni: usize) -> Self {
+        assert!(inputs > 0 && neurons > 0 && ni > 0, "empty design");
+        OnlineSnn {
+            inputs,
+            neurons,
+            ni,
+        }
+    }
+
+    /// The matching inference-only SNNwt core (the Table 7 baseline the
+    /// Table 9 overheads are quoted against).
+    pub fn inference_core(&self) -> FoldedSnnWt {
+        FoldedSnnWt::new(self.inputs, self.neurons, self.ni)
+    }
+
+    /// Per-neuron area including the STDP circuitry, µm².
+    pub fn neuron_area_um2(&self) -> f64 {
+        self.inference_core().neuron_area_um2()
+            + STDP_NEURON_BASE
+            + STDP_LANE_AREA * self.ni as f64
+    }
+
+    /// SRAM configuration (same banks; STDP writes back through the same
+    /// ports during the LTP/LTD phase).
+    pub fn sram(&self) -> BankConfig {
+        BankConfig::for_layer(self.neurons, self.inputs, self.ni)
+    }
+
+    /// Cycles per image presentation (identical to the inference core:
+    /// learning happens in the shadow of the 1 ms emulation steps).
+    pub fn cycles_per_image(&self) -> u64 {
+        self.inference_core().cycles_per_image()
+    }
+
+    /// The full report (Table 9).
+    pub fn report(&self) -> HwReport {
+        let logic = (self.neuron_area_um2() * self.neurons as f64
+            + max_tree(self.neurons).1
+            + GAUSSIAN_RNG_AREA * self.ni as f64)
+            / 1e6;
+        let sram_cfg = self.sram();
+        let cycles = self.cycles_per_image();
+        let per_cycle_pj = sram_cfg.read_all_pj()
+            + datapath_energy_per_cycle_pj(DesignKind::SnnOnline, self.ni, self.neurons);
+        HwReport {
+            logic_area_mm2: logic,
+            sram_area_mm2: sram_cfg.area_mm2(),
+            total_area_mm2: logic + sram_cfg.area_mm2(),
+            clock_ns: clock_period_ns(DesignKind::SnnOnline, self.ni),
+            cycles_per_image: cycles,
+            energy_per_image_j: cycles as f64 * per_cycle_pj * 1e-12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 9 anchors: (ni, logic mm², total mm², delay ns, energy mJ).
+    const T9: [(usize, f64, f64, f64, f64); 4] = [
+        (1, 2.55, 4.92, 1.23, 0.71),
+        (4, 3.33, 7.10, 1.48, 0.37),
+        (8, 4.26, 10.70, 1.81, 0.32),
+        (16, 6.44, 19.06, 1.88, 0.33),
+    ];
+
+    #[test]
+    fn tracks_table_9() {
+        for (ni, logic, total, delay, energy_mj) in T9 {
+            let r = OnlineSnn::new(784, 300, ni).report();
+            assert!(
+                (r.logic_area_mm2 - logic).abs() / logic < 0.15,
+                "ni={ni} logic {} vs {logic}",
+                r.logic_area_mm2
+            );
+            assert!(
+                (r.total_area_mm2 - total).abs() / total < 0.15,
+                "ni={ni} total {} vs {total}",
+                r.total_area_mm2
+            );
+            assert!((r.clock_ns - delay).abs() < 0.02, "ni={ni} delay");
+            let got_mj = r.energy_per_image_j * 1e3;
+            assert!(
+                (got_mj - energy_mj).abs() / energy_mj < 0.15,
+                "ni={ni} energy {got_mj} vs {energy_mj}"
+            );
+        }
+    }
+
+    #[test]
+    fn stdp_overhead_matches_paper_claims() {
+        // §4.4.1: total area 1.34x (ni=16) to 1.93x (ni=1); cycle time
+        // +≤7%; energy 1.02x to 1.50x.
+        for (ni, lo_a, hi_a, lo_e, hi_e) in [
+            (1, 1.7, 2.2, 1.25, 1.75),
+            (16, 1.15, 1.55, 0.95, 1.25),
+        ] {
+            let on = OnlineSnn::new(784, 300, ni).report();
+            let off = FoldedSnnWt::new(784, 300, ni).report();
+            let area_ratio = on.total_area_mm2 / off.total_area_mm2;
+            let energy_ratio = on.energy_per_image_j / off.energy_per_image_j;
+            let delay_ratio = on.clock_ns / off.clock_ns;
+            assert!(
+                area_ratio > lo_a && area_ratio < hi_a,
+                "ni={ni} area ratio {area_ratio}"
+            );
+            assert!(
+                energy_ratio > lo_e && energy_ratio < hi_e,
+                "ni={ni} energy ratio {energy_ratio}"
+            );
+            assert!(delay_ratio < 1.08, "ni={ni} delay ratio {delay_ratio}");
+        }
+    }
+
+    #[test]
+    fn learning_does_not_change_cycle_count() {
+        let on = OnlineSnn::new(784, 300, 4);
+        assert_eq!(
+            on.cycles_per_image(),
+            on.inference_core().cycles_per_image()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty design")]
+    fn zero_inputs_rejected() {
+        let _ = OnlineSnn::new(0, 300, 1);
+    }
+}

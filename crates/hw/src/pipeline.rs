@@ -1,0 +1,200 @@
+//! Staggered-pipeline throughput (paper §4.3.1).
+//!
+//! "While this multi-cycle computation forbids a fully pipelined
+//! execution (processing a new image every cycle) as for the expanded
+//! design, it is still possible to implement a staggered pipeline where
+//! each stage requires multiple execution cycles (as for most
+//! floating-point operations in processors)."
+//!
+//! For a folded design the *latency* of one image is the sum of its
+//! stage occupancies, but the *throughput* is set by the slowest stage:
+//! a new image can enter as soon as the first stage frees up. This
+//! module computes both, which matters for the batch-processing use
+//! cases (data centers) the paper's introduction mentions, as opposed to
+//! the single-image latency of the interactive ones.
+
+/// A multi-cycle pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Stage {
+    /// Human-readable stage name.
+    pub name: String,
+    /// Cycles the stage occupies per image.
+    pub cycles: u64,
+}
+
+/// A staggered pipeline: stages execute in order, each holding an image
+/// for its occupancy; stage `k` can accept image `n+1` once image `n`
+/// has moved to stage `k+1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaggeredPipeline {
+    stages: Vec<Stage>,
+    clock_ns: f64,
+}
+
+impl StaggeredPipeline {
+    /// Builds a pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no stages, any stage is zero-cycle, or the
+    /// clock is not positive.
+    pub fn new(stages: Vec<Stage>, clock_ns: f64) -> Self {
+        assert!(!stages.is_empty(), "need at least one stage");
+        assert!(
+            stages.iter().all(|s| s.cycles > 0),
+            "zero-cycle stage"
+        );
+        assert!(clock_ns > 0.0, "clock must be positive");
+        StaggeredPipeline { stages, clock_ns }
+    }
+
+    /// The folded MLP's natural staging: one stage per layer (each
+    /// `⌈fan_in/ni⌉ + 1` cycles, paper §4.3.1: hidden outputs are
+    /// "buffered in the output register of the neuron while the neurons
+    /// of the output layer use them").
+    pub fn folded_mlp(sizes: &[usize], ni: usize, clock_ns: f64) -> Self {
+        assert!(sizes.len() >= 2, "need at least two layers");
+        assert!(ni > 0, "ni must be positive");
+        let stages = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(l, w)| Stage {
+                name: format!("layer{l} ({}x{})", w[0], w[1]),
+                cycles: w[0].div_ceil(ni) as u64 + 1,
+            })
+            .collect();
+        Self::new(stages, clock_ns)
+    }
+
+    /// The folded SNNwot's 3-stage organization (Figure 7): converter,
+    /// chunked accumulation, max readout.
+    pub fn folded_snnwot(inputs: usize, ni: usize, clock_ns: f64) -> Self {
+        assert!(ni > 0, "ni must be positive");
+        Self::new(
+            vec![
+                Stage {
+                    name: "spike-count convert".into(),
+                    cycles: 1,
+                },
+                Stage {
+                    name: "accumulate".into(),
+                    cycles: inputs.div_ceil(ni) as u64,
+                },
+                Stage {
+                    name: "max readout".into(),
+                    cycles: crate::folded::SNNWOT_PIPELINE_LATENCY.saturating_sub(1).max(1),
+                },
+            ],
+            clock_ns,
+        )
+    }
+
+    /// The stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Single-image latency in cycles (sum of stage occupancies).
+    pub fn latency_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Steady-state initiation interval in cycles (the slowest stage).
+    pub fn initiation_interval_cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.cycles).max().unwrap_or(1)
+    }
+
+    /// Single-image latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_cycles() as f64 * self.clock_ns
+    }
+
+    /// Steady-state throughput in images per second.
+    pub fn throughput_per_s(&self) -> f64 {
+        1e9 / (self.initiation_interval_cycles() as f64 * self.clock_ns)
+    }
+
+    /// Throughput gain of staggering over serial (non-pipelined)
+    /// execution: `latency / initiation_interval`.
+    pub fn pipelining_gain(&self) -> f64 {
+        self.latency_cycles() as f64 / self.initiation_interval_cycles() as f64
+    }
+
+    /// Total cycles to process a batch of `n` images (first image pays
+    /// the full latency; the rest arrive one initiation interval apart).
+    pub fn batch_cycles(&self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.latency_cycles() + (n - 1) * self.initiation_interval_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_pipeline_matches_table_7_latency() {
+        // ni=4: stage cycles 197 + 26 = 223, the Table 7 count.
+        let p = StaggeredPipeline::folded_mlp(&[784, 100, 10], 4, 2.24);
+        assert_eq!(p.latency_cycles(), 223);
+        assert_eq!(p.initiation_interval_cycles(), 197);
+        assert!(p.pipelining_gain() > 1.1);
+    }
+
+    #[test]
+    fn snnwot_pipeline_matches_table_7_latency() {
+        let p = StaggeredPipeline::folded_snnwot(784, 16, 1.84);
+        assert_eq!(p.latency_cycles(), 56); // 1 + 49 + 6
+        assert_eq!(p.initiation_interval_cycles(), 49);
+    }
+
+    #[test]
+    fn throughput_beats_serial_latency() {
+        let p = StaggeredPipeline::folded_mlp(&[784, 100, 10], 16, 2.25);
+        let serial_per_s = 1e9 / p.latency_ns();
+        assert!(p.throughput_per_s() > serial_per_s);
+    }
+
+    #[test]
+    fn batch_cycles_amortize_the_latency() {
+        let p = StaggeredPipeline::folded_mlp(&[784, 100, 10], 16, 2.25);
+        assert_eq!(p.batch_cycles(0), 0);
+        assert_eq!(p.batch_cycles(1), p.latency_cycles());
+        let per_image_at_1000 = p.batch_cycles(1000) as f64 / 1000.0;
+        assert!(per_image_at_1000 < p.latency_cycles() as f64);
+        assert!(
+            (per_image_at_1000 - p.initiation_interval_cycles() as f64).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn balanced_pipeline_has_maximal_gain() {
+        let balanced = StaggeredPipeline::new(
+            vec![
+                Stage { name: "a".into(), cycles: 10 },
+                Stage { name: "b".into(), cycles: 10 },
+            ],
+            1.0,
+        );
+        assert!((balanced.pipelining_gain() - 2.0).abs() < 1e-12);
+        let skewed = StaggeredPipeline::new(
+            vec![
+                Stage { name: "a".into(), cycles: 19 },
+                Stage { name: "b".into(), cycles: 1 },
+            ],
+            1.0,
+        );
+        assert!(skewed.pipelining_gain() < 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-cycle stage")]
+    fn zero_cycle_stage_rejected() {
+        let _ = StaggeredPipeline::new(
+            vec![Stage { name: "a".into(), cycles: 0 }],
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! The common hardware report type shared by every design generator.
+
+use std::fmt;
+
+/// Area / timing / energy summary of one accelerator configuration — one
+//  row of the paper's Tables 4/5/7/9.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwReport {
+    /// Logic (datapath + control) area, mm² — the "Area (no SRAM)" column.
+    pub logic_area_mm2: f64,
+    /// Synaptic SRAM area, mm².
+    pub sram_area_mm2: f64,
+    /// Total area, mm².
+    pub total_area_mm2: f64,
+    /// Clock period, ns.
+    pub clock_ns: f64,
+    /// Cycles to process one input image.
+    pub cycles_per_image: u64,
+    /// Energy to process one input image, joules.
+    pub energy_per_image_j: f64,
+}
+
+impl HwReport {
+    /// Wall-clock time to process one image, in nanoseconds.
+    pub fn time_per_image_ns(&self) -> f64 {
+        self.clock_ns * self.cycles_per_image as f64
+    }
+
+    /// Average power while processing, in watts.
+    pub fn power_w(&self) -> f64 {
+        self.energy_per_image_j / (self.time_per_image_ns() * 1e-9)
+    }
+
+    /// Throughput in images per second.
+    pub fn images_per_second(&self) -> f64 {
+        1e9 / self.time_per_image_ns()
+    }
+
+    /// Energy per image in microjoules (the unit of Table 7).
+    pub fn energy_uj(&self) -> f64 {
+        self.energy_per_image_j * 1e6
+    }
+}
+
+impl fmt::Display for HwReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area {:.2} mm² (logic {:.2} + SRAM {:.2}), clock {:.2} ns, \
+             {} cycles/image ({:.2} µs), {:.3} µJ/image",
+            self.total_area_mm2,
+            self.logic_area_mm2,
+            self.sram_area_mm2,
+            self.clock_ns,
+            self.cycles_per_image,
+            self.time_per_image_ns() / 1000.0,
+            self.energy_uj(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HwReport {
+        HwReport {
+            logic_area_mm2: 1.0,
+            sram_area_mm2: 2.0,
+            total_area_mm2: 3.0,
+            clock_ns: 2.0,
+            cycles_per_image: 100,
+            energy_per_image_j: 4e-7,
+        }
+    }
+
+    #[test]
+    fn derived_quantities_are_consistent() {
+        let r = sample();
+        assert_eq!(r.time_per_image_ns(), 200.0);
+        assert!((r.power_w() - 2.0).abs() < 1e-9); // 0.4 µJ / 200 ns
+        assert!((r.images_per_second() - 5e6).abs() < 1.0);
+        assert!((r.energy_uj() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("mm²"));
+        assert!(s.contains("cycles/image"));
+    }
+}

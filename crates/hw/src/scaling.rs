@@ -1,0 +1,134 @@
+//! Large-scale projection: the paper's closing observation that
+//! "SNN+STDP should also be the design of choice for fast and
+//! large-scale implementations (spatially expanded)" and that "only for
+//! very large-scale implementations, SNNs could become more attractive
+//! (area, delay, energy and power, but still not accuracy)".
+//!
+//! This module scales both expanded designs with the input/neuron counts
+//! and quantifies where and how fast the SNN's advantage grows — the
+//! multiplier army of the MLP scales with `inputs × neurons`, while the
+//! SNN's adders are cheaper per synapse and its readout stays a max tree.
+
+use crate::expanded::{ExpandedMlp, ExpandedSnn, SnnVariant};
+use crate::folded::{FoldedMlp, FoldedSnnWot};
+use crate::report::HwReport;
+
+/// One scale point of the projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// Input pixel count (`side²`).
+    pub inputs: usize,
+    /// MLP hidden width at this scale.
+    pub mlp_hidden: usize,
+    /// SNN layer size at this scale.
+    pub snn_neurons: usize,
+    /// Expanded MLP report.
+    pub mlp_expanded: HwReport,
+    /// Expanded SNNwot report.
+    pub snn_expanded: HwReport,
+    /// Folded (ni = 16) MLP report.
+    pub mlp_folded: HwReport,
+    /// Folded (ni = 16) SNNwot report.
+    pub snn_folded: HwReport,
+}
+
+impl ScalePoint {
+    /// Expanded-design area advantage of the SNN (`> 1` means SNN is
+    /// smaller).
+    pub fn expanded_snn_advantage(&self) -> f64 {
+        self.mlp_expanded.total_area_mm2 / self.snn_expanded.total_area_mm2
+    }
+
+    /// Folded-design area advantage of the MLP (`> 1` means MLP is
+    /// smaller).
+    pub fn folded_mlp_advantage(&self) -> f64 {
+        self.snn_folded.total_area_mm2 / self.mlp_folded.total_area_mm2
+    }
+}
+
+/// Projects both families across input scales, keeping the paper's
+/// neuron-to-input proportions (hidden ≈ inputs/8, SNN ≈ 3× hidden,
+/// which is 100 and 300 at 784 inputs).
+///
+/// # Panics
+///
+/// Panics if `sides` contains a zero.
+pub fn projection(sides: &[usize]) -> Vec<ScalePoint> {
+    sides
+        .iter()
+        .map(|&side| {
+            assert!(side > 0, "side must be positive");
+            let inputs = side * side;
+            let mlp_hidden = (inputs / 8).max(4);
+            let snn_neurons = 3 * mlp_hidden;
+            ScalePoint {
+                inputs,
+                mlp_hidden,
+                snn_neurons,
+                mlp_expanded: ExpandedMlp::new(&[inputs, mlp_hidden, 10]).report(),
+                snn_expanded: ExpandedSnn::new(SnnVariant::Wot, inputs, snn_neurons).report(),
+                mlp_folded: FoldedMlp::new(&[inputs, mlp_hidden, 10], 16).report(),
+                snn_folded: FoldedSnnWot::new(inputs, snn_neurons, 16).report(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_the_published_ratios() {
+        // 28×28 → hidden 98 ≈ 100, SNN 294 ≈ 300: both headline ratios
+        // must appear.
+        let pts = projection(&[28]);
+        let p = &pts[0];
+        assert!(p.expanded_snn_advantage() > 1.4, "{}", p.expanded_snn_advantage());
+        assert!(p.folded_mlp_advantage() > 2.0, "{}", p.folded_mlp_advantage());
+    }
+
+    #[test]
+    fn expanded_snn_advantage_grows_with_scale() {
+        // The paper's conclusion: at very large scale, expanded SNNs pull
+        // further ahead (the MLP's multiplier count is quadratic-ish).
+        let pts = projection(&[16, 32, 64]);
+        let advantages: Vec<f64> = pts.iter().map(ScalePoint::expanded_snn_advantage).collect();
+        assert!(
+            advantages.windows(2).all(|w| w[1] >= w[0] * 0.98),
+            "advantage should not shrink with scale: {advantages:?}"
+        );
+        assert!(advantages.last().unwrap() > advantages.first().unwrap());
+    }
+
+    #[test]
+    fn folded_mlp_advantage_persists_at_every_scale() {
+        // The counterpart conclusion: under realistic footprints the MLP
+        // stays cheaper at all scales (SRAM-dominated).
+        for p in projection(&[16, 28, 48, 64]) {
+            assert!(
+                p.folded_mlp_advantage() > 1.3,
+                "inputs={}: {}",
+                p.inputs,
+                p.folded_mlp_advantage()
+            );
+        }
+    }
+
+    #[test]
+    fn expanded_snn_is_always_faster() {
+        for p in projection(&[16, 28, 64]) {
+            assert!(
+                p.snn_expanded.time_per_image_ns() < p.mlp_expanded.time_per_image_ns(),
+                "inputs={}",
+                p.inputs
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "side must be positive")]
+    fn zero_side_rejected() {
+        let _ = projection(&[0]);
+    }
+}

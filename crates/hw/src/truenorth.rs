@@ -1,0 +1,172 @@
+//! A re-implemented TrueNorth-like neurosynaptic core (paper §5).
+//!
+//! "We made a best effort to reimplement the TrueNorth core down to the
+//! layout (using TSMC 65nm GPlus high VT standard library) according to
+//! the descriptions in [Merolla et al. 2011]": 1024 axons × 256 neurons,
+//! 1024×256 synaptic crossbar, ~1 MHz operation (so peak spike rates stay
+//! below 1 kHz, consistent with biology), 89% MNIST accuracy as reported
+//! by the TrueNorth group.
+//!
+//! The paper compares its own folded SNNwot at `ni = 1` against this
+//! core and finds SNNwot ahead on all four axes: area 3.17 vs 3.30 mm²,
+//! time 0.98 µs vs 1024 µs, energy 1.03 µJ vs 2.48 µJ, accuracy 90.85%
+//! vs 89% — while honestly noting the re-implementation may not do
+//! justice to undescribed TrueNorth optimizations.
+
+use crate::folded::FoldedSnnWot;
+use crate::report::HwReport;
+use crate::sram::{bank_area_um2, bank_read_energy_pj};
+
+/// Parameters of the re-implemented neurosynaptic core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrueNorthCore {
+    /// Input axons (1024 in the CICC'11 core).
+    pub axons: usize,
+    /// Output neurons (256).
+    pub neurons: usize,
+    /// Synaptic weight precision in bits (9, per the paper's description).
+    pub weight_bits: usize,
+    /// Operating frequency in Hz (1 MHz: "TrueNorth adopts a physical
+    /// frequency of 1MHz so that the largest possible spiking frequency
+    /// can become lower than 1KHz").
+    pub frequency_hz: f64,
+}
+
+impl Default for TrueNorthCore {
+    fn default() -> Self {
+        TrueNorthCore {
+            axons: 1024,
+            neurons: 256,
+            weight_bits: 9,
+            frequency_hz: 1e6,
+        }
+    }
+}
+
+impl TrueNorthCore {
+    /// The paper's re-implementation results (65 nm layout).
+    pub fn paper_reimplementation() -> TrueNorthReport {
+        TrueNorthReport {
+            area_mm2: 3.30,
+            time_per_image_us: 1024.0,
+            energy_per_image_uj: 2.48,
+            mnist_accuracy: 0.89,
+        }
+    }
+
+    /// Crossbar synapse count.
+    pub fn synapses(&self) -> usize {
+        self.axons * self.neurons
+    }
+
+    /// Structural area estimate from our SRAM + neuron models, mm²:
+    /// crossbar weight storage (modelled as 128-bit banks holding
+    /// `axons·neurons·weight_bits` bits) plus 256 integrate-and-fire
+    /// neuron circuits (adder + threshold comparator + state registers,
+    /// ~1.5 kµm² each at 65 nm) and the event router share.
+    pub fn estimated_area_mm2(&self) -> f64 {
+        let bits = self.synapses() * self.weight_bits;
+        let rows = bits.div_ceil(128);
+        // Split into banks of the deepest Table 6 geometry (depth 784).
+        let banks = rows.div_ceil(784);
+        let sram = banks as f64 * bank_area_um2(784);
+        let neuron_circuits = self.neurons as f64 * 1_500.0;
+        let router = 0.35e6; // AER encode/decode + scheduler share
+        (sram + neuron_circuits + router) / 1e6
+    }
+
+    /// Time to process one image at 1 ms/tick with a 1024-tick
+    /// presentation (µs) — the paper's 1024 µs figure.
+    pub fn time_per_image_us(&self) -> f64 {
+        self.axons as f64 / self.frequency_hz * 1e6
+    }
+
+    /// Energy per image estimate, µJ: one crossbar read per axon event
+    /// per tick plus neuron updates, calibrated to the paper's 2.48 µJ
+    /// at the default geometry.
+    pub fn estimated_energy_per_image_uj(&self) -> f64 {
+        // Each tick performs a crossbar read plus the neuron-state
+        // write-back (LIF membrane update), i.e. two SRAM accesses, plus
+        // 256 neuron updates (~0.9 pJ each).
+        let bits = self.synapses() * self.weight_bits;
+        let banks = bits.div_ceil(128 * 784);
+        let per_tick_pj = 2.0 * banks as f64 * bank_read_energy_pj(784) + 256.0 * 0.9;
+        self.axons as f64 * per_tick_pj * 1e-6
+    }
+}
+
+/// The four comparison axes of §5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrueNorthReport {
+    /// Core area, mm² at 65 nm.
+    pub area_mm2: f64,
+    /// Time per MNIST image, µs.
+    pub time_per_image_us: f64,
+    /// Energy per MNIST image, µJ.
+    pub energy_per_image_uj: f64,
+    /// MNIST accuracy (fraction).
+    pub mnist_accuracy: f64,
+}
+
+/// The §5 head-to-head: SNNwot folded at `ni = 1` vs the re-implemented
+/// TrueNorth core. Accuracies are passed in by the caller (ours comes
+/// from the model evaluation; TrueNorth's 89% is the published figure).
+pub fn section5_comparison(snnwot_accuracy: f64) -> (TrueNorthReport, TrueNorthReport) {
+    let wot: HwReport = FoldedSnnWot::new(784, 300, 1).report();
+    let ours = TrueNorthReport {
+        area_mm2: wot.total_area_mm2,
+        time_per_image_us: wot.time_per_image_ns() / 1000.0,
+        energy_per_image_uj: wot.energy_uj(),
+        mnist_accuracy: snnwot_accuracy,
+    };
+    (ours, TrueNorthCore::paper_reimplementation())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimated_area_tracks_the_reimplementation() {
+        let core = TrueNorthCore::default();
+        let est = core.estimated_area_mm2();
+        let paper = TrueNorthCore::paper_reimplementation().area_mm2;
+        assert!(
+            (est - paper).abs() / paper < 0.25,
+            "estimate {est} vs paper {paper}"
+        );
+    }
+
+    #[test]
+    fn estimated_energy_tracks_the_reimplementation() {
+        let core = TrueNorthCore::default();
+        let est = core.estimated_energy_per_image_uj();
+        let paper = TrueNorthCore::paper_reimplementation().energy_per_image_uj;
+        assert!(
+            (est - paper).abs() / paper < 0.30,
+            "estimate {est} vs paper {paper}"
+        );
+    }
+
+    #[test]
+    fn image_time_is_1024_us_at_1mhz() {
+        assert!((TrueNorthCore::default().time_per_image_us() - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snnwot_wins_all_four_axes() {
+        // §5: "SNNwot outperforms TrueNorth in terms of area (3.17 vs
+        // 3.30), speed (0.98us vs 1024us), energy (1.03uJ vs 2.48uJ) and
+        // accuracy (90.85% vs 89%)".
+        let (ours, tn) = section5_comparison(0.9085);
+        assert!(ours.area_mm2 < tn.area_mm2 * 1.05);
+        assert!(ours.time_per_image_us < tn.time_per_image_us / 100.0);
+        assert!(ours.energy_per_image_uj < tn.energy_per_image_uj);
+        assert!(ours.mnist_accuracy > tn.mnist_accuracy);
+    }
+
+    #[test]
+    fn synapse_count_matches_cicc_core() {
+        assert_eq!(TrueNorthCore::default().synapses(), 262_144);
+    }
+}

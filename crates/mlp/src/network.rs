@@ -1,0 +1,332 @@
+//! The Multi-Layer Perceptron (paper §2.1).
+//!
+//! "MLPs contain input layer, one or multiple hidden layers, and an
+//! output layer; the input layer does not contain neurons … A neuron j in
+//! layer l performs `y_j = f(s_j)` where `s_j = Σ_i w_ji · y_i`."
+//!
+//! Weights are stored per layer in row-major `[output][input + 1]` form;
+//! the trailing column is the bias (driven by a constant 1 input).
+
+use crate::activation::Activation;
+use nc_substrate::rng::SplitMix64;
+
+/// Errors constructing an [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlpError {
+    /// Fewer than two layer sizes were given (need at least input+output).
+    TooFewLayers,
+    /// A layer size was zero.
+    ZeroWidthLayer {
+        /// Index of the zero-width layer in the topology slice.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for MlpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlpError::TooFewLayers => {
+                write!(f, "topology needs at least an input and an output layer")
+            }
+            MlpError::ZeroWidthLayer { index } => {
+                write!(f, "layer {index} has zero width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlpError {}
+
+/// A dense feed-forward network with one activation function shared by
+/// every neuron (as in the paper's designs).
+///
+/// # Examples
+///
+/// ```
+/// use nc_mlp::{Activation, Mlp};
+///
+/// // The paper's MNIST network: 28x28 inputs, 100 hidden, 10 outputs.
+/// let mlp = Mlp::new(&[784, 100, 10], Activation::sigmoid(), 7).unwrap();
+/// assert_eq!(mlp.num_weights(), 784 * 100 + 100 * 10); // paper: 79,400
+/// let out = mlp.forward(&vec![0.0; 784]);
+/// assert_eq!(out.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    sizes: Vec<usize>,
+    activation: Activation,
+    /// `layers[l][j * (sizes[l] + 1) + i]`: weight from input `i` of layer
+    /// `l` to its neuron `j`; index `sizes[l]` is the bias.
+    layers: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Creates a network with uniformly random weights in
+    /// `[-1/(a·√fan_in), 1/(a·√fan_in)]`, the standard fan-in scaling
+    /// divided by the activation slope `a` so that steep sigmoids (and
+    /// the step function's surrogate) start in their active region
+    /// rather than saturated — without this, the Figure 6 bridging
+    /// experiment cannot train at `a ≥ 4`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError`] if fewer than two sizes are given or any size
+    /// is zero.
+    pub fn new(sizes: &[usize], activation: Activation, seed: u64) -> Result<Self, MlpError> {
+        if sizes.len() < 2 {
+            return Err(MlpError::TooFewLayers);
+        }
+        if let Some(index) = sizes.iter().position(|&s| s == 0) {
+            return Err(MlpError::ZeroWidthLayer { index });
+        }
+        let slope = activation.slope().unwrap_or(16.0).max(1.0);
+        let mut rng = SplitMix64::new(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let bound = 1.0 / (slope * (fan_in as f64).sqrt());
+            let weights = (0..fan_out * (fan_in + 1))
+                .map(|_| rng.next_range(-bound, bound))
+                .collect();
+            layers.push(weights);
+        }
+        Ok(Mlp {
+            sizes: sizes.to_vec(),
+            activation,
+            layers,
+        })
+    }
+
+    /// Layer widths, input first.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The shared activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Replaces the activation function (used by the sigmoid→step
+    /// bridging experiment to evaluate a trained network under a steeper
+    /// profile).
+    pub fn set_activation(&mut self, activation: Activation) {
+        self.activation = activation;
+    }
+
+    /// Total number of synaptic weights, excluding biases — the quantity
+    /// the paper's synaptic-SRAM sizing uses (79,400 for 28x28-100-10).
+    pub fn num_weights(&self) -> usize {
+        self.sizes.windows(2).map(|w| w[0] * w[1]).sum()
+    }
+
+    /// Number of neurons (hidden + output; the input layer "does not
+    /// contain neurons").
+    pub fn num_neurons(&self) -> usize {
+        self.sizes[1..].iter().sum()
+    }
+
+    /// Immutable access to a layer's weight matrix
+    /// (row-major `[out][in + 1]`, bias last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_weights(&self, layer: usize) -> &[f64] {
+        &self.layers[layer]
+    }
+
+    /// Mutable access to a layer's weight matrix (used by the trainer and
+    /// by quantization round-trips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_weights_mut(&mut self, layer: usize) -> &mut [f64] {
+        &mut self.layers[layer]
+    }
+
+    /// Runs the feed-forward path, returning the output-layer activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input layer width.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_trace(input).pop().expect("at least one layer")
+    }
+
+    /// Runs the feed-forward path and returns every layer's activations
+    /// (hidden layers first, output last) — the intermediate values BP
+    /// needs (C-INTERMEDIATE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input layer width.
+    pub fn forward_trace(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            input.len(),
+            self.sizes[0],
+            "input width {} does not match topology input {}",
+            input.len(),
+            self.sizes[0]
+        );
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut current: &[f64] = input;
+        for (l, weights) in self.layers.iter().enumerate() {
+            let fan_in = self.sizes[l];
+            let fan_out = self.sizes[l + 1];
+            let mut out = Vec::with_capacity(fan_out);
+            for j in 0..fan_out {
+                let row = &weights[j * (fan_in + 1)..(j + 1) * (fan_in + 1)];
+                let mut s = row[fan_in]; // bias
+                for i in 0..fan_in {
+                    s += row[i] * current[i];
+                }
+                out.push(self.activation.eval(s));
+            }
+            activations.push(out);
+            current = activations.last().expect("just pushed");
+        }
+        activations
+    }
+
+    /// The output layer's pre-activation sums (membrane potentials in
+    /// the SNN analogy), used for readout when the activation is binary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input layer width.
+    pub fn output_potentials(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.sizes[0], "input width mismatch");
+        // Run all but the last layer normally.
+        let penultimate: Vec<f64> = if self.layers.len() == 1 {
+            input.to_vec()
+        } else {
+            let mut trace = self.forward_trace(input);
+            trace.swap_remove(self.layers.len() - 2)
+        };
+        let l = self.layers.len() - 1;
+        let fan_in = self.sizes[l];
+        let weights = &self.layers[l];
+        (0..self.sizes[l + 1])
+            .map(|j| {
+                let row = &weights[j * (fan_in + 1)..(j + 1) * (fan_in + 1)];
+                let mut s = row[fan_in];
+                for i in 0..fan_in {
+                    s += row[i] * penultimate[i];
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Predicted class: index of the maximum output activation. For the
+    /// binary [`Activation::Step`] the activations carry no ranking
+    /// (several outputs can be exactly 1), so the readout falls back to
+    /// the maximum output *potential* — the same max-potential readout
+    /// the paper's SNNwot hardware uses (§4.2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input layer width.
+    pub fn predict(&self, input: &[f64]) -> usize {
+        match self.activation {
+            Activation::Step => argmax(&self.output_potentials(input)),
+            _ => argmax(&self.forward(input)),
+        }
+    }
+}
+
+/// Index of the maximum element (first maximum on ties).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn argmax(values: &[f64]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_topologies() {
+        assert_eq!(
+            Mlp::new(&[4], Activation::sigmoid(), 0).unwrap_err(),
+            MlpError::TooFewLayers
+        );
+        assert_eq!(
+            Mlp::new(&[4, 0, 2], Activation::sigmoid(), 0).unwrap_err(),
+            MlpError::ZeroWidthLayer { index: 1 }
+        );
+    }
+
+    #[test]
+    fn weight_count_matches_paper() {
+        // §4.3.3: "784×100 + 100×10 = 79,400 weights for the MLP".
+        let mlp = Mlp::new(&[784, 100, 10], Activation::sigmoid(), 1).unwrap();
+        assert_eq!(mlp.num_weights(), 79_400);
+        assert_eq!(mlp.num_neurons(), 110);
+    }
+
+    #[test]
+    fn forward_output_is_in_sigmoid_range() {
+        let mlp = Mlp::new(&[5, 4, 3], Activation::sigmoid(), 2).unwrap();
+        let out = mlp.forward(&[0.1, 0.9, 0.5, 0.0, 1.0]);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|&y| (0.0..=1.0).contains(&y)));
+    }
+
+    #[test]
+    fn forward_trace_exposes_hidden_layers() {
+        let mlp = Mlp::new(&[3, 7, 2], Activation::sigmoid(), 3).unwrap();
+        let trace = mlp.forward_trace(&[0.2, 0.4, 0.6]);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].len(), 7);
+        assert_eq!(trace[1].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match topology input")]
+    fn forward_rejects_wrong_input_width() {
+        let mlp = Mlp::new(&[3, 2], Activation::sigmoid(), 0).unwrap();
+        let _ = mlp.forward(&[0.0; 4]);
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let a = Mlp::new(&[4, 3, 2], Activation::sigmoid(), 9).unwrap();
+        let b = Mlp::new(&[4, 3, 2], Activation::sigmoid(), 9).unwrap();
+        assert_eq!(a, b);
+        let c = Mlp::new(&[4, 3, 2], Activation::sigmoid(), 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn argmax_takes_first_maximum() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn zero_weight_network_is_constant() {
+        let mut mlp = Mlp::new(&[2, 2, 2], Activation::sigmoid(), 0).unwrap();
+        for l in 0..2 {
+            for w in mlp.layer_weights_mut(l) {
+                *w = 0.0;
+            }
+        }
+        let a = mlp.forward(&[0.0, 0.0]);
+        let b = mlp.forward(&[1.0, 1.0]);
+        assert_eq!(a, b);
+        assert!((a[0] - 0.5).abs() < 1e-12);
+    }
+}

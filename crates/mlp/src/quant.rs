@@ -1,0 +1,267 @@
+//! 8-bit fixed-point inference: the hardware MLP datapath.
+//!
+//! The paper found that "the results achieved with 8-bit fixed-point
+//! operators (multipliers, adders, SRAM width) were on par with the ones
+//! obtained with floating-point operators: respectively 96.65% vs.
+//! 97.65%" (§4.2.1). This module quantizes a trained [`Mlp`] onto that
+//! datapath: 8-bit weights, 8-bit activations, integer multiply-
+//! accumulate into a wide adder-tree register, and the 16-point
+//! piecewise-linear sigmoid.
+//!
+//! The quantized network is the *functional reference* for the `nc-hw`
+//! datapath simulator: both must produce identical predictions.
+
+use crate::activation::Activation;
+use crate::network::{argmax, Mlp};
+use nc_substrate::interp::PiecewiseLinear;
+
+/// Bit width of weights and activations in the hardware datapath.
+pub const DATA_BITS: u32 = 8;
+
+/// An [`Mlp`] lowered to the 8-bit hardware datapath.
+///
+/// Weights are stored as `i8` with a per-layer power-of-two scale
+/// (hardware reinterprets the same integers; only the implicit binary
+/// point differs). Activations are `u8` in `[0, 255]`, matching the input
+/// pixel format, so hidden-layer outputs can feed the next layer with no
+/// conversion — exactly what the folded design's neuron-output registers
+/// do (§4.3.1).
+///
+/// # Examples
+///
+/// ```
+/// use nc_mlp::{Activation, Mlp, QuantizedMlp};
+///
+/// let mlp = Mlp::new(&[16, 8, 4], Activation::sigmoid(), 1).unwrap();
+/// let q = QuantizedMlp::from_mlp(&mlp);
+/// let out = q.forward_u8(&[128; 16]);
+/// assert_eq!(out.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    sizes: Vec<usize>,
+    /// Per layer: quantized weights, row-major `[out][in + 1]`, bias last.
+    layers: Vec<Vec<i8>>,
+    /// Per layer: the power-of-two exponent `e` such that
+    /// `w_float ≈ w_int · 2^-e`.
+    scales: Vec<i32>,
+    table: PiecewiseLinear,
+    activation: Activation,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a trained floating-point network.
+    ///
+    /// Each layer's scale is the largest power of two that keeps the
+    /// biggest |weight| inside the `i8` range (symmetric per-tensor
+    /// quantization — the scheme an 8-bit SRAM weight store implies).
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        Self::from_mlp_with_bits(mlp, DATA_BITS)
+    }
+
+    /// Quantizes with an explicit weight bit width — the precision
+    /// exploration of §4.2.3 ("we also explored the neurons and synapses
+    /// bit width, with the goal of finding the most compact size which is
+    /// within 1% of the best accuracy").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=8`.
+    pub fn from_mlp_with_bits(mlp: &Mlp, bits: u32) -> Self {
+        assert!((2..=8).contains(&bits), "weight bits must be in 2..=8");
+        let max_raw = f64::from((1u32 << (bits - 1)) - 1); // e.g. 127 at 8 bits
+        let sizes = mlp.sizes().to_vec();
+        let mut layers = Vec::new();
+        let mut scales = Vec::new();
+        for l in 0..sizes.len() - 1 {
+            let w = mlp.layer_weights(l);
+            let max_abs = w.iter().fold(0.0f64, |m, &x| m.max(x.abs())).max(1e-12);
+            // Choose e with max_raw · 2^-e >= max_abs, i.e. the finest
+            // grid that still represents the largest weight.
+            let e = (max_raw / max_abs).log2().floor() as i32;
+            let scale = 2f64.powi(e);
+            layers.push(
+                w.iter()
+                    .map(|&x| (x * scale).round().clamp(-max_raw, max_raw) as i8)
+                    .collect(),
+            );
+            scales.push(e);
+        }
+        QuantizedMlp {
+            sizes,
+            layers,
+            scales,
+            table: mlp.activation().hardware_table(),
+            activation: mlp.activation(),
+        }
+    }
+
+    /// Layer widths, input first.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The quantized weights of a layer (row-major, bias last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_weights(&self, layer: usize) -> &[i8] {
+        &self.layers[layer]
+    }
+
+    /// The power-of-two scale exponent of a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_scale_exp(&self, layer: usize) -> i32 {
+        self.scales[layer]
+    }
+
+    /// Runs 8-bit inference on raw pixel luminances, returning the
+    /// output-layer activations as `u8` (the neuron-output register
+    /// contents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input layer width.
+    pub fn forward_u8(&self, input: &[u8]) -> Vec<u8> {
+        assert_eq!(
+            input.len(),
+            self.sizes[0],
+            "input width does not match topology"
+        );
+        let mut current: Vec<u8> = input.to_vec();
+        for l in 0..self.layers.len() {
+            let fan_in = self.sizes[l];
+            let fan_out = self.sizes[l + 1];
+            let weights = &self.layers[l];
+            let scale = 2f64.powi(self.scales[l]);
+            let mut next = Vec::with_capacity(fan_out);
+            for j in 0..fan_out {
+                let row = &weights[j * (fan_in + 1)..(j + 1) * (fan_in + 1)];
+                // Integer MAC: i64 accumulator = the wide adder-tree
+                // register (784 · 127 · 255 fits easily).
+                let mut acc: i64 = i64::from(row[fan_in]) * 255; // bias input = 1.0 ≡ 255
+                for i in 0..fan_in {
+                    acc += i64::from(row[i]) * i64::from(current[i]);
+                }
+                // Rescale to the activation's input domain: activations
+                // are y·255, weights are w·2^e.
+                let s = acc as f64 / (scale * 255.0);
+                let y = self.table.eval(s);
+                next.push((y.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Predicted class from raw pixels: argmax over output registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input layer width.
+    pub fn predict_u8(&self, input: &[u8]) -> usize {
+        let out = self.forward_u8(input);
+        let floats: Vec<f64> = out.iter().map(|&v| f64::from(v)).collect();
+        argmax(&floats)
+    }
+
+    /// The shared activation this datapath approximates.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{TrainConfig, Trainer};
+    use nc_dataset::{digits::DigitsSpec, Difficulty};
+
+    #[test]
+    fn quantized_weights_are_close_to_float() {
+        let mlp = Mlp::new(&[10, 6, 3], Activation::sigmoid(), 4).unwrap();
+        let q = QuantizedMlp::from_mlp(&mlp);
+        for l in 0..2 {
+            let scale = 2f64.powi(q.layer_scale_exp(l));
+            for (qw, fw) in q.layer_weights(l).iter().zip(mlp.layer_weights(l)) {
+                let back = f64::from(*qw) / scale;
+                assert!(
+                    (back - fw).abs() <= 0.5 / scale + 1e-12,
+                    "w={fw} back={back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_outputs_track_float_outputs() {
+        let mlp = Mlp::new(&[8, 5, 3], Activation::sigmoid(), 6).unwrap();
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let pixels: Vec<u8> = (0..8).map(|i| (i * 30) as u8).collect();
+        let fin: Vec<f64> = pixels.iter().map(|&p| f64::from(p) / 255.0).collect();
+        let f_out = mlp.forward(&fin);
+        let q_out = q.forward_u8(&pixels);
+        for (f, qv) in f_out.iter().zip(&q_out) {
+            assert!(
+                (f - f64::from(*qv) / 255.0).abs() < 0.06,
+                "float {f} vs quant {qv}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_accuracy_is_on_par_with_float() {
+        // The §4.2.1 claim at small scale: quantization costs only a
+        // little accuracy.
+        let (train, test) = DigitsSpec {
+            train: 300,
+            test: 100,
+            seed: 10,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        let mut mlp = Mlp::new(&[784, 16, 10], Activation::sigmoid(), 2).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, &train);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let mut float_ok = 0;
+        let mut quant_ok = 0;
+        for s in test.iter() {
+            if mlp.predict(&s.pixels_unit()) == s.label {
+                float_ok += 1;
+            }
+            if q.predict_u8(&s.pixels) == s.label {
+                quant_ok += 1;
+            }
+        }
+        let f_acc = f64::from(float_ok) / test.len() as f64;
+        let q_acc = f64::from(quant_ok) / test.len() as f64;
+        assert!(
+            q_acc >= f_acc - 0.08,
+            "quantized {q_acc} vs float {f_acc}"
+        );
+    }
+
+    #[test]
+    fn all_zero_input_is_handled() {
+        let mlp = Mlp::new(&[4, 3, 2], Activation::sigmoid(), 0).unwrap();
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let out = q.forward_u8(&[0; 4]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match topology")]
+    fn rejects_wrong_input_width() {
+        let mlp = Mlp::new(&[4, 2], Activation::sigmoid(), 0).unwrap();
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let _ = q.forward_u8(&[0; 3]);
+    }
+}

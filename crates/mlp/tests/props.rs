@@ -1,0 +1,103 @@
+//! Property-based tests for the MLP and its quantized hardware path.
+
+use nc_mlp::network::argmax;
+use nc_mlp::{Activation, Mlp, QuantizedMlp};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..20, 2..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_outputs_are_sigmoid_bounded(
+        sizes in arb_topology(),
+        seed in any::<u64>(),
+        fill in 0.0f64..1.0,
+    ) {
+        let mlp = Mlp::new(&sizes, Activation::sigmoid(), seed).unwrap();
+        let input = vec![fill; sizes[0]];
+        let out = mlp.forward(&input);
+        prop_assert_eq!(out.len(), *sizes.last().unwrap());
+        prop_assert!(out.iter().all(|&y| (0.0..=1.0).contains(&y)));
+    }
+
+    #[test]
+    fn step_outputs_are_binary(sizes in arb_topology(), seed in any::<u64>()) {
+        let mlp = Mlp::new(&sizes, Activation::Step, seed).unwrap();
+        let input = vec![0.5; sizes[0]];
+        let out = mlp.forward(&input);
+        prop_assert!(out.iter().all(|&y| y == 0.0 || y == 1.0));
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_in_slope_at_positive_x(
+        a in 0.1f64..32.0,
+        x in 0.01f64..5.0,
+    ) {
+        let base = Activation::sigmoid().eval(x);
+        let steep = Activation::sigmoid_slope(a).eval(x);
+        if a >= 1.0 {
+            prop_assert!(steep >= base - 1e-12);
+        } else {
+            prop_assert!(steep <= base + 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference(a in 0.1f64..4.0, x in -4.0f64..4.0) {
+        let f = Activation::sigmoid_slope(a);
+        let y = f.eval(x);
+        let h = 1e-6;
+        let fd = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
+        prop_assert!((f.derivative_from_output(y) - fd).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantized_weights_round_trip_within_half_step(
+        sizes in arb_topology(),
+        seed in any::<u64>(),
+    ) {
+        let mlp = Mlp::new(&sizes, Activation::sigmoid(), seed).unwrap();
+        let q = QuantizedMlp::from_mlp(&mlp);
+        for l in 0..sizes.len() - 1 {
+            let scale = 2f64.powi(q.layer_scale_exp(l));
+            for (qw, fw) in q.layer_weights(l).iter().zip(mlp.layer_weights(l)) {
+                prop_assert!((f64::from(*qw) / scale - fw).abs() <= 0.5 / scale + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_forward_tracks_float_forward(
+        seed in any::<u64>(),
+        pixels in proptest::collection::vec(any::<u8>(), 12),
+    ) {
+        let mlp = Mlp::new(&[12, 6, 4], Activation::sigmoid(), seed).unwrap();
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let fin: Vec<f64> = pixels.iter().map(|&p| f64::from(p) / 255.0).collect();
+        let f_out = mlp.forward(&fin);
+        let q_out = q.forward_u8(&pixels);
+        for (f, qv) in f_out.iter().zip(&q_out) {
+            prop_assert!((f - f64::from(*qv) / 255.0).abs() < 0.08,
+                "float {} vs quantized {}", f, qv);
+        }
+    }
+
+    #[test]
+    fn argmax_returns_a_maximal_index(xs in proptest::collection::vec(-1e9f64..1e9, 1..50)) {
+        let i = argmax(&xs);
+        prop_assert!(xs.iter().all(|&x| x <= xs[i]));
+    }
+
+    #[test]
+    fn initialization_is_bounded_by_fan_in(sizes in arb_topology(), seed in any::<u64>()) {
+        let mlp = Mlp::new(&sizes, Activation::sigmoid(), seed).unwrap();
+        for (l, &fan_in) in sizes[..sizes.len() - 1].iter().enumerate() {
+            let bound = 1.0 / (fan_in as f64).sqrt() + 1e-12;
+            prop_assert!(mlp.layer_weights(l).iter().all(|w| w.abs() <= bound));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # nc-substrate
+//!
+//! Numeric substrate shared by every other `neurocmp` crate. It mirrors,
+//! in software, the low-level hardware building blocks that the paper's
+//! accelerators are made of:
+//!
+//! * [`fixed`] — saturating fixed-point arithmetic in the Q-formats used by
+//!   the 8-bit datapaths (weights, activations, potentials).
+//! * [`rng`] — the hardware random number generators: a 31-bit LFSR with
+//!   primitive polynomial `x^31 + x^3 + 1` and the central-limit-theorem
+//!   Gaussian generator built from four LFSRs (paper §4.2.2), plus a
+//!   Poisson-interval sampler used by the software model (paper §3.1).
+//! * [`interp`] — 16-point piecewise-linear interpolation, the mechanism
+//!   the hardware uses for both the sigmoid (`f(x) = a_i·x + b_i`, paper
+//!   §4.2.1) and the exponential leak of the LIF neuron (paper §4.4).
+//! * [`stats`] — small statistics helpers used by tests and the experiment
+//!   harness (mean, variance, histogram).
+//!
+//! # Examples
+//!
+//! ```
+//! use nc_substrate::fixed::Q8;
+//! use nc_substrate::rng::Lfsr31;
+//! use nc_substrate::interp::PiecewiseLinear;
+//!
+//! // Saturating 8-bit weight arithmetic as in the STDP datapath.
+//! let w = Q8::from_raw(250);
+//! assert_eq!(w.saturating_add(Q8::from_raw(10)).raw(), 255);
+//!
+//! // Hardware uniform random source.
+//! let mut lfsr = Lfsr31::new(0x1234_5678);
+//! let _bits = lfsr.next_u31();
+//!
+//! // 16-segment sigmoid, exactly what the MLP accelerator stores in SRAM.
+//! let sigmoid = PiecewiseLinear::sigmoid(16, 1.0, (-8.0, 8.0));
+//! let y = sigmoid.eval(0.0);
+//! assert!((y - 0.5).abs() < 1e-2);
+//! ```
+
+pub mod fixed;
+pub mod interp;
+pub mod rng;
+pub mod stats;
+
+pub use fixed::{QFixed, Q8};
+pub use interp::PiecewiseLinear;
+pub use rng::{GaussianClt, Lfsr31, PoissonInterval, SplitMix64};

@@ -1,0 +1,135 @@
+//! Property-based tests for the numeric substrate.
+
+use nc_substrate::fixed::{quantize_to_grid, Q8, QFixed};
+use nc_substrate::interp::PiecewiseLinear;
+use nc_substrate::rng::{GaussianClt, Lfsr31, PoissonInterval, SplitMix64};
+use nc_substrate::stats::Running;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn q8_offset_stays_in_range(raw in any::<u8>(), delta in -512i16..=512) {
+        let w = Q8::from_raw(raw).saturating_offset(delta);
+        // The result is a valid u8 by construction; check semantics:
+        let expected = (i32::from(raw) + i32::from(delta)).clamp(0, 255) as u8;
+        prop_assert_eq!(w.raw(), expected);
+    }
+
+    #[test]
+    fn q8_unit_round_trip_is_lossless(raw in any::<u8>()) {
+        let q = Q8::from_raw(raw);
+        prop_assert_eq!(Q8::from_unit(q.to_unit()), q);
+    }
+
+    #[test]
+    fn qfixed_addition_is_exact_and_commutative(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        type F = QFixed<16>;
+        let (fa, fb) = (F::from_f64(a), F::from_f64(b));
+        prop_assert_eq!((fa + fb).raw(), (fb + fa).raw());
+        prop_assert_eq!((fa + fb).raw(), fa.raw() + fb.raw());
+    }
+
+    #[test]
+    fn qfixed_mul_error_is_within_half_ulp(a in -1e3f64..1e3, b in -1e3f64..1e3) {
+        type F = QFixed<16>;
+        let (fa, fb) = (F::from_f64(a), F::from_f64(b));
+        let exact = fa.to_f64() * fb.to_f64();
+        let got = (fa * fb).to_f64();
+        // Rounding the product to the grid loses at most half an ulp.
+        prop_assert!((got - exact).abs() <= 0.5 / 65536.0 + 1e-12, "{got} vs {exact}");
+    }
+
+    #[test]
+    fn grid_quantization_is_idempotent(x in -1e4f64..1e4, bits in 2u32..16, frac_off in 1u32..8) {
+        let frac = (bits - 1).min(frac_off);
+        let q = quantize_to_grid(x, bits, frac);
+        prop_assert_eq!(quantize_to_grid(q, bits, frac), q);
+    }
+
+    #[test]
+    fn lfsr_stays_nonzero_and_in_31_bits(seed in any::<u32>(), steps in 1usize..200) {
+        let mut l = Lfsr31::new(seed);
+        for _ in 0..steps {
+            l.step();
+            prop_assert!(l.state() != 0);
+            prop_assert!(l.state() <= 0x7FFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn lfsr_unit_samples_are_in_unit_interval(seed in any::<u32>()) {
+        let mut l = Lfsr31::new(seed);
+        for _ in 0..32 {
+            let u = l.next_unit();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn splitmix_next_below_is_bounded(seed in any::<u64>(), n in 1u64..10_000) {
+        let mut s = SplitMix64::new(seed);
+        for _ in 0..64 {
+            prop_assert!(s.next_below(n) < n);
+        }
+    }
+
+    #[test]
+    fn splitmix_range_is_respected(seed in any::<u64>(), lo in -100.0f64..0.0, span in 0.001f64..100.0) {
+        let mut s = SplitMix64::new(seed);
+        let hi = lo + span;
+        for _ in 0..32 {
+            let x = s.next_range(lo, hi);
+            prop_assert!(x >= lo && x < hi);
+        }
+    }
+
+    #[test]
+    fn gaussian_clt_is_hard_bounded(seed in any::<u64>()) {
+        let mut g = GaussianClt::new(seed);
+        let bound = 2.0 * 3f64.sqrt() + 1e-9;
+        for _ in 0..64 {
+            prop_assert!(g.sample_unit().abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn gaussian_intervals_are_positive(seed in any::<u64>(), mean in 1.0f64..500.0) {
+        let mut g = GaussianClt::new(seed);
+        for _ in 0..32 {
+            prop_assert!(g.sample_interval_ms(mean, mean / 3.0) >= 1);
+        }
+    }
+
+    #[test]
+    fn poisson_intervals_are_positive_and_finite(seed in any::<u32>(), rate in 0.0001f64..1.0) {
+        let mut p = PoissonInterval::new(seed);
+        for _ in 0..32 {
+            let dt = p.sample_interval(rate);
+            prop_assert!(dt > 0.0 && dt.is_finite());
+        }
+    }
+
+    #[test]
+    fn interpolation_of_monotone_function_stays_in_range(
+        segments in 1usize..64,
+        lo in -10.0f64..0.0,
+        span in 0.1f64..20.0,
+        x in -30.0f64..30.0,
+    ) {
+        let hi = lo + span;
+        let t = PiecewiseLinear::from_fn(segments, (lo, hi), f64::tanh);
+        let y = t.eval(x);
+        // tanh is monotone: a piecewise-linear interpolant through exact
+        // endpoint samples stays within the endpoint values.
+        prop_assert!(y >= lo.tanh() - 1e-12 && y <= hi.tanh() + 1e-12);
+    }
+
+    #[test]
+    fn running_mean_is_bracketed(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let r: Running = xs.iter().copied().collect();
+        prop_assert!(r.mean() >= r.min() - 1e-9);
+        prop_assert!(r.mean() <= r.max() + 1e-9);
+        prop_assert_eq!(r.count(), xs.len() as u64);
+        prop_assert!(r.variance() >= 0.0);
+    }
+}

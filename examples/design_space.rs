@@ -1,0 +1,106 @@
+//! Design-space exploration: the §4.3 trade-off study as a tool. Sweeps
+//! the folding factor `ni` for all three accelerator families, prints the
+//! area/latency/energy Pareto view, locates the expanded-vs-folded
+//! crossover, and sizes a design to an area budget — the decision the
+//! paper says an embedded-system architect actually faces.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use neurocmp::hw::expanded::{ExpandedMlp, ExpandedSnn, SnnVariant};
+use neurocmp::hw::folded::{FoldedMlp, FoldedSnnWot, FoldedSnnWt};
+use neurocmp::hw::gpu::{GpuModel, GpuWorkload};
+use neurocmp::hw::HwReport;
+
+fn main() {
+    let ni_values = [1usize, 2, 4, 8, 16, 32];
+
+    println!("== ni sweep: 28x28 inputs, paper topologies ==");
+    println!(
+        "{:<10} {:>4} {:>12} {:>12} {:>14} {:>12}",
+        "design", "ni", "area (mm2)", "time (us)", "energy (uJ)", "img/s"
+    );
+    let mut tagged: Vec<(&str, usize, HwReport)> = Vec::new();
+    for &ni in &ni_values {
+        tagged.push(("MLP", ni, FoldedMlp::new(&[784, 100, 10], ni).report()));
+        tagged.push(("SNNwot", ni, FoldedSnnWot::new(784, 300, ni).report()));
+        tagged.push(("SNNwt", ni, FoldedSnnWt::new(784, 300, ni).report()));
+    }
+    for (name, ni, r) in &tagged {
+        println!(
+            "{:<10} {:>4} {:>12.2} {:>12.3} {:>14.2} {:>12.0}",
+            name,
+            ni,
+            r.total_area_mm2,
+            r.time_per_image_ns() / 1000.0,
+            r.energy_uj(),
+            r.images_per_second()
+        );
+    }
+
+    // Pareto frontier on (area, time) across everything incl. expanded.
+    let mut all = tagged.clone();
+    all.push(("MLP", usize::MAX, ExpandedMlp::new(&[784, 100, 10]).report()));
+    all.push((
+        "SNNwot",
+        usize::MAX,
+        ExpandedSnn::new(SnnVariant::Wot, 784, 300).report(),
+    ));
+    println!("\n== (area, latency) Pareto frontier ==");
+    for (name, ni, r) in &all {
+        let dominated = all.iter().any(|(_, _, other)| {
+            other.total_area_mm2 < r.total_area_mm2
+                && other.time_per_image_ns() < r.time_per_image_ns()
+        });
+        if !dominated {
+            let cfg = if *ni == usize::MAX {
+                "expanded".to_string()
+            } else {
+                format!("ni={ni}")
+            };
+            println!(
+                "  {name:<8} {cfg:<9} {:>8.2} mm2  {:>9.3} us",
+                r.total_area_mm2,
+                r.time_per_image_ns() / 1000.0
+            );
+        }
+    }
+
+    // Size to an area budget, the embedded designer's question.
+    println!("\n== best design under an area budget ==");
+    for budget in [2.0, 5.0, 10.0, 50.0] {
+        let best = all
+            .iter()
+            .filter(|(_, _, r)| r.total_area_mm2 <= budget)
+            .min_by(|a, b| {
+                a.2.time_per_image_ns()
+                    .partial_cmp(&b.2.time_per_image_ns())
+                    .expect("finite")
+            });
+        match best {
+            Some((name, ni, r)) => {
+                let cfg = if *ni == usize::MAX {
+                    "expanded".to_string()
+                } else {
+                    format!("ni={ni}")
+                };
+                println!(
+                    "  budget {budget:>5.1} mm2 → {name} ({cfg}): {:.3} us/image, {:.2} uJ",
+                    r.time_per_image_ns() / 1000.0,
+                    r.energy_uj()
+                );
+            }
+            None => println!("  budget {budget:>5.1} mm2 → nothing fits"),
+        }
+    }
+
+    // And the GPU, for perspective (Table 8).
+    let gpu = GpuModel::default();
+    let mlp16 = FoldedMlp::new(&[784, 100, 10], 16).report();
+    println!(
+        "\nGPU reference: {:.1} us/image — the ni=16 folded MLP is {:.0}x faster \
+         in {:.2} mm2.",
+        gpu.time_per_image_us(&GpuWorkload::mlp(&[784, 100, 10])),
+        gpu.speedup_over(&GpuWorkload::mlp(&[784, 100, 10]), mlp16.time_per_image_ns()),
+        mlp16.total_area_mm2
+    );
+}

@@ -1,0 +1,116 @@
+//! Online learning: the use case where the paper concludes SNN+STDP
+//! accelerators shine (§4.4). The network learns *while being used* —
+//! no separate training phase — and adapts when the input distribution
+//! shifts. The example also prints the hardware price of that ability
+//! (Table 9: ~1.3–1.9x area, ≤1.5x energy over inference-only SNNwt).
+//!
+//! Run with: `cargo run --release --example online_learning`
+
+use neurocmp::dataset::{digits, Difficulty};
+use neurocmp::hw::folded::FoldedSnnWt;
+use neurocmp::hw::online::OnlineSnn;
+use neurocmp::snn::{SnnNetwork, SnnParams};
+use neurocmp::substrate::rng::SplitMix64;
+
+/// A streaming source of labeled digits whose rendering difficulty can
+/// change mid-stream (simulating a sensor drifting out of calibration).
+struct Stream {
+    rng: SplitMix64,
+    difficulty: Difficulty,
+    counter: u64,
+}
+
+impl Stream {
+    fn next(&mut self) -> (Vec<u8>, usize) {
+        let label = (self.counter % 10) as usize;
+        self.counter += 1;
+        let img = digits::render_digit(label, &mut self.rng, self.difficulty);
+        (img.into_pixels(), label)
+    }
+}
+
+fn main() {
+    let mut stream = Stream {
+        rng: SplitMix64::new(99),
+        difficulty: Difficulty::default(),
+        counter: 0,
+    };
+
+    let mut snn = SnnNetwork::new(784, 10, SnnParams::tuned(60), 3);
+    snn.set_stdp_delta(4);
+
+    // Phase 1: learn-while-using. Every image is first *predicted*
+    // (that's the "using"), then STDP learns from the same presentation.
+    println!("phase 1: clean sensor — learning online");
+    let mut window: Vec<bool> = Vec::new();
+    let mut label_refresh = Vec::new();
+    for step in 0..3_000u64 {
+        let (pixels, label) = stream.next();
+        label_refresh.push((pixels.clone(), label));
+        let correct = snn.predict(&pixels, step) == label;
+        window.push(correct);
+        snn.present_learn(&pixels, step);
+        if (step + 1) % 600 == 0 {
+            // Periodic self-labeling from the recent history (cheap: label
+            // counters only, no weight changes).
+            let ds = to_dataset(&label_refresh);
+            snn.self_label(&ds);
+            let acc = rolling(&window, 600);
+            println!("  step {:>5}: rolling accuracy {:.1}%", step + 1, acc * 100.0);
+        }
+    }
+
+    // Phase 2: the sensor degrades — heavier jitter and noise. The
+    // network keeps learning and recovers.
+    println!("phase 2: sensor drift (harder inputs) — STDP adapts");
+    stream.difficulty = Difficulty::hard();
+    label_refresh.clear();
+    window.clear();
+    for step in 3_000..7_000u64 {
+        let (pixels, label) = stream.next();
+        label_refresh.push((pixels.clone(), label));
+        let correct = snn.predict(&pixels, step) == label;
+        window.push(correct);
+        snn.present_learn(&pixels, step);
+        if (step + 1) % 800 == 0 {
+            let ds = to_dataset(&label_refresh);
+            snn.self_label(&ds);
+            let acc = rolling(&window, 800);
+            println!("  step {:>5}: rolling accuracy {:.1}%", step + 1, acc * 100.0);
+        }
+    }
+
+    // The hardware price of online learning (Table 9).
+    println!("\nhardware cost of online learning (784 inputs, 300 neurons):");
+    for ni in [1usize, 16] {
+        let learn = OnlineSnn::new(784, 300, ni).report();
+        let infer = FoldedSnnWt::new(784, 300, ni).report();
+        println!(
+            "  ni={ni:>2}: {:.2} mm2 with STDP vs {:.2} mm2 without ({:.2}x area, {:.2}x energy)",
+            learn.total_area_mm2,
+            infer.total_area_mm2,
+            learn.total_area_mm2 / infer.total_area_mm2,
+            learn.energy_per_image_j / infer.energy_per_image_j,
+        );
+    }
+    println!(
+        "\npaper: 'applications requiring permanent online learning and tolerant \
+         to moderate accuracy\nare excellent candidates for SNN+STDP accelerators.'"
+    );
+}
+
+fn rolling(window: &[bool], n: usize) -> f64 {
+    let tail = &window[window.len().saturating_sub(n)..];
+    tail.iter().filter(|&&b| b).count() as f64 / tail.len().max(1) as f64
+}
+
+fn to_dataset(buffer: &[(Vec<u8>, usize)]) -> neurocmp::dataset::Dataset {
+    let samples = buffer
+        .iter()
+        .map(|(pixels, label)| neurocmp::dataset::Sample {
+            pixels: pixels.clone(),
+            label: *label,
+        })
+        .collect();
+    neurocmp::dataset::Dataset::from_samples(28, 28, 10, samples).expect("consistent geometry")
+}

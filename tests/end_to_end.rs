@@ -1,0 +1,82 @@
+//! End-to-end integration tests: the paper's qualitative conclusions must
+//! reproduce across the whole stack (dataset → models → evaluation) at
+//! the Tiny scale, on every workload.
+
+use neurocmp::core::experiment::{AccuracyComparison, ExperimentScale, Workload};
+
+#[test]
+fn table3_ordering_reproduces_on_digits() {
+    // Small topology so the test runs in seconds under `cargo test`.
+    let mut cmp = AccuracyComparison::new(Workload::Digits, ExperimentScale::Tiny);
+    cmp.snn_neurons = Some(40);
+    cmp.mlp_hidden = Some(24);
+    let r = cmp.run();
+    assert!(
+        r.mlp_bp > r.snn_stdp_lif,
+        "MLP ({:.2}) must beat SNN+STDP ({:.2})",
+        r.mlp_bp,
+        r.snn_stdp_lif
+    );
+    assert!(
+        r.snn_bp > r.snn_stdp_lif - 0.02,
+        "SNN+BP ({:.2}) should be at least on par with SNN+STDP ({:.2})",
+        r.snn_bp,
+        r.snn_stdp_lif
+    );
+    assert!(
+        (r.snn_stdp_lif - r.snn_stdp_wot).abs() < 0.12,
+        "SNNwot ({:.2}) should track SNNwt ({:.2})",
+        r.snn_stdp_wot,
+        r.snn_stdp_lif
+    );
+    assert!(
+        r.mlp_bp_quantized > r.mlp_bp - 0.08,
+        "8-bit quantization ({:.2}) should be on par with float ({:.2})",
+        r.mlp_bp_quantized,
+        r.mlp_bp
+    );
+    // Everything should be learning (well above 10% chance).
+    assert!(r.snn_stdp_lif > 0.3, "SNN+STDP {:.2}", r.snn_stdp_lif);
+    assert!(r.mlp_bp > 0.6, "MLP {:.2}", r.mlp_bp);
+}
+
+#[test]
+fn accuracy_structure_holds_on_shapes() {
+    let mut cmp = AccuracyComparison::new(Workload::Shapes, ExperimentScale::Tiny);
+    cmp.snn_neurons = Some(30);
+    cmp.mlp_hidden = Some(12);
+    let r = cmp.run();
+    assert!(
+        r.mlp_bp >= r.snn_stdp_lif,
+        "shapes: MLP ({:.2}) must be >= SNN+STDP ({:.2})",
+        r.mlp_bp,
+        r.snn_stdp_lif
+    );
+    assert!(r.mlp_bp > 0.6, "shapes MLP {:.2}", r.mlp_bp);
+    assert!(r.snn_stdp_lif > 0.25, "shapes SNN {:.2}", r.snn_stdp_lif);
+}
+
+#[test]
+fn accuracy_structure_holds_on_spoken() {
+    let mut cmp = AccuracyComparison::new(Workload::Spoken, ExperimentScale::Tiny);
+    cmp.snn_neurons = Some(30);
+    cmp.mlp_hidden = Some(20);
+    let r = cmp.run();
+    assert!(
+        r.mlp_bp >= r.snn_stdp_lif,
+        "spoken: MLP ({:.2}) must be >= SNN+STDP ({:.2})",
+        r.mlp_bp,
+        r.snn_stdp_lif
+    );
+    assert!(r.mlp_bp > 0.5, "spoken MLP {:.2}", r.mlp_bp);
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    let mut cmp = AccuracyComparison::new(Workload::Digits, ExperimentScale::Tiny);
+    cmp.snn_neurons = Some(15);
+    cmp.mlp_hidden = Some(8);
+    let a = cmp.run();
+    let b = cmp.run();
+    assert_eq!(a, b, "same seed must give identical results");
+}

@@ -1,0 +1,91 @@
+//! Model-vs-datapath consistency: the paper validated its C++ simulators
+//! against RTL (§4.1); we validate the model-level implementations
+//! against the cycle-level datapath simulators across folding factors —
+//! predictions must be bit-identical for MLP/SNNwot, and the SNNwt
+//! datapath must agree with the event-driven model far above chance.
+
+use neurocmp::dataset::{digits::DigitsSpec, Difficulty};
+use neurocmp::hw::sim::{FoldedMlpSim, SnnWtSim, WotDatapathSim};
+use neurocmp::mlp::{Activation, Mlp, QuantizedMlp, TrainConfig, Trainer};
+use neurocmp::snn::{SnnNetwork, SnnParams, WotSnn};
+
+fn task() -> (neurocmp::dataset::Dataset, neurocmp::dataset::Dataset) {
+    DigitsSpec {
+        train: 200,
+        test: 50,
+        seed: 17,
+        difficulty: Difficulty::default(),
+    }
+    .generate()
+}
+
+#[test]
+fn quantized_mlp_and_folded_datapath_are_bit_identical() {
+    let (train, test) = task();
+    let mut mlp = Mlp::new(&[784, 20, 10], Activation::sigmoid(), 2).unwrap();
+    Trainer::new(TrainConfig {
+        epochs: 5,
+        ..TrainConfig::default()
+    })
+    .fit(&mut mlp, &train);
+    let q = QuantizedMlp::from_mlp(&mlp);
+    for ni in [1usize, 3, 7, 16, 100] {
+        let sim = FoldedMlpSim::new(&q, ni);
+        for s in test.iter() {
+            assert_eq!(
+                sim.run(&s.pixels).winner,
+                q.predict_u8(&s.pixels),
+                "chunked accumulation must not change the result (ni={ni})"
+            );
+        }
+    }
+}
+
+#[test]
+fn wot_model_and_datapath_are_bit_identical() {
+    let (train, test) = task();
+    let mut snn = SnnNetwork::new(784, 10, SnnParams::tuned(20), 2);
+    snn.set_stdp_delta(6);
+    snn.train_stdp(&train, 2);
+    snn.self_label(&train);
+    let wot = WotSnn::from_network(&snn);
+    for ni in [1usize, 5, 16] {
+        let sim = WotDatapathSim::new(wot.weights(), 784, 20, ni);
+        for s in test.iter() {
+            assert_eq!(sim.run(&s.pixels).winner, wot.winner(&s.pixels), "ni={ni}");
+        }
+    }
+}
+
+#[test]
+fn snnwt_datapath_agrees_with_event_driven_model_above_chance() {
+    // The two SNNwt implementations draw different random spike trains
+    // (hardware CLT-Gaussian vs software event-driven), so agreement is
+    // statistical: the winning *neuron* should coincide far more often
+    // than the 1/20 chance level.
+    let (train, test) = task();
+    let mut snn = SnnNetwork::new(784, 10, SnnParams::tuned(20), 2);
+    snn.set_stdp_delta(6);
+    snn.train_stdp(&train, 2);
+    let sim = SnnWtSim::new(
+        snn.weights().to_vec().leak(),
+        snn.thresholds().to_vec().leak(),
+        784,
+        20,
+        16,
+        *snn.params(),
+    );
+    let mut agree = 0;
+    for (i, s) in test.iter().enumerate() {
+        let model = snn.present(&s.pixels, 0xAB00 + i as u64).readout();
+        let datapath = sim.run(&s.pixels, 0xCD00 + i as u64).winner;
+        if model == datapath {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree * 4 >= test.len(),
+        "agreement {agree}/{} is not above chance",
+        test.len()
+    );
+}
