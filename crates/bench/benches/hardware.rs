@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks for the hardware layer: cost-model report
-//! generation (one bench per paper table family) and the cycle-level
-//! datapath simulators, including the ablation the paper's design rests
-//! on — SNNwot's timing-free datapath vs SNNwt's 500-step emulation.
+//! Micro-benchmarks for the hardware layer: cost-model report generation
+//! (one bench per paper table family) and the cycle-level datapath
+//! simulators, including the ablation the paper's design rests on —
+//! SNNwot's timing-free datapath vs SNNwt's 500-step emulation.
+//!
+//! Run with: `cargo bench -p nc-bench --features bench-harness`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nc_bench::microbench::Group;
 use nc_dataset::{digits::DigitsSpec, Difficulty};
 use nc_hw::expanded::{ExpandedMlp, ExpandedSnn, SnnVariant};
 use nc_hw::folded::{FoldedMlp, FoldedSnnWot, FoldedSnnWt};
@@ -13,36 +15,29 @@ use nc_mlp::{Activation, Mlp, QuantizedMlp};
 use nc_snn::SnnParams;
 use std::hint::black_box;
 
-fn bench_cost_model(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cost_model");
-    group.bench_function("table4_expanded_reports", |b| {
-        b.iter(|| {
-            black_box(ExpandedSnn::new(SnnVariant::Wot, 784, 300).report());
-            black_box(ExpandedSnn::new(SnnVariant::Wt, 784, 300).report());
-            black_box(ExpandedMlp::new(&[784, 100, 10]).report());
-            black_box(ExpandedMlp::new(&[784, 15, 10]).report());
-        })
+fn bench_cost_model() {
+    let mut group = Group::new("cost_model");
+    group.bench("table4_expanded_reports", || {
+        black_box(ExpandedSnn::new(SnnVariant::Wot, 784, 300).report());
+        black_box(ExpandedSnn::new(SnnVariant::Wt, 784, 300).report());
+        black_box(ExpandedMlp::new(&[784, 100, 10]).report());
+        black_box(ExpandedMlp::new(&[784, 15, 10]).report());
     });
-    group.bench_function("table7_folded_reports", |b| {
-        b.iter(|| {
-            for ni in [1usize, 4, 8, 16] {
-                black_box(FoldedMlp::new(&[784, 100, 10], ni).report());
-                black_box(FoldedSnnWot::new(784, 300, ni).report());
-                black_box(FoldedSnnWt::new(784, 300, ni).report());
-            }
-        })
+    group.bench("table7_folded_reports", || {
+        for ni in [1usize, 4, 8, 16] {
+            black_box(FoldedMlp::new(&[784, 100, 10], ni).report());
+            black_box(FoldedSnnWot::new(784, 300, ni).report());
+            black_box(FoldedSnnWt::new(784, 300, ni).report());
+        }
     });
-    group.bench_function("table9_online_reports", |b| {
-        b.iter(|| {
-            for ni in [1usize, 4, 8, 16] {
-                black_box(OnlineSnn::new(784, 300, ni).report());
-            }
-        })
+    group.bench("table9_online_reports", || {
+        for ni in [1usize, 4, 8, 16] {
+            black_box(OnlineSnn::new(784, 300, ni).report());
+        }
     });
-    group.finish();
 }
 
-fn bench_datapaths(c: &mut Criterion) {
+fn bench_datapaths() {
     let (_, test) = DigitsSpec {
         train: 0,
         test: 10,
@@ -57,36 +52,23 @@ fn bench_datapaths(c: &mut Criterion) {
     let weights = vec![128u8; 784 * 300];
     let thresholds = vec![150_000.0; 300];
 
-    let mut group = c.benchmark_group("datapath_sim");
-    group.sample_size(20);
+    let mut group = Group::new("datapath_sim");
     for ni in [1usize, 16] {
-        group.bench_function(format!("folded_mlp_ni{ni}"), |b| {
-            let sim = FoldedMlpSim::new(&q, ni);
-            b.iter(|| black_box(sim.run(black_box(pixels))))
-        });
-        group.bench_function(format!("snnwot_ni{ni}"), |b| {
-            let sim = WotDatapathSim::new(&weights, 784, 300, ni);
-            b.iter(|| black_box(sim.run(black_box(pixels))))
-        });
+        let sim = FoldedMlpSim::new(&q, ni);
+        group.bench(&format!("folded_mlp_ni{ni}"), || sim.run(pixels));
+        let sim = WotDatapathSim::new(&weights, 784, 300, ni);
+        group.bench(&format!("snnwot_ni{ni}"), || sim.run(pixels));
     }
     // The ablation: SNNwt's 500-step timed emulation vs SNNwot above.
-    group.bench_function("snnwt_ni16_500steps", |b| {
-        let sim = SnnWtSim::new(
-            &weights,
-            &thresholds,
-            784,
-            300,
-            16,
-            SnnParams::tuned(300),
-        );
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(sim.run(black_box(pixels), seed))
-        })
+    let sim = SnnWtSim::new(&weights, &thresholds, 784, 300, 16, SnnParams::tuned(300));
+    let mut seed = 0u64;
+    group.bench("snnwt_ni16_500steps", || {
+        seed += 1;
+        sim.run(pixels, seed)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_cost_model, bench_datapaths);
-criterion_main!(benches);
+fn main() {
+    bench_cost_model();
+    bench_datapaths();
+}

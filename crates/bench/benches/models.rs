@@ -1,17 +1,18 @@
-//! Criterion micro-benchmarks for the model-level components: MLP
-//! forward/training, quantized inference, SNN presentation (event-driven
-//! LIF), STDP learning, spike coding, and the SNN+BP hybrid.
+//! Micro-benchmarks for the model-level components: MLP forward/training,
+//! quantized inference, SNN presentation (event-driven LIF), STDP
+//! learning, and spike coding.
 //!
 //! These measure the *simulation* cost of each path — useful when scaling
 //! experiments — and document the event-driven-vs-dense speedup the
 //! analytic leak buys (the same trick the hardware uses).
+//!
+//! Run with: `cargo bench -p nc-bench --features bench-harness`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nc_bench::microbench::Group;
 use nc_dataset::{digits::DigitsSpec, Difficulty};
 use nc_mlp::{Activation, Mlp, QuantizedMlp, TrainConfig, Trainer};
 use nc_snn::coding::CodingScheme;
 use nc_snn::{SnnNetwork, SnnParams};
-use std::hint::black_box;
 
 fn data() -> (nc_dataset::Dataset, nc_dataset::Dataset) {
     DigitsSpec {
@@ -23,103 +24,79 @@ fn data() -> (nc_dataset::Dataset, nc_dataset::Dataset) {
     .generate()
 }
 
-fn bench_mlp(c: &mut Criterion) {
+fn bench_mlp() {
     let (train, test) = data();
-    let mut group = c.benchmark_group("mlp");
+    let mut group = Group::new("mlp");
 
     let mut mlp = Mlp::new(&[784, 100, 10], Activation::sigmoid(), 1).unwrap();
     let input = test.samples()[0].pixels_unit();
-    group.bench_function("forward_784_100_10", |b| {
-        b.iter(|| black_box(mlp.forward(black_box(&input))))
-    });
+    group.bench("forward_784_100_10", || mlp.forward(&input));
 
     let trainer = Trainer::new(TrainConfig::default());
-    group.bench_function("bp_step_784_100_10", |b| {
-        b.iter(|| trainer.step(&mut mlp, black_box(&input), 3))
-    });
+    group.bench("bp_step_784_100_10", || trainer.step(&mut mlp, &input, 3));
 
     let q = QuantizedMlp::from_mlp(&mlp);
     let pixels = &test.samples()[0].pixels;
-    group.bench_function("quantized_forward_784_100_10", |b| {
-        b.iter(|| black_box(q.forward_u8(black_box(pixels))))
-    });
+    group.bench("quantized_forward_784_100_10", || q.forward_u8(pixels));
 
-    group.bench_function("train_epoch_784_20_10_200imgs", |b| {
-        b.iter_batched(
-            || Mlp::new(&[784, 20, 10], Activation::sigmoid(), 1).unwrap(),
-            |mut m| {
-                Trainer::new(TrainConfig {
-                    epochs: 1,
-                    ..TrainConfig::default()
-                })
-                .fit(&mut m, &train)
-            },
-            BatchSize::SmallInput,
-        )
+    group.bench("train_epoch_784_20_10_200imgs", || {
+        let mut m = Mlp::new(&[784, 20, 10], Activation::sigmoid(), 1).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        })
+        .fit(&mut m, &train)
     });
-    group.finish();
 }
 
-fn bench_snn(c: &mut Criterion) {
+fn bench_snn() {
     let (train, test) = data();
-    let mut group = c.benchmark_group("snn");
-    group.sample_size(20);
+    let mut group = Group::new("snn");
 
     let pixels = &test.samples()[0].pixels;
     let mut snn = SnnNetwork::new(784, 10, SnnParams::tuned(100), 1);
-    group.bench_function("present_784_100", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(snn.present(black_box(pixels), seed))
-        })
+    let mut seed = 0u64;
+    group.bench("present_784_100", || {
+        seed += 1;
+        snn.present(pixels, seed)
     });
 
     let mut learner = SnnNetwork::new(784, 10, SnnParams::tuned(100), 1);
     learner.set_stdp_delta(2);
-    group.bench_function("present_learn_784_100", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(learner.present_learn(black_box(pixels), seed))
-        })
+    let mut seed = 0u64;
+    group.bench("present_learn_784_100", || {
+        seed += 1;
+        learner.present_learn(pixels, seed)
     });
 
-    group.bench_function("stdp_epoch_784_30_200imgs", |b| {
-        b.iter_batched(
-            || {
-                let mut s = SnnNetwork::new(784, 10, SnnParams::tuned(30), 1);
-                s.set_stdp_delta(4);
-                s
-            },
-            |mut s| s.train_stdp(&train, 1),
-            BatchSize::SmallInput,
-        )
+    group.bench("stdp_epoch_784_30_200imgs", || {
+        let mut s = SnnNetwork::new(784, 10, SnnParams::tuned(30), 1);
+        s.set_stdp_delta(4);
+        s.train_stdp(&train, 1)
     });
-    group.finish();
 }
 
-fn bench_coding(c: &mut Criterion) {
+fn bench_coding() {
     let (_, test) = data();
     let pixels = &test.samples()[0].pixels;
     let params = SnnParams::paper();
-    let mut group = c.benchmark_group("coding");
+    let mut group = Group::new("coding");
     for (name, scheme) in [
         ("poisson_rate", CodingScheme::PoissonRate),
         ("gaussian_rate", CodingScheme::GaussianRate),
         ("rank_order", CodingScheme::RankOrder),
         ("time_to_first_spike", CodingScheme::TimeToFirstSpike),
     ] {
-        group.bench_function(name, |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(scheme.encode(black_box(pixels), &params, seed))
-            })
+        let mut seed = 0u64;
+        group.bench(name, || {
+            seed += 1;
+            scheme.encode(pixels, &params, seed)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_mlp, bench_snn, bench_coding);
-criterion_main!(benches);
+fn main() {
+    bench_mlp();
+    bench_snn();
+    bench_coding();
+}

@@ -1,23 +1,44 @@
 //! Regenerates every table and figure in order, printing an
 //! EXPERIMENTS.md-ready report. The hardware tables are instant; the
-//! accuracy experiments honor `--scale`.
+//! accuracy experiments honor `--scale` and fan out across `--threads`.
+//!
+//! Every section is an independent engine job: sections run
+//! concurrently (and nest their own per-model jobs on the same engine),
+//! but the report is collected by section index, so the printed output
+//! is identical regardless of the thread count.
+
+use nc_core::{Engine, Job};
+
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_tables::table1());
-    println!("{}", nc_bench::gen_tables::table2());
-    println!("{}", nc_bench::gen_models::table3(scale));
-    println!("{}", nc_bench::gen_tables::table4());
-    println!("{}", nc_bench::gen_tables::table5());
-    println!("{}", nc_bench::gen_tables::table6());
-    println!("{}", nc_bench::gen_tables::table7());
-    println!("{}", nc_bench::gen_tables::table8());
-    println!("{}", nc_bench::gen_tables::table9());
-    println!("{}", nc_bench::gen_models::fig3(scale));
-    println!("{}", nc_bench::gen_models::fig5());
-    println!("{}", nc_bench::gen_models::fig6(scale));
-    println!("{}", nc_bench::gen_models::fig8(scale));
-    println!("{}", nc_bench::gen_models::fig14(scale));
-    println!("{}", nc_bench::gen_models::workloads(scale));
-    let acc = nc_bench::gen_models::snnwot_accuracy(scale);
-    println!("{}", nc_bench::gen_tables::truenorth_comparison(acc));
+    let engine = nc_bench::engine_from_args();
+    type Section = fn(&Engine) -> String;
+    let sections: Vec<(&str, Section)> = vec![
+        ("table1", |_| nc_bench::gen_tables::table1()),
+        ("table2", |_| nc_bench::gen_tables::table2()),
+        ("table3", |e| nc_bench::gen_models::table3(e)),
+        ("table4", |_| nc_bench::gen_tables::table4()),
+        ("table5", |_| nc_bench::gen_tables::table5()),
+        ("table6", |_| nc_bench::gen_tables::table6()),
+        ("table7", |_| nc_bench::gen_tables::table7()),
+        ("table8", |_| nc_bench::gen_tables::table8()),
+        ("table9", |_| nc_bench::gen_tables::table9()),
+        ("fig3", |e| nc_bench::gen_models::fig3(e)),
+        ("fig5", |_| nc_bench::gen_models::fig5()),
+        ("fig6", |e| nc_bench::gen_models::fig6(e)),
+        ("fig8", |e| nc_bench::gen_models::fig8(e)),
+        ("fig14", |e| nc_bench::gen_models::fig14(e)),
+        ("workloads", |e| nc_bench::gen_models::workloads(e)),
+        ("truenorth", |e| {
+            nc_bench::gen_tables::truenorth_comparison(nc_bench::gen_models::snnwot_accuracy(e))
+        }),
+    ];
+    let jobs = sections
+        .iter()
+        .map(|&(name, section)| Job::new(format!("all/{name}"), 0, section))
+        .collect();
+    let report = engine.run_jobs(jobs, |section| section(&engine));
+    for block in report {
+        println!("{block}");
+    }
+    eprintln!("{}", engine.summary());
 }

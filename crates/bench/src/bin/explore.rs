@@ -1,6 +1,6 @@
 //! Hyper-parameter random search for both models (the paper's "1000
 //! evaluated settings" protocol, at a configurable budget).
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_extensions::explore(scale, 12));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_extensions::explore(&engine, 12));
 }

@@ -1,5 +1,6 @@
 //! Regenerates Figure 14 (SNN coding-scheme comparison).
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_models::fig14(scale));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_models::fig14(&engine));
+    eprintln!("{}", engine.summary());
 }

@@ -1,5 +1,5 @@
 //! Regenerates Figure 3 (spike raster + membrane potentials) as CSV.
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_models::fig3(scale));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_models::fig3(&engine));
 }

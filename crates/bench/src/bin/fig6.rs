@@ -1,5 +1,6 @@
 //! Regenerates Figure 6 (sigmoid-to-step error bridging).
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_models::fig6(scale));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_models::fig6(&engine));
+    eprintln!("{}", engine.summary());
 }

@@ -1,5 +1,6 @@
 //! Regenerates Figure 8 (accuracy vs #neurons for MLP and SNN).
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_models::fig8(scale));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_models::fig8(&engine));
+    eprintln!("{}", engine.summary());
 }

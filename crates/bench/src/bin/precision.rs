@@ -1,5 +1,5 @@
 //! Weight/synapse precision sweeps for both models.
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_extensions::precision(scale));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_extensions::precision(&engine));
 }

@@ -1,5 +1,6 @@
 //! Test-time input-noise robustness sweep.
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_extensions::robustness(scale));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_extensions::robustness(&engine));
+    eprintln!("{}", engine.summary());
 }

@@ -1,5 +1,5 @@
 //! STDP-rule comparison (additive / multiplicative / exponential).
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_extensions::stdp_rules(scale));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_extensions::stdp_rules(&engine));
 }

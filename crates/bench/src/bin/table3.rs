@@ -1,6 +1,7 @@
 //! Regenerates the paper's Table 3 (accuracy comparison).
-//! Usage: `cargo run -p nc-bench --release --bin table3 [-- --scale quick|standard|full]`.
+//! Usage: `cargo run -p nc-bench --release --bin table3 [-- --scale quick|standard|full] [--threads N]`.
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_models::table3(scale));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_models::table3(&engine));
+    eprintln!("{}", engine.summary());
 }

@@ -1,6 +1,6 @@
 //! Regenerates the §5 TrueNorth-core comparison.
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    let acc = nc_bench::gen_models::snnwot_accuracy(scale);
+    let engine = nc_bench::engine_from_args();
+    let acc = nc_bench::gen_models::snnwot_accuracy(&engine);
     println!("{}", nc_bench::gen_tables::truenorth_comparison(acc));
 }

@@ -1,6 +1,7 @@
 //! Regenerates the §4.5 validation on the shapes (MPEG-7) and spoken
 //! (Spoken Arabic Digits) workloads.
 fn main() {
-    let scale = nc_bench::scale_from_args();
-    println!("{}", nc_bench::gen_models::workloads(scale));
+    let engine = nc_bench::engine_from_args();
+    println!("{}", nc_bench::gen_models::workloads(&engine));
+    eprintln!("{}", engine.summary());
 }

@@ -4,9 +4,10 @@
 //! these as the design decisions worth ablating).
 
 use crate::write_results;
-use nc_core::experiment::{ExperimentScale, Workload};
+use nc_core::experiment::Workload;
 use nc_core::report::{csv, pct, TextTable};
-use nc_core::robustness;
+use nc_core::robustness::{self, RobustnessSweep};
+use nc_core::Engine;
 use nc_hw::ablation::{bank_width_sweep, count_width_sweep, max_tree_sweep};
 use nc_hw::folded::{FoldedMlp, FoldedSnnWot, FoldedSnnWt};
 use nc_hw::power;
@@ -102,7 +103,10 @@ pub fn scaling() -> String {
     }
     write_results(
         "scaling_projection.csv",
-        &csv(&["inputs", "expanded_snn_advantage", "folded_mlp_advantage"], &rows),
+        &csv(
+            &["inputs", "expanded_snn_advantage", "folded_mlp_advantage"],
+            &rows,
+        ),
     );
     format!(
         "== Large-scale projection (paper conclusion: SNNs win only at very \
@@ -113,8 +117,10 @@ pub fn scaling() -> String {
 
 /// The precision studies: MLP weight bits (§4.2.3) and SNN synapse bits
 /// (the memristive-resolution question of §6).
-pub fn precision(scale: ExperimentScale) -> String {
-    let (train, test) = Workload::Digits.generate(scale);
+pub fn precision(engine: &Engine) -> String {
+    let scale = engine.scale();
+    let data = engine.dataset(Workload::Digits);
+    let (train, test) = (&data.0, &data.1);
     let mut out = String::from("== Precision sweeps ==\n");
 
     let mut mlp = Mlp::new(
@@ -127,11 +133,11 @@ pub fn precision(scale: ExperimentScale) -> String {
         epochs: scale.mlp_epochs(),
         ..TrainConfig::default()
     })
-    .fit(&mut mlp, &train);
-    let float_acc = nc_mlp::metrics::evaluate(&mlp, &test).accuracy();
+    .fit(&mut mlp, train);
+    let float_acc = nc_mlp::metrics::evaluate(&mlp, test).accuracy();
     let mut t = TextTable::new(&["MLP weight bits", "accuracy"]);
     let mut rows = Vec::new();
-    for p in mlp_explore::precision_sweep(&mlp, &test, &[2, 3, 4, 5, 6, 8]) {
+    for p in mlp_explore::precision_sweep(&mlp, test, &[2, 3, 4, 5, 6, 8]) {
         t.row_owned(vec![format!("{}", p.bits), pct(p.accuracy)]);
         rows.push(vec![format!("{}", p.bits), format!("{:.4}", p.accuracy)]);
     }
@@ -149,11 +155,11 @@ pub fn precision(scale: ExperimentScale) -> String {
         0xB175,
     );
     snn.set_stdp_delta(scale.stdp_delta());
-    snn.train_stdp(&train, scale.stdp_epochs());
-    snn.self_label(&train);
+    snn.train_stdp(train, scale.stdp_epochs());
+    snn.self_label(train);
     let mut t = TextTable::new(&["SNN synapse bits", "accuracy"]);
     let mut rows = Vec::new();
-    for p in snn_explore::precision_sweep(&snn, &train, &test, &[1, 2, 3, 4, 5, 6, 8]) {
+    for p in snn_explore::precision_sweep(&snn, train, test, &[1, 2, 3, 4, 5, 6, 8]) {
         t.row_owned(vec![format!("{}", p.bits), pct(p.accuracy)]);
         rows.push(vec![format!("{}", p.bits), format!("{:.4}", p.accuracy)]);
     }
@@ -167,13 +173,15 @@ pub fn precision(scale: ExperimentScale) -> String {
 
 /// The hyper-parameter searches: the paper's "1000 evaluated settings"
 /// protocol at a configurable budget.
-pub fn explore(scale: ExperimentScale, budget: usize) -> String {
-    let (train, test) = Workload::Digits.generate(scale);
+pub fn explore(engine: &Engine, budget: usize) -> String {
+    let scale = engine.scale();
+    let data = engine.dataset(Workload::Digits);
+    let (train, test) = (&data.0, &data.1);
     let mut out = String::from("== Design-space exploration (paper §3.1 protocol) ==\n");
 
     let mlp_results = mlp_explore::random_search(
-        &train,
-        &test,
+        train,
+        test,
         (10, 200),
         budget,
         scale.mlp_epochs() / 2,
@@ -188,11 +196,14 @@ pub fn explore(scale: ExperimentScale, budget: usize) -> String {
             pct(c.accuracy),
         ]);
     }
-    out.push_str(&format!("\nMLP search (top 5 of {budget}):\n{}", t.render()));
+    out.push_str(&format!(
+        "\nMLP search (top 5 of {budget}):\n{}",
+        t.render()
+    ));
 
     let snn_results = snn_explore::random_search(
-        &train,
-        &test,
+        train,
+        test,
         &snn_explore::SearchSpace::default(),
         budget.min(8), // SNN candidates are ~20x more expensive to train
         scale.stdp_epochs() / 2,
@@ -222,8 +233,10 @@ pub fn explore(scale: ExperimentScale, budget: usize) -> String {
 /// can be mitigated by changing the learning algorithm"). Trains the
 /// same network under each rule and reports accuracy plus the hardware
 /// class of the per-lane weight-update unit.
-pub fn stdp_rules(scale: ExperimentScale) -> String {
-    let (train, test) = Workload::Digits.generate(scale);
+pub fn stdp_rules(engine: &Engine) -> String {
+    let scale = engine.scale();
+    let data = engine.dataset(Workload::Digits);
+    let (train, test) = (&data.0, &data.1);
     let delta = scale.stdp_delta();
     let rules: Vec<(&str, StdpRule)> = vec![
         ("additive (paper hardware)", StdpRule::Additive { delta }),
@@ -250,9 +263,9 @@ pub fn stdp_rules(scale: ExperimentScale) -> String {
             0x57D9,
         );
         snn.set_stdp_rule(rule.clone());
-        snn.train_stdp(&train, scale.stdp_epochs());
-        snn.self_label(&train);
-        let acc = snn.evaluate(&test).accuracy();
+        snn.train_stdp(train, scale.stdp_epochs());
+        snn.self_label(train);
+        let acc = snn.evaluate(test).accuracy();
         t.row_owned(vec![
             name.into(),
             pct(acc),
@@ -266,30 +279,15 @@ pub fn stdp_rules(scale: ExperimentScale) -> String {
 }
 
 /// Test-time input-noise robustness sweep (extension).
-pub fn robustness(scale: ExperimentScale) -> String {
-    let (train, test) = Workload::Digits.generate(scale);
-    let mut mlp = Mlp::new(
-        &[train.input_dim(), 40, train.num_classes()],
-        Activation::sigmoid(),
-        0x20B5,
-    )
-    .expect("valid topology");
-    Trainer::new(TrainConfig {
-        epochs: scale.mlp_epochs(),
-        ..TrainConfig::default()
-    })
-    .fit(&mut mlp, &train);
-    let mut snn = SnnNetwork::new(
-        train.input_dim(),
-        train.num_classes(),
-        SnnParams::tuned(100),
-        0x20B5,
-    );
-    snn.set_stdp_delta(scale.stdp_delta());
-    snn.train_stdp(&train, scale.stdp_epochs());
-    snn.self_label(&train);
-    let levels = [0.0, 0.1, 0.2, 0.3, 0.45];
-    let points = robustness::sweep(&mlp, &mut snn, &test, &levels);
+pub fn robustness(engine: &Engine) -> String {
+    let sweep = RobustnessSweep {
+        noise_levels: vec![0.0, 0.1, 0.2, 0.3, 0.45],
+        mlp_hidden: 40,
+        snn_neurons: 100,
+        seed: 0x20B5,
+        ..RobustnessSweep::standard(Workload::Digits)
+    };
+    let points = engine.run(&sweep).expect("robustness config is valid");
     let mut t = TextTable::new(&["test noise", "MLP", "SNN (LIF)", "SNNwot"]);
     let mut rows = Vec::new();
     for p in &points {

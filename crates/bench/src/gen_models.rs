@@ -1,20 +1,25 @@
 //! Generators for the model-level experiments: Table 3, Figures 3, 5, 6,
 //! 8 and 14, and the §4.5 workload validation. These train networks, so
-//! they take an [`ExperimentScale`].
+//! they take the shared [`Engine`]: the experiment scale comes from the
+//! engine, datasets come from its cache, and independent trainings fan
+//! out across its thread pool.
 
 use crate::write_results;
 use nc_core::experiment::{AccuracyComparison, ExperimentScale, Workload};
 use nc_core::reference;
 use nc_core::report::{csv, pct, TextTable};
-use nc_core::sweeps;
+use nc_core::sweeps::{CodingSweep, NeuronSweep, SigmoidBridge};
+use nc_core::Engine;
 use nc_hw::folded::{FoldedMlp, FoldedSnnWot};
 use nc_mlp::Activation;
 use nc_snn::coding::CodingScheme;
 use nc_snn::{SnnNetwork, SnnParams};
 
 /// Table 3: the accuracy comparison on the digits workload.
-pub fn table3(scale: ExperimentScale) -> String {
-    let results = AccuracyComparison::new(Workload::Digits, scale).run();
+pub fn table3(engine: &Engine) -> String {
+    let results = engine
+        .run(&AccuracyComparison::on(Workload::Digits))
+        .expect("paper topology is valid");
     format!(
         "== Table 3 ==\n{}\nordering holds (MLP > SNN+BP > SNN+STDP, wot ~ wt): {}\n",
         results.to_table(),
@@ -23,8 +28,9 @@ pub fn table3(scale: ExperimentScale) -> String {
 }
 
 /// Figure 3: spike raster + membrane potentials for one presentation.
-pub fn fig3(scale: ExperimentScale) -> String {
-    let (train, _) = Workload::Digits.generate(scale);
+pub fn fig3(engine: &Engine) -> String {
+    let data = engine.dataset(Workload::Digits);
+    let train = &data.0;
     let train_small = train.take(600);
     let mut snn = SnnNetwork::new(
         train.input_dim(),
@@ -76,17 +82,15 @@ pub fn fig5() -> String {
 }
 
 /// Figure 6: bridging error rates between sigmoid and step functions.
-pub fn fig6(scale: ExperimentScale) -> String {
-    let (train, test) = Workload::Digits.generate(scale);
-    let slopes = [1.0, 2.0, 4.0, 8.0, 16.0];
-    let points = sweeps::sigmoid_bridge_sweep(
-        &train,
-        &test,
-        &slopes,
-        Workload::Digits.paper_topology().0.min(40),
-        scale.mlp_epochs(),
-        0xF6,
-    );
+pub fn fig6(engine: &Engine) -> String {
+    let bridge = SigmoidBridge {
+        workload: Workload::Digits,
+        scale: None,
+        slopes: vec![1.0, 2.0, 4.0, 8.0, 16.0],
+        hidden: Workload::Digits.paper_topology().0.min(40),
+        seed: 0xF6,
+    };
+    let points = engine.run(&bridge).expect("bridge config is valid");
     let mut t = TextTable::new(&["activation", "error rate", "paper (MNIST)"]);
     let mut rows = Vec::new();
     for p in &points {
@@ -125,24 +129,46 @@ pub fn fig6(scale: ExperimentScale) -> String {
 }
 
 /// Figure 8: impact of #neurons on MLP and SNN accuracy.
-pub fn fig8(scale: ExperimentScale) -> String {
-    let mlp_widths = [10usize, 15, 20, 30, 50, 100, 200];
-    let snn_sizes = [10usize, 20, 50, 100, 200, 300];
-    let mlp = sweeps::fig8_mlp(Workload::Digits, scale, &mlp_widths);
-    let snn = sweeps::fig8_snn(Workload::Digits, scale, &snn_sizes);
+pub fn fig8(engine: &Engine) -> String {
+    let results = engine
+        .run(&NeuronSweep::fig8(Workload::Digits))
+        .expect("fig8 grid is valid");
     let mut t = TextTable::new(&["model", "#neurons", "accuracy"]);
     let mut rows = Vec::new();
-    for p in &mlp {
-        t.row_owned(vec!["MLP".into(), format!("{}", p.neurons), pct(p.accuracy)]);
-        rows.push(vec!["mlp".into(), format!("{}", p.neurons), format!("{:.4}", p.accuracy)]);
+    for p in &results.mlp {
+        t.row_owned(vec![
+            "MLP".into(),
+            format!("{}", p.neurons),
+            pct(p.accuracy),
+        ]);
+        rows.push(vec![
+            "mlp".into(),
+            format!("{}", p.neurons),
+            format!("{:.4}", p.accuracy),
+        ]);
     }
-    for p in &snn {
-        t.row_owned(vec!["SNN".into(), format!("{}", p.neurons), pct(p.accuracy)]);
-        rows.push(vec!["snn".into(), format!("{}", p.neurons), format!("{:.4}", p.accuracy)]);
+    for p in &results.snn {
+        t.row_owned(vec![
+            "SNN".into(),
+            format!("{}", p.neurons),
+            pct(p.accuracy),
+        ]);
+        rows.push(vec![
+            "snn".into(),
+            format!("{}", p.neurons),
+            format!("{:.4}", p.accuracy),
+        ]);
     }
-    write_results("fig8_neurons.csv", &csv(&["model", "neurons", "accuracy"], &rows));
-    let mlp_plateau = mlp.last().map_or(0.0, |p| p.accuracy)
-        - mlp.iter().find(|p| p.neurons == 100).map_or(0.0, |p| p.accuracy);
+    write_results(
+        "fig8_neurons.csv",
+        &csv(&["model", "neurons", "accuracy"], &rows),
+    );
+    let mlp_plateau = results.mlp.last().map_or(0.0, |p| p.accuracy)
+        - results
+            .mlp
+            .iter()
+            .find(|p| p.neurons == 100)
+            .map_or(0.0, |p| p.accuracy);
     format!(
         "== Figure 8: impact of #neurons on MLP and SNN ==\n{}\
          MLP accuracy gain beyond 100 hidden neurons: {:.2}% (paper: 'marginal')\n",
@@ -152,15 +178,19 @@ pub fn fig8(scale: ExperimentScale) -> String {
 }
 
 /// Figure 14: SNN accuracy per coding scheme.
-pub fn fig14(scale: ExperimentScale) -> String {
-    let (train, test) = Workload::Digits.generate(scale);
-    let sizes = [10usize, 50, 100, 300];
-    let schemes = [
-        CodingScheme::GaussianRate,
-        CodingScheme::RankOrder,
-        CodingScheme::TimeToFirstSpike,
-    ];
-    let points = sweeps::coding_sweep(&train, &test, &schemes, &sizes, scale, 0xF14);
+pub fn fig14(engine: &Engine) -> String {
+    let sweep = CodingSweep {
+        workload: Workload::Digits,
+        scale: None,
+        schemes: vec![
+            CodingScheme::GaussianRate,
+            CodingScheme::RankOrder,
+            CodingScheme::TimeToFirstSpike,
+        ],
+        sizes: vec![10, 50, 100, 300],
+        seed: 0xF14,
+    };
+    let points = engine.run(&sweep).expect("fig14 grid is valid");
     let mut t = TextTable::new(&["coding scheme", "#neurons", "accuracy"]);
     let mut rows = Vec::new();
     for p in &points {
@@ -177,7 +207,10 @@ pub fn fig14(scale: ExperimentScale) -> String {
             format!("{:.4}", p.accuracy),
         ]);
     }
-    write_results("fig14_coding.csv", &csv(&["scheme", "neurons", "accuracy"], &rows));
+    write_results(
+        "fig14_coding.csv",
+        &csv(&["scheme", "neurons", "accuracy"], &rows),
+    );
     let best = |scheme: CodingScheme| {
         points
             .iter()
@@ -200,7 +233,7 @@ pub fn fig14(scale: ExperimentScale) -> String {
 /// §4.5: validation on the shapes (MPEG-7) and spoken (SAD) workloads —
 /// accuracy plus the folded SNNwot/MLP cost ratios with each workload's
 /// paper topology.
-pub fn workloads(scale: ExperimentScale) -> String {
+pub fn workloads(engine: &Engine) -> String {
     let mut out = String::from("== Section 4.5: validation on additional workloads ==\n");
     for (workload, paper_acc, paper_ratios) in [
         (
@@ -214,11 +247,13 @@ pub fn workloads(scale: ExperimentScale) -> String {
             reference::PAPER_SPOKEN_RATIOS,
         ),
     ] {
-        let results = AccuracyComparison::new(workload, scale).run();
+        let results = engine
+            .run(&AccuracyComparison::on(workload))
+            .expect("paper topology is valid");
         let (hidden, neurons) = workload.paper_topology();
-        let (train, _) = workload.generate(ExperimentScale::Quick);
-        let inputs = train.input_dim();
-        let classes = train.num_classes();
+        let data = engine.dataset_at(workload, ExperimentScale::Quick);
+        let inputs = data.0.input_dim();
+        let classes = data.0.num_classes();
         let mut area_ratios = Vec::new();
         let mut energy_ratios = Vec::new();
         for ni in [1usize, 4, 8, 16] {
@@ -254,7 +289,9 @@ pub fn workloads(scale: ExperimentScale) -> String {
 }
 
 /// Measures the SNNwot accuracy used by the §5 TrueNorth comparison.
-pub fn snnwot_accuracy(scale: ExperimentScale) -> f64 {
-    let results = AccuracyComparison::new(Workload::Digits, scale).run();
+pub fn snnwot_accuracy(engine: &Engine) -> f64 {
+    let results = engine
+        .run(&AccuracyComparison::on(Workload::Digits))
+        .expect("paper topology is valid");
     results.snn_stdp_wot
 }

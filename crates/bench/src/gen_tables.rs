@@ -237,7 +237,11 @@ pub fn table7() -> String {
     for ni in ni_values {
         let r = FoldedSnnWot::new(784, 300, ni).report();
         t.row_owned(vec![
-            if ni == 1 { "SNNwot (28x28-300)".into() } else { String::new() },
+            if ni == 1 {
+                "SNNwot (28x28-300)".into()
+            } else {
+                String::new()
+            },
             format!("{ni}"),
             format!("{:.2}", r.logic_area_mm2),
             format!("{:.2}", r.total_area_mm2),
@@ -259,7 +263,11 @@ pub fn table7() -> String {
     for ni in ni_values {
         let r = FoldedSnnWt::new(784, 300, ni).report();
         t.row_owned(vec![
-            if ni == 1 { "SNNwt (28x28-300)".into() } else { String::new() },
+            if ni == 1 {
+                "SNNwt (28x28-300)".into()
+            } else {
+                String::new()
+            },
             format!("{ni}"),
             format!("{:.2}", r.logic_area_mm2),
             format!("{:.2}", r.total_area_mm2),
@@ -281,7 +289,11 @@ pub fn table7() -> String {
     for ni in ni_values {
         let r = FoldedMlp::new(&[784, 100, 10], ni).report();
         t.row_owned(vec![
-            if ni == 1 { "MLP (28x28-100-10)".into() } else { String::new() },
+            if ni == 1 {
+                "MLP (28x28-100-10)".into()
+            } else {
+                String::new()
+            },
             format!("{ni}"),
             format!("{:.2}", r.logic_area_mm2),
             format!("{:.2}", r.total_area_mm2),
@@ -316,7 +328,14 @@ pub fn table8() -> String {
     let gpu = GpuModel::default();
     let snn_w = GpuWorkload::snn(784, 300);
     let mlp_w = GpuWorkload::mlp(&[784, 100, 10]);
-    let mut t = TextTable::new(&["metric", "design", "ni=1", "ni=16", "expanded", "paper (1/16/exp)"]);
+    let mut t = TextTable::new(&[
+        "metric",
+        "design",
+        "ni=1",
+        "ni=16",
+        "expanded",
+        "paper (1/16/exp)",
+    ]);
     let rows: Vec<(&str, &GpuWorkload, [f64; 3])> = vec![
         (
             "SNNwot",
@@ -344,16 +363,26 @@ pub fn table8() -> String {
             "MLP",
             &mlp_w,
             [
-                FoldedMlp::new(&[784, 100, 10], 1).report().time_per_image_ns(),
-                FoldedMlp::new(&[784, 100, 10], 16).report().time_per_image_ns(),
-                ExpandedMlp::new(&[784, 100, 10]).report().time_per_image_ns(),
+                FoldedMlp::new(&[784, 100, 10], 1)
+                    .report()
+                    .time_per_image_ns(),
+                FoldedMlp::new(&[784, 100, 10], 16)
+                    .report()
+                    .time_per_image_ns(),
+                ExpandedMlp::new(&[784, 100, 10])
+                    .report()
+                    .time_per_image_ns(),
             ],
         ),
     ];
     for (i, (name, w, times)) in rows.iter().enumerate() {
         let p = reference::PAPER_TABLE8_SPEEDUP[i];
         t.row_owned(vec![
-            if i == 0 { "speedup".into() } else { String::new() },
+            if i == 0 {
+                "speedup".into()
+            } else {
+                String::new()
+            },
             (*name).into(),
             format!("{:.2}", gpu.speedup_over(w, times[0])),
             format!("{:.2}", gpu.speedup_over(w, times[1])),
@@ -388,16 +417,26 @@ pub fn table8() -> String {
             "MLP",
             &mlp_w,
             [
-                FoldedMlp::new(&[784, 100, 10], 1).report().energy_per_image_j,
-                FoldedMlp::new(&[784, 100, 10], 16).report().energy_per_image_j,
-                ExpandedMlp::new(&[784, 100, 10]).report().energy_per_image_j,
+                FoldedMlp::new(&[784, 100, 10], 1)
+                    .report()
+                    .energy_per_image_j,
+                FoldedMlp::new(&[784, 100, 10], 16)
+                    .report()
+                    .energy_per_image_j,
+                ExpandedMlp::new(&[784, 100, 10])
+                    .report()
+                    .energy_per_image_j,
             ],
         ),
     ];
     for (i, (name, w, e)) in energies.iter().enumerate() {
         let p = reference::PAPER_TABLE8_ENERGY[i];
         t.row_owned(vec![
-            if i == 0 { "energy benefit".into() } else { String::new() },
+            if i == 0 {
+                "energy benefit".into()
+            } else {
+                String::new()
+            },
             (*name).into(),
             format!("{:.0}", gpu.energy_benefit_over(w, e[0])),
             format!("{:.0}", gpu.energy_benefit_over(w, e[1])),
@@ -451,7 +490,11 @@ pub fn truenorth_comparison(snnwot_accuracy: f64) -> String {
     t.row_owned(vec![
         "area (mm2)".into(),
         format!("{:.2}", ours.area_mm2),
-        format!("{:.2} (our structural estimate {:.2})", tn.area_mm2, est.estimated_area_mm2()),
+        format!(
+            "{:.2} (our structural estimate {:.2})",
+            tn.area_mm2,
+            est.estimated_area_mm2()
+        ),
     ]);
     t.row_owned(vec![
         "time/image (us)".into(),

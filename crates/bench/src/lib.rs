@@ -18,8 +18,10 @@
 pub mod gen_extensions;
 pub mod gen_models;
 pub mod gen_tables;
+pub mod microbench;
 
 use nc_core::experiment::ExperimentScale;
+use nc_core::Engine;
 use std::path::PathBuf;
 
 /// Parses the common `--scale` flag from `std::env::args`.
@@ -42,6 +44,33 @@ pub fn scale_from_args() -> ExperimentScale {
         }
     }
     ExperimentScale::Standard
+}
+
+/// Parses the common `--threads` flag; `None` means "let the engine
+/// pick" (host parallelism).
+pub fn threads_from_args() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => return Some(n),
+                _ => {
+                    eprintln!("--threads expects a positive integer, using host parallelism");
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Builds the shared experiment engine from `--scale` and `--threads`.
+pub fn engine_from_args() -> Engine {
+    let mut builder = Engine::builder().scale(scale_from_args());
+    if let Some(threads) = threads_from_args() {
+        builder = builder.threads(threads);
+    }
+    builder.build()
 }
 
 /// Ensures `results/` exists and returns the path for a named CSV.
@@ -75,6 +104,14 @@ mod tests {
     #[test]
     fn default_scale_is_standard() {
         assert_eq!(scale_from_args(), ExperimentScale::Standard);
+    }
+
+    #[test]
+    fn engine_from_args_uses_host_defaults() {
+        let engine = engine_from_args();
+        assert_eq!(engine.scale(), ExperimentScale::Standard);
+        assert!(engine.threads() >= 1);
+        assert_eq!(threads_from_args(), None);
     }
 
     #[test]

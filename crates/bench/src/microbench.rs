@@ -1,0 +1,142 @@
+//! A tiny std-only micro-benchmark harness.
+//!
+//! The sandbox this repository grows in is offline, so the benches cannot
+//! pull in criterion; this module provides the minimal subset the bench
+//! targets need: warmup, adaptive iteration count, and median-of-runs
+//! reporting. Timings are wall-clock (`std::time::Instant`) and printed
+//! as a plain-text table row per benchmark.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Number of measured samples (median is reported).
+const SAMPLES: usize = 9;
+
+/// One benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (`group/function`).
+    pub name: String,
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Iterations per measured sample.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Iterations per second at the median.
+    pub fn per_sec(&self) -> f64 {
+        if self.median.as_secs_f64() > 0.0 {
+            1.0 / self.median.as_secs_f64()
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A named group of benchmarks, printed as it runs.
+pub struct Group {
+    name: String,
+    results: Vec<BenchResult>,
+}
+
+impl Group {
+    /// Starts a group (prints a header).
+    pub fn new(name: &str) -> Self {
+        println!("== {name} ==");
+        Group {
+            name: name.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, auto-scaling the iteration count so each sample takes
+    /// roughly [`SAMPLE_TARGET`], and prints the median per-iteration time.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &mut Self {
+        // Calibrate: double iters until one sample is long enough.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            // Aim directly at the target once we have a usable estimate.
+            iters = if elapsed < Duration::from_micros(50) {
+                iters * 8
+            } else {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(iters + 1)
+            };
+        }
+        let mut samples: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed() / iters as u32
+            })
+            .collect();
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let full = format!("{}/{}", self.name, name);
+        println!(
+            "{full:<44} {:>12}  ({iters} iters/sample)",
+            fmt_duration(median)
+        );
+        self.results.push(BenchResult {
+            name: full,
+            median,
+            iters,
+        });
+        self
+    }
+
+    /// The collected results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Formats a duration with an adaptive unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn per_sec_is_inverse_of_median() {
+        let r = BenchResult {
+            name: "x".into(),
+            median: Duration::from_millis(10),
+            iters: 1,
+        };
+        assert!((r.per_sec() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,787 @@
+//! The parallel experiment engine.
+//!
+//! Every experiment in this repository decomposes into *independent
+//! trainings*: the five Table 3 model variants, the per-width points of
+//! the Figure 8 sweep, the per-slope points of the Figure 6 bridge, the
+//! per-scheme cells of Figure 14. The engine schedules those jobs across
+//! a configurable thread pool with a hard determinism contract:
+//!
+//! 1. **Jobs own their randomness.** A job's payload carries every seed
+//!    it needs; no job reads a shared RNG or any other mutable shared
+//!    state. Training a model twice from the same payload is
+//!    bit-identical.
+//! 2. **Results are collected by job index**, not completion order, so
+//!    the output `Vec` is the same whatever the interleaving.
+//!
+//! Together these make `threads = N` reproduce `threads = 1` bit for
+//! bit — asserted by the integration tests.
+//!
+//! The engine also owns a [`DatasetCache`] so each `(workload, scale)`
+//! pair is generated once and shared via [`Arc`] between jobs, and it
+//! records per-job wall-clock and throughput ([`JobStat`]) for the
+//! plain-text [`Engine::summary`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use nc_core::{AccuracyComparison, Engine, ExperimentScale, Workload};
+//!
+//! let engine = Engine::builder()
+//!     .scale(ExperimentScale::Quick)
+//!     .threads(4)
+//!     .build();
+//! let results = engine.run(&AccuracyComparison::on(Workload::Digits)).unwrap();
+//! println!("{}", results.to_table());
+//! println!("{}", engine.summary());
+//! ```
+
+use crate::error::Error;
+use crate::experiment::{ExperimentScale, Workload};
+use nc_dataset::model::{FitBudget, Model};
+use nc_dataset::Dataset;
+use nc_mlp::{metrics, Activation, Mlp, MlpError, QuantizedMlp, TrainConfig, Trainer};
+use nc_snn::bp_hybrid::BpSnn;
+use nc_snn::coding::CodingScheme;
+use nc_snn::{SnnNetwork, SnnParams, WotSnn};
+use nc_substrate::stats::Confusion;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A unit of schedulable work: a label and throughput hint for
+/// observability, plus the payload the worker consumes.
+#[derive(Debug)]
+pub struct Job<I> {
+    /// Display label for the job summary (e.g. `table3/digits/MLP+BP`).
+    pub label: String,
+    /// Samples the job will process (presentations + evaluations), used
+    /// for throughput reporting; 0 = unknown.
+    pub samples: u64,
+    /// The worker's input. Must carry every seed the job needs — the
+    /// determinism contract forbids reading shared mutable state.
+    pub payload: I,
+}
+
+impl<I> Job<I> {
+    /// Creates a job.
+    pub fn new(label: impl Into<String>, samples: u64, payload: I) -> Self {
+        Job {
+            label: label.into(),
+            samples,
+            payload,
+        }
+    }
+}
+
+/// Wall-clock record of one completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStat {
+    /// The job's label.
+    pub label: String,
+    /// Wall-clock time the job took.
+    pub wall: Duration,
+    /// Samples processed (0 = unknown).
+    pub samples: u64,
+}
+
+impl JobStat {
+    /// Throughput in samples per second, if the sample count is known
+    /// and the job took measurable time.
+    pub fn samples_per_sec(&self) -> Option<f64> {
+        let secs = self.wall.as_secs_f64();
+        if self.samples == 0 || secs <= 0.0 {
+            None
+        } else {
+            Some(self.samples as f64 / secs)
+        }
+    }
+}
+
+/// Caches generated datasets so each `(workload, scale)` pair is
+/// produced once per engine and shared between jobs via [`Arc`].
+///
+/// Generation is deterministic (a pure function of the spec), so a
+/// cache hit and a fresh generation are indistinguishable except in
+/// time and memory.
+#[derive(Debug, Default)]
+pub struct DatasetCache {
+    map: Mutex<HashMap<(Workload, ExperimentScale), SharedData>>,
+}
+
+/// A cached `(train, test)` pair, shared between jobs.
+pub type SharedData = Arc<(Dataset, Dataset)>;
+
+impl DatasetCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the `(train, test)` pair for the key, generating it on
+    /// first use. Repeated calls return the same [`Arc`].
+    pub fn get(&self, workload: Workload, scale: ExperimentScale) -> Arc<(Dataset, Dataset)> {
+        let key = (workload, scale);
+        if let Some(hit) = self.map.lock().expect("cache poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Generate outside the lock so unrelated keys do not serialize;
+        // if two threads race on the same key the first insert wins and
+        // the duplicate is dropped (generation is deterministic, so the
+        // contents are identical either way).
+        let fresh = Arc::new(workload.generate(scale));
+        Arc::clone(
+            self.map
+                .lock()
+                .expect("cache poisoned")
+                .entry(key)
+                .or_insert(fresh),
+        )
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Configures an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    threads: Option<usize>,
+    scale: ExperimentScale,
+}
+
+impl EngineBuilder {
+    /// Worker thread count. Defaults to the host's available
+    /// parallelism. A value of 1 runs jobs inline, in order.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Default experiment scale for experiments that do not pin one.
+    pub fn scale(mut self, scale: ExperimentScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Engine {
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Engine {
+            threads,
+            scale: self.scale,
+            cache: DatasetCache::new(),
+            stats: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// The work-scheduling execution engine (see the module docs).
+#[derive(Debug)]
+pub struct Engine {
+    threads: usize,
+    scale: ExperimentScale,
+    cache: DatasetCache,
+    stats: Mutex<Vec<JobStat>>,
+}
+
+impl Engine {
+    /// Starts configuring an engine. Defaults: host parallelism,
+    /// [`ExperimentScale::Standard`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            threads: None,
+            scale: ExperimentScale::Standard,
+        }
+    }
+
+    /// A single-threaded engine at the given scale — the reference
+    /// configuration every parallel run must reproduce bit for bit.
+    pub fn sequential(scale: ExperimentScale) -> Engine {
+        Engine::builder().threads(1).scale(scale).build()
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's default experiment scale.
+    pub fn scale(&self) -> ExperimentScale {
+        self.scale
+    }
+
+    /// The `(train, test)` datasets for a workload at the engine's
+    /// scale, generated once and [`Arc`]-shared.
+    pub fn dataset(&self, workload: Workload) -> Arc<(Dataset, Dataset)> {
+        self.cache.get(workload, self.scale)
+    }
+
+    /// Like [`Engine::dataset`] with an explicit scale.
+    pub fn dataset_at(
+        &self,
+        workload: Workload,
+        scale: ExperimentScale,
+    ) -> Arc<(Dataset, Dataset)> {
+        self.cache.get(workload, scale)
+    }
+
+    /// Runs an experiment: `engine.run(&e)` ≡ `e.run(&engine)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the experiment's [`Error`].
+    pub fn run<E: Experiment + ?Sized>(&self, experiment: &E) -> Result<E::Output, Error> {
+        experiment.run(self)
+    }
+
+    /// Executes independent jobs across the thread pool and returns
+    /// their results **in job order**, whatever order they completed in.
+    ///
+    /// Work stealing is a single atomic claim counter: each worker
+    /// repeatedly claims the next unclaimed index. With `threads = 1`
+    /// the jobs run inline in order — the reference schedule that the
+    /// determinism contract guarantees every other schedule matches.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics the panic is propagated to the caller once all
+    /// workers have stopped.
+    pub fn run_jobs<I, O>(&self, jobs: Vec<Job<I>>, work: impl Fn(I) -> O + Sync) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut labels = Vec::with_capacity(n);
+        let mut sample_counts = Vec::with_capacity(n);
+        let inputs: Vec<Mutex<Option<I>>> = jobs
+            .into_iter()
+            .map(|job| {
+                labels.push(job.label);
+                sample_counts.push(job.samples);
+                Mutex::new(Some(job.payload))
+            })
+            .collect();
+        let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let walls: Vec<Mutex<Option<Duration>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        let run_one = |index: usize| {
+            let payload = inputs[index]
+                .lock()
+                .expect("job slot poisoned")
+                .take()
+                .expect("job claimed twice");
+            let started = Instant::now();
+            let output = work(payload);
+            *walls[index].lock().expect("wall slot poisoned") = Some(started.elapsed());
+            *results[index].lock().expect("result slot poisoned") = Some(output);
+        };
+
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for index in 0..n {
+                run_one(index);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        run_one(index);
+                    });
+                }
+            });
+        }
+
+        // Record stats as one contiguous batch, in job order.
+        let batch: Vec<JobStat> = labels
+            .into_iter()
+            .zip(&sample_counts)
+            .zip(&walls)
+            .map(|((label, &samples), wall)| JobStat {
+                label,
+                wall: wall
+                    .lock()
+                    .expect("wall slot poisoned")
+                    .expect("job completed"),
+                samples,
+            })
+            .collect();
+        self.stats.lock().expect("stats poisoned").extend(batch);
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("job completed")
+            })
+            .collect()
+    }
+
+    /// The standard experiment job: build one model per spec, fit it on
+    /// the shared training set within its budget, and score it on the
+    /// shared test set. Returns accuracies in job order.
+    pub fn train_and_score(
+        &self,
+        data: &Arc<(Dataset, Dataset)>,
+        jobs: Vec<Job<(ModelSpec, FitBudget)>>,
+    ) -> Vec<Result<f64, Error>> {
+        let data = Arc::clone(data);
+        self.run_jobs(jobs, move |(spec, budget): (ModelSpec, FitBudget)| {
+            let mut model = spec.build()?;
+            model.fit(&data.0, &budget)?;
+            Ok(model.evaluate(&data.1).accuracy())
+        })
+    }
+
+    /// A snapshot of every job stat recorded so far, in completion-batch
+    /// order (job order within each batch).
+    pub fn stats(&self) -> Vec<JobStat> {
+        self.stats.lock().expect("stats poisoned").clone()
+    }
+
+    /// Renders the per-job wall-clock / throughput summary as a
+    /// plain-text table.
+    pub fn summary(&self) -> String {
+        let stats = self.stats();
+        if stats.is_empty() {
+            return String::from("engine: no jobs recorded\n");
+        }
+        let mut table = crate::report::TextTable::new(&["job", "wall", "samples/s"]);
+        let mut total = Duration::ZERO;
+        for stat in &stats {
+            total += stat.wall;
+            table.row_owned(vec![
+                stat.label.clone(),
+                format_duration(stat.wall),
+                stat.samples_per_sec()
+                    .map_or_else(|| String::from("-"), |r| format!("{r:.0}")),
+            ]);
+        }
+        table.row_owned(vec![
+            format!("total ({} jobs, {} threads)", stats.len(), self.threads),
+            format_duration(total),
+            String::new(),
+        ]);
+        table.render()
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else {
+        format!("{:.1}ms", secs * 1e3)
+    }
+}
+
+/// An experiment that runs on an [`Engine`]: the unified entry point
+/// for every table and figure reproduction.
+pub trait Experiment {
+    /// The experiment's result type.
+    type Output;
+
+    /// Runs the experiment, scheduling its independent trainings on the
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on invalid configuration or model failure.
+    fn run(&self, engine: &Engine) -> Result<Self::Output, Error>;
+}
+
+/// A buildable description of one model variant — the payload format
+/// experiment jobs use, so constructing a model happens inside the job
+/// on the worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// Floating-point MLP+BP.
+    Mlp {
+        /// Layer widths, input first.
+        sizes: Vec<usize>,
+        /// Shared activation.
+        activation: Activation,
+        /// Initialization seed.
+        seed: u64,
+    },
+    /// 8-bit fixed-point MLP (trains a float master, then quantizes).
+    QuantizedMlp {
+        /// Layer widths, input first.
+        sizes: Vec<usize>,
+        /// Shared activation of the float master.
+        activation: Activation,
+        /// Master initialization seed.
+        seed: u64,
+    },
+    /// SNN+STDP with the full LIF readout (SNNwt).
+    Snn {
+        /// Input count.
+        inputs: usize,
+        /// Number of classes.
+        classes: usize,
+        /// LIF/STDP hyper-parameters (including neuron count).
+        params: SnnParams,
+        /// Initialization seed.
+        seed: u64,
+    },
+    /// SNN+STDP with an explicit input coding scheme (Figure 14).
+    SnnWithCoding {
+        /// Input count.
+        inputs: usize,
+        /// Number of classes.
+        classes: usize,
+        /// LIF/STDP hyper-parameters (including neuron count).
+        params: SnnParams,
+        /// The input spike code.
+        coding: CodingScheme,
+        /// Initialization seed.
+        seed: u64,
+    },
+    /// SNN+STDP deployed through the timing-free SNNwot readout.
+    Wot {
+        /// Input count.
+        inputs: usize,
+        /// Number of classes.
+        classes: usize,
+        /// LIF/STDP hyper-parameters of the temporal master.
+        params: SnnParams,
+        /// Master initialization seed.
+        seed: u64,
+    },
+    /// The SNN+BP diagnostic hybrid.
+    BpSnn {
+        /// Input count.
+        inputs: usize,
+        /// Number of classes.
+        classes: usize,
+        /// Hyper-parameters (neuron count; spike-count normalization).
+        params: SnnParams,
+        /// Initialization seed.
+        seed: u64,
+    },
+    /// MLP trained through a steep sigmoid surrogate and deployed with
+    /// the true step activation (the Figure 6 step reference).
+    StepMlp {
+        /// Layer widths, input first.
+        sizes: Vec<usize>,
+        /// Surrogate sigmoid slope used during training.
+        slope: f64,
+        /// Initialization seed.
+        seed: u64,
+    },
+}
+
+impl ModelSpec {
+    /// The variant's display name (matches [`Model::name`] of the built
+    /// model) without constructing it.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ModelSpec::Mlp { .. } => "MLP+BP",
+            ModelSpec::QuantizedMlp { .. } => "MLP+BP (8-bit fixed point)",
+            ModelSpec::Snn { .. } | ModelSpec::SnnWithCoding { .. } => "SNN+STDP - LIF (SNNwt)",
+            ModelSpec::Wot { .. } => "SNN+STDP - Simplified (SNNwot)",
+            ModelSpec::BpSnn { .. } => "SNN+BP",
+            ModelSpec::StepMlp { .. } => "MLP (step-deployed)",
+        }
+    }
+
+    /// Builds the model behind the unified [`Model`] interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Topology`] for invalid MLP topologies.
+    pub fn build(&self) -> Result<Box<dyn Model>, Error> {
+        Ok(match self {
+            ModelSpec::Mlp {
+                sizes,
+                activation,
+                seed,
+            } => Box::new(Mlp::new(sizes, *activation, *seed)?),
+            ModelSpec::QuantizedMlp {
+                sizes,
+                activation,
+                seed,
+            } => Box::new(QuantizedMlp::untrained(sizes, *activation, *seed)?),
+            ModelSpec::Snn {
+                inputs,
+                classes,
+                params,
+                seed,
+            } => Box::new(SnnNetwork::new(*inputs, *classes, *params, *seed)),
+            ModelSpec::SnnWithCoding {
+                inputs,
+                classes,
+                params,
+                coding,
+                seed,
+            } => Box::new(SnnNetwork::with_coding(
+                *inputs, *classes, *params, *coding, *seed,
+            )),
+            ModelSpec::Wot {
+                inputs,
+                classes,
+                params,
+                seed,
+            } => Box::new(WotSnn::untrained(*inputs, *classes, *params, *seed)),
+            ModelSpec::BpSnn {
+                inputs,
+                classes,
+                params,
+                seed,
+            } => Box::new(BpSnn::new(*inputs, *classes, *params, *seed)),
+            ModelSpec::StepMlp { sizes, slope, seed } => {
+                Box::new(StepDeployedMlp::new(sizes, *slope, *seed)?)
+            }
+        })
+    }
+
+    /// The default training budget for this model family at a scale —
+    /// the same epoch counts the sequential pipeline used, so engine
+    /// runs are bit-identical to it.
+    pub fn budget(&self, scale: ExperimentScale) -> FitBudget {
+        let mut budget = FitBudget {
+            epochs: scale.mlp_epochs(),
+            stdp_epochs: scale.stdp_epochs(),
+            stdp_delta: scale.stdp_delta(),
+            learning_rate: None,
+        };
+        if let ModelSpec::BpSnn { .. } = self {
+            budget.epochs = scale.bp_snn_epochs();
+        }
+        budget
+    }
+}
+
+/// The Figure 6 step reference as a [`Model`]: trains through a steep
+/// sigmoid surrogate (forward *and* backward), then swaps in the true
+/// `[0/1]` step for deployment — the honest hardware scenario, since
+/// the silicon comparator cannot be trained through directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepDeployedMlp {
+    mlp: Mlp,
+    slope: f64,
+}
+
+impl StepDeployedMlp {
+    /// Creates the reference with the surrogate slope used in training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError`] for an invalid topology.
+    pub fn new(sizes: &[usize], slope: f64, seed: u64) -> Result<Self, MlpError> {
+        Ok(StepDeployedMlp {
+            mlp: Mlp::new(sizes, Activation::sigmoid_slope(slope), seed)?,
+            slope,
+        })
+    }
+
+    /// The deployed network (step activation after `fit`).
+    pub fn network(&self) -> &Mlp {
+        &self.mlp
+    }
+}
+
+impl Model for StepDeployedMlp {
+    fn name(&self) -> &'static str {
+        "MLP (step-deployed)"
+    }
+
+    fn fit(
+        &mut self,
+        train: &Dataset,
+        budget: &FitBudget,
+    ) -> Result<(), nc_dataset::model::ModelError> {
+        nc_dataset::model::check_fit_inputs(train, self.mlp.sizes()[0])?;
+        // Keep the effective step size constant across the slope family
+        // (the surrogate gradient carries a slope factor, capped).
+        let learning_rate = budget
+            .learning_rate
+            .unwrap_or(0.3 / self.slope.min(Activation::SURROGATE_SLOPE_CAP));
+        self.mlp
+            .set_activation(Activation::sigmoid_slope(self.slope));
+        Trainer::new(TrainConfig {
+            epochs: budget.epochs,
+            learning_rate,
+            ..TrainConfig::default()
+        })
+        .fit(&mut self.mlp, train);
+        self.mlp.set_activation(Activation::Step);
+        Ok(())
+    }
+
+    fn evaluate(&mut self, test: &Dataset) -> Confusion {
+        metrics::evaluate(&self.mlp, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let engine = Engine::builder().build();
+        assert!(engine.threads() >= 1);
+        assert_eq!(engine.scale(), ExperimentScale::Standard);
+        assert_eq!(Engine::sequential(ExperimentScale::Tiny).threads(), 1);
+        assert_eq!(Engine::builder().threads(0).build().threads(), 1);
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let engine = Engine::builder()
+            .threads(4)
+            .scale(ExperimentScale::Tiny)
+            .build();
+        let jobs: Vec<Job<u64>> = (0..64)
+            .map(|i| Job::new(format!("square/{i}"), 1, i))
+            .collect();
+        // Stagger the work so completion order differs from job order.
+        let out = engine.run_jobs(jobs, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(engine.stats().len(), 64);
+    }
+
+    #[test]
+    fn sequential_and_parallel_schedules_agree() {
+        let par = Engine::builder()
+            .threads(4)
+            .scale(ExperimentScale::Tiny)
+            .build();
+        let seq = Engine::sequential(ExperimentScale::Tiny);
+        let jobs = || {
+            (0..16u64)
+                .map(|i| Job::new(format!("j{i}"), 0, i))
+                .collect()
+        };
+        let f = |seed: u64| {
+            let mut rng = nc_substrate::rng::SplitMix64::new(seed);
+            (0..100)
+                .map(|_| rng.next_u64())
+                .fold(0u64, u64::wrapping_add)
+        };
+        assert_eq!(par.run_jobs(jobs(), f), seq.run_jobs(jobs(), f));
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        let out: Vec<u32> = engine.run_jobs(Vec::<Job<u32>>::new(), |_| 0);
+        assert!(out.is_empty());
+        assert!(engine.summary().contains("no jobs"));
+    }
+
+    #[test]
+    fn dataset_cache_shares_one_arc_per_key() {
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        let a = engine.dataset(Workload::Shapes);
+        let b = engine.dataset(Workload::Shapes);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = engine.dataset_at(Workload::Shapes, ExperimentScale::Tiny);
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn summary_lists_jobs_and_total() {
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        engine.run_jobs(vec![Job::new("alpha", 10, 1u32)], |x| x + 1);
+        let s = engine.summary();
+        assert!(s.contains("alpha"), "{s}");
+        assert!(s.contains("total (1 jobs, 1 threads)"), "{s}");
+    }
+
+    #[test]
+    fn model_spec_builds_every_variant() {
+        let specs = [
+            ModelSpec::Mlp {
+                sizes: vec![16, 4, 2],
+                activation: Activation::sigmoid(),
+                seed: 1,
+            },
+            ModelSpec::QuantizedMlp {
+                sizes: vec![16, 4, 2],
+                activation: Activation::sigmoid(),
+                seed: 1,
+            },
+            ModelSpec::Snn {
+                inputs: 16,
+                classes: 2,
+                params: SnnParams::for_neurons(4),
+                seed: 1,
+            },
+            ModelSpec::SnnWithCoding {
+                inputs: 16,
+                classes: 2,
+                params: SnnParams::for_neurons(4),
+                coding: CodingScheme::RankOrder,
+                seed: 1,
+            },
+            ModelSpec::Wot {
+                inputs: 16,
+                classes: 2,
+                params: SnnParams::for_neurons(4),
+                seed: 1,
+            },
+            ModelSpec::BpSnn {
+                inputs: 16,
+                classes: 2,
+                params: SnnParams::for_neurons(4),
+                seed: 1,
+            },
+            ModelSpec::StepMlp {
+                sizes: vec![16, 4, 2],
+                slope: 16.0,
+                seed: 1,
+            },
+        ];
+        for spec in &specs {
+            let model = spec.build().unwrap();
+            assert!(!model.name().is_empty());
+            let b = spec.budget(ExperimentScale::Tiny);
+            assert!(b.epochs > 0 && b.stdp_epochs > 0);
+        }
+        // The hybrid reads its own epoch knob.
+        assert_eq!(
+            specs[5].budget(ExperimentScale::Standard).epochs,
+            ExperimentScale::Standard.bp_snn_epochs()
+        );
+        assert_eq!(
+            specs[0].budget(ExperimentScale::Standard).epochs,
+            ExperimentScale::Standard.mlp_epochs()
+        );
+    }
+
+    #[test]
+    fn bad_topology_surfaces_as_typed_error() {
+        let spec = ModelSpec::Mlp {
+            sizes: vec![16],
+            activation: Activation::sigmoid(),
+            seed: 1,
+        };
+        assert!(matches!(spec.build(), Err(Error::Topology(_))));
+    }
+}

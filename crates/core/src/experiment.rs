@@ -1,9 +1,11 @@
 //! Workloads, experiment scales, and the Table 3 accuracy comparison.
 
+use crate::engine::{Engine, Experiment, Job, ModelSpec};
+use crate::error::Error;
+use nc_dataset::model::FitBudget;
 use nc_dataset::{digits::DigitsSpec, shapes::ShapesSpec, spoken::SpokenSpec, Dataset, Difficulty};
-use nc_mlp::{metrics, Activation, Mlp, QuantizedMlp, TrainConfig, Trainer};
-use nc_snn::bp_hybrid::{BpSnn, BpSnnConfig};
-use nc_snn::{SnnNetwork, SnnParams, WotSnn};
+use nc_mlp::Activation;
+use nc_snn::SnnParams;
 
 /// The three benchmark families of the paper (§3.1, §4.5), realized by
 /// the synthetic generators of `nc-dataset`.
@@ -177,11 +179,23 @@ impl AccuracyResults {
         s.push_str(&format!("Table 3 — accuracy on {}\n", self.workload));
         s.push_str("model                       measured   paper(MNIST)\n");
         let rows = [
-            ("SNN+STDP - LIF (SNNwt)", self.snn_stdp_lif, paper.snn_stdp_lif),
-            ("SNN+STDP - Simplified (SNNwot)", self.snn_stdp_wot, paper.snn_stdp_wot),
+            (
+                "SNN+STDP - LIF (SNNwt)",
+                self.snn_stdp_lif,
+                paper.snn_stdp_lif,
+            ),
+            (
+                "SNN+STDP - Simplified (SNNwot)",
+                self.snn_stdp_wot,
+                paper.snn_stdp_wot,
+            ),
             ("SNN+BP", self.snn_bp, paper.snn_bp),
             ("MLP+BP", self.mlp_bp, paper.mlp_bp),
-            ("MLP+BP (8-bit fixed point)", self.mlp_bp_quantized, paper.mlp_bp_quantized),
+            (
+                "MLP+BP (8-bit fixed point)",
+                self.mlp_bp_quantized,
+                paper.mlp_bp_quantized,
+            ),
         ];
         for (name, got, reference) in rows {
             s.push_str(&format!(
@@ -203,11 +217,14 @@ impl AccuracyResults {
 }
 
 /// Runs the Table 3 experiment: trains all model variants on one
-/// workload at one scale.
+/// workload. Each variant is an independent engine job — the quantized
+/// MLP and SNNwot train their own masters from the same seed, which is
+/// bit-identical to deriving them from the shared sequential master.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccuracyComparison {
     workload: Workload,
-    scale: ExperimentScale,
+    /// Pinned scale; `None` defers to the engine's scale.
+    scale: Option<ExperimentScale>,
     /// Override the SNN neuron count (defaults to the paper topology).
     pub snn_neurons: Option<usize>,
     /// Override the MLP hidden width (defaults to the paper topology).
@@ -217,11 +234,24 @@ pub struct AccuracyComparison {
 }
 
 impl AccuracyComparison {
-    /// Creates the experiment with the paper's topology for the workload.
+    /// Creates the experiment with the paper's topology for the
+    /// workload, pinned to an explicit scale.
     pub fn new(workload: Workload, scale: ExperimentScale) -> Self {
         AccuracyComparison {
             workload,
-            scale,
+            scale: Some(scale),
+            snn_neurons: None,
+            mlp_hidden: None,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Creates the experiment at the engine's scale (the usual way to
+    /// build one for [`Engine::run`]).
+    pub fn on(workload: Workload) -> Self {
+        AccuracyComparison {
+            workload,
+            scale: None,
             snn_neurons: None,
             mlp_hidden: None,
             seed: 0xC0FFEE,
@@ -233,59 +263,107 @@ impl AccuracyComparison {
         self.workload
     }
 
-    /// Runs everything and returns the accuracy block.
+    /// The scale this experiment resolves to on a given engine.
+    pub fn scale_on(&self, engine: &Engine) -> ExperimentScale {
+        self.scale.unwrap_or_else(|| engine.scale())
+    }
+
+    /// Runs everything sequentially and returns the accuracy block.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build an Engine and call engine.run(&comparison) instead"
+    )]
     pub fn run(&self) -> AccuracyResults {
-        let (train, test) = self.workload.generate(self.scale);
+        Engine::sequential(self.scale.unwrap_or(ExperimentScale::Standard))
+            .run(self)
+            .expect("paper topologies are valid")
+    }
+
+    /// The five Table 3 model variants as job specs, in result order:
+    /// `[LIF, wot, SNN+BP, MLP, quantized MLP]`.
+    fn model_specs(&self, inputs: usize, classes: usize) -> Vec<ModelSpec> {
         let (paper_hidden, paper_neurons) = self.workload.paper_topology();
         let hidden = self.mlp_hidden.unwrap_or(paper_hidden);
         let neurons = self.snn_neurons.unwrap_or(paper_neurons);
-        let inputs = train.input_dim();
-        let classes = train.num_classes();
-
-        // MLP+BP (float + 8-bit fixed point).
-        let mut mlp = Mlp::new(&[inputs, hidden, classes], Activation::sigmoid(), self.seed)
-            .expect("valid topology");
-        Trainer::new(TrainConfig {
-            epochs: self.scale.mlp_epochs(),
-            ..TrainConfig::default()
-        })
-        .fit(&mut mlp, &train);
-        let mlp_bp = metrics::evaluate(&mlp, &test).accuracy();
-        let quant = QuantizedMlp::from_mlp(&mlp);
-        let mlp_bp_quantized = metrics::evaluate_quantized(&quant, &test).accuracy();
-
-        // SNN+STDP (LIF readout + SNNwot readout from the same weights).
-        let mut snn = SnnNetwork::new(inputs, classes, SnnParams::tuned(neurons), self.seed);
-        snn.set_stdp_delta(self.scale.stdp_delta());
-        snn.train_stdp(&train, self.scale.stdp_epochs());
-        snn.self_label(&train);
-        let snn_stdp_lif = snn.evaluate(&test).accuracy();
-        let wot = WotSnn::from_network(&snn);
-        let snn_stdp_wot = wot.evaluate(&test).accuracy();
-
-        // SNN+BP.
-        let mut bp_snn = BpSnn::new(inputs, classes, SnnParams::tuned(neurons), self.seed);
-        bp_snn.fit(
-            &train,
-            &BpSnnConfig {
-                epochs: self.scale.bp_snn_epochs(),
-                ..BpSnnConfig::default()
+        let mlp_sizes = vec![inputs, hidden, classes];
+        vec![
+            ModelSpec::Snn {
+                inputs,
+                classes,
+                params: SnnParams::tuned(neurons),
+                seed: self.seed,
             },
-        );
-        let snn_bp = bp_snn.evaluate(&test).accuracy();
-
-        AccuracyResults {
-            workload: match self.workload {
-                Workload::Digits => "digits",
-                Workload::Shapes => "shapes",
-                Workload::Spoken => "spoken",
+            ModelSpec::Wot {
+                inputs,
+                classes,
+                params: SnnParams::tuned(neurons),
+                seed: self.seed,
             },
-            snn_stdp_lif,
-            snn_stdp_wot,
-            snn_bp,
-            mlp_bp,
-            mlp_bp_quantized,
+            ModelSpec::BpSnn {
+                inputs,
+                classes,
+                params: SnnParams::tuned(neurons),
+                seed: self.seed,
+            },
+            ModelSpec::Mlp {
+                sizes: mlp_sizes.clone(),
+                activation: Activation::sigmoid(),
+                seed: self.seed,
+            },
+            ModelSpec::QuantizedMlp {
+                sizes: mlp_sizes,
+                activation: Activation::sigmoid(),
+                seed: self.seed,
+            },
+        ]
+    }
+}
+
+impl Experiment for AccuracyComparison {
+    type Output = AccuracyResults;
+
+    fn run(&self, engine: &Engine) -> Result<AccuracyResults, Error> {
+        let scale = self.scale_on(engine);
+        let data = engine.dataset_at(self.workload, scale);
+        let (train, test) = (&data.0, &data.1);
+        if train.is_empty() || test.is_empty() {
+            return Err(Error::EmptyDataset);
         }
+        let workload_name = match self.workload {
+            Workload::Digits => "digits",
+            Workload::Shapes => "shapes",
+            Workload::Spoken => "spoken",
+        };
+
+        let jobs: Vec<Job<(ModelSpec, FitBudget)>> = self
+            .model_specs(train.input_dim(), train.num_classes())
+            .into_iter()
+            .map(|spec| {
+                let budget = spec.budget(scale);
+                let passes = match spec {
+                    ModelSpec::Snn { .. } | ModelSpec::Wot { .. } => budget.stdp_epochs,
+                    _ => budget.epochs,
+                };
+                Job::new(
+                    format!("table3/{workload_name}/{}", spec.display_name()),
+                    (train.len() * passes + test.len()) as u64,
+                    (spec, budget),
+                )
+            })
+            .collect();
+
+        let accuracies = engine.train_and_score(&data, jobs);
+
+        let mut it = accuracies.into_iter();
+        let mut next = || it.next().expect("five jobs were scheduled");
+        Ok(AccuracyResults {
+            workload: workload_name,
+            snn_stdp_lif: next()?,
+            snn_stdp_wot: next()?,
+            snn_bp: next()?,
+            mlp_bp: next()?,
+            mlp_bp_quantized: next()?,
+        })
     }
 }
 
@@ -318,38 +396,29 @@ mod tests {
     #[test]
     fn quick_comparison_preserves_the_ordering_on_a_small_config() {
         // A miniature end-to-end run (seconds in debug): small topology,
-        // tiny data, but the qualitative Table 3 ordering must hold.
-        let mut cmp = AccuracyComparison::new(Workload::Digits, ExperimentScale::Quick);
+        // tiny data, but MLP > SNN must hold and the engine must drive
+        // every variant through the unified Model interface.
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        let mut cmp = AccuracyComparison::on(Workload::Digits);
         cmp.snn_neurons = Some(30);
         cmp.mlp_hidden = Some(16);
-        let results = {
-            // Shrink further for unit-test latency.
-            let (train, test) = {
-                let (tr, te) = Workload::Digits.generate(ExperimentScale::Quick);
-                (tr.take(300), te.take(100))
-            };
-            let inputs = train.input_dim();
-            let classes = train.num_classes();
-            let mut mlp =
-                Mlp::new(&[inputs, 16, classes], Activation::sigmoid(), 7).unwrap();
-            Trainer::new(TrainConfig {
-                epochs: 8,
-                ..TrainConfig::default()
-            })
-            .fit(&mut mlp, &train);
-            let mlp_acc = metrics::evaluate(&mlp, &test).accuracy();
-
-            let mut snn = SnnNetwork::new(inputs, classes, SnnParams::tuned(30), 7);
-            snn.set_stdp_delta(6);
-            snn.train_stdp(&train, 4);
-            snn.self_label(&train);
-            let snn_acc = snn.evaluate(&test).accuracy();
-            (mlp_acc, snn_acc)
-        };
-        let (mlp_acc, snn_acc) = results;
-        assert!(mlp_acc > snn_acc, "MLP {mlp_acc} must beat SNN {snn_acc}");
-        assert!(snn_acc > 0.2, "SNN should be well above chance: {snn_acc}");
-        let _ = cmp;
+        cmp.seed = 7;
+        let results = engine.run(&cmp).unwrap();
+        assert!(
+            results.mlp_bp > results.snn_stdp_lif,
+            "MLP {} must beat SNN {}",
+            results.mlp_bp,
+            results.snn_stdp_lif
+        );
+        assert!(
+            results.snn_stdp_lif > 0.2,
+            "SNN should be well above chance: {}",
+            results.snn_stdp_lif
+        );
+        // One engine job per model variant, all labeled.
+        let stats = engine.stats();
+        assert_eq!(stats.len(), 5);
+        assert!(stats.iter().all(|s| s.label.starts_with("table3/digits/")));
     }
 
     #[test]

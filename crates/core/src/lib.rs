@@ -6,6 +6,10 @@
 //! the concrete experiments behind every table and figure, and formats
 //! the results next to the paper's published values.
 //!
+//! * [`engine`] — the parallel experiment engine: independent trainings
+//!   scheduled across a thread pool with deterministic, order-independent
+//!   results, a shared dataset cache, and per-job observability.
+//! * [`error`] — the typed error surface ([`Error`]).
 //! * [`experiment`] — workload selection, experiment scales and the
 //!   accuracy-comparison runner (Table 3, §4.5).
 //! * [`sweeps`] — the parameter sweeps: accuracy vs #neurons (Figure 8),
@@ -20,17 +24,35 @@
 //! # Examples
 //!
 //! ```no_run
-//! use nc_core::experiment::{AccuracyComparison, ExperimentScale, Workload};
+//! use nc_core::{AccuracyComparison, Engine, ExperimentScale, Workload};
 //!
-//! // Regenerate Table 3 at the quick scale (minutes, not hours).
-//! let results = AccuracyComparison::new(Workload::Digits, ExperimentScale::Quick).run();
+//! // Regenerate Table 3 at the quick scale (minutes, not hours), with
+//! // the five model trainings fanned out across four threads.
+//! let engine = Engine::builder()
+//!     .scale(ExperimentScale::Quick)
+//!     .threads(4)
+//!     .build();
+//! let results = engine.run(&AccuracyComparison::on(Workload::Digits)).unwrap();
 //! println!("{}", results.to_table());
+//! println!("{}", engine.summary());
 //! ```
 
+pub mod engine;
+pub mod error;
 pub mod experiment;
 pub mod reference;
 pub mod report;
 pub mod robustness;
 pub mod sweeps;
 
+pub use engine::{
+    DatasetCache, Engine, EngineBuilder, Experiment, Job, JobStat, ModelSpec, StepDeployedMlp,
+};
+pub use error::Error;
 pub use experiment::{AccuracyComparison, AccuracyResults, ExperimentScale, Workload};
+pub use nc_dataset::{FitBudget, Model, ModelError};
+pub use robustness::{RobustnessPoint, RobustnessSweep};
+pub use sweeps::{
+    BridgePoint, CodingPoint, CodingSweep, NeuronSweep, NeuronSweepPoint, NeuronSweepResults,
+    SigmoidBridge,
+};

@@ -6,11 +6,15 @@
 //! noise — measuring which accelerator's accuracy degrades faster when
 //! the sensor gets worse, without retraining.
 
+use crate::engine::{Engine, Experiment, Job, ModelSpec};
+use crate::error::Error;
+use crate::experiment::{ExperimentScale, Workload};
 use nc_dataset::{Dataset, Sample};
-use nc_mlp::{metrics, Mlp};
-use nc_snn::{SnnNetwork, WotSnn};
+use nc_mlp::{metrics, Activation, Mlp};
+use nc_snn::{SnnNetwork, SnnParams, WotSnn};
 use nc_substrate::rng::SplitMix64;
 use nc_substrate::stats::Confusion;
+use std::sync::Arc;
 
 /// One point of the robustness sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,13 +78,126 @@ pub fn sweep(
         .collect()
 }
 
+/// The robustness sweep as an engine experiment: each model family is
+/// one independent training job, and each trained model then walks the
+/// noise ladder sequentially inside its own job (the SNN readout is
+/// stateful across evaluations, so the ladder must not be split).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessSweep {
+    /// Workload under test.
+    pub workload: Workload,
+    /// Pinned scale; `None` defers to the engine's scale.
+    pub scale: Option<ExperimentScale>,
+    /// Test-time noise amplitudes, in luminance units [0,1].
+    pub noise_levels: Vec<f64>,
+    /// MLP hidden-layer width.
+    pub mlp_hidden: usize,
+    /// SNN layer size.
+    pub snn_neurons: usize,
+    /// Shared initialization seed.
+    pub seed: u64,
+}
+
+impl RobustnessSweep {
+    /// The default ladder: clean through heavily corrupted input.
+    pub fn standard(workload: Workload) -> Self {
+        RobustnessSweep {
+            workload,
+            scale: None,
+            noise_levels: vec![0.0, 0.1, 0.2, 0.4, 0.6],
+            mlp_hidden: 20,
+            snn_neurons: 50,
+            seed: 0x2015_CE50,
+        }
+    }
+}
+
+impl Experiment for RobustnessSweep {
+    type Output = Vec<RobustnessPoint>;
+
+    fn run(&self, engine: &Engine) -> Result<Vec<RobustnessPoint>, Error> {
+        if self.noise_levels.is_empty() {
+            return Err(Error::BadConfig(String::from(
+                "robustness sweep has no noise levels",
+            )));
+        }
+        let scale = self.scale.unwrap_or_else(|| engine.scale());
+        let data = engine.dataset_at(self.workload, scale);
+        let (train, test) = (&data.0, &data.1);
+        if train.is_empty() || test.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        // Corrupt once, share read-only across the three jobs.
+        let noisy: Vec<Arc<Dataset>> = self
+            .noise_levels
+            .iter()
+            .map(|&n| Arc::new(corrupt(test, n, (n * 1e4) as u64)))
+            .collect();
+        let (inputs, classes) = (train.input_dim(), train.num_classes());
+        let params = SnnParams::tuned(self.snn_neurons);
+        let specs = [
+            ModelSpec::Mlp {
+                sizes: vec![inputs, self.mlp_hidden, classes],
+                activation: Activation::sigmoid(),
+                seed: self.seed,
+            },
+            ModelSpec::Snn {
+                inputs,
+                classes,
+                params,
+                seed: self.seed,
+            },
+            ModelSpec::Wot {
+                inputs,
+                classes,
+                params,
+                seed: self.seed,
+            },
+        ];
+        let eval_samples = (test.len() * self.noise_levels.len()) as u64;
+        let jobs: Vec<Job<(ModelSpec, nc_dataset::FitBudget)>> = specs
+            .into_iter()
+            .map(|spec| {
+                let budget = spec.budget(scale);
+                let samples =
+                    (train.len() * budget.epochs.max(budget.stdp_epochs)) as u64 + eval_samples;
+                Job::new(
+                    format!("robustness/{}/{}", self.workload, spec.display_name()),
+                    samples,
+                    (spec, budget),
+                )
+            })
+            .collect();
+        let ladders: Vec<Result<Vec<f64>, Error>> = engine.run_jobs(jobs, |(spec, budget)| {
+            let mut model = spec.build()?;
+            model.fit(train, &budget)?;
+            Ok(noisy.iter().map(|d| model.evaluate(d).accuracy()).collect())
+        });
+        let mut ladders = ladders.into_iter();
+        let (mlp, snn, wot) = (
+            ladders.next().unwrap()?,
+            ladders.next().unwrap()?,
+            ladders.next().unwrap()?,
+        );
+        Ok(self
+            .noise_levels
+            .iter()
+            .enumerate()
+            .map(|(i, &noise)| RobustnessPoint {
+                noise,
+                mlp_accuracy: mlp[i],
+                snn_accuracy: snn[i],
+                wot_accuracy: wot[i],
+            })
+            .collect())
+    }
+}
+
 /// Relative degradation of an accuracy series: `1 - acc(last)/acc(first)`
 /// (0 = fully robust). Returns 0 for degenerate series.
 pub fn degradation(points: &[RobustnessPoint], extract: impl Fn(&RobustnessPoint) -> f64) -> f64 {
     match (points.first(), points.last()) {
-        (Some(first), Some(last)) if extract(first) > 0.0 => {
-            1.0 - extract(last) / extract(first)
-        }
+        (Some(first), Some(last)) if extract(first) > 0.0 => 1.0 - extract(last) / extract(first),
         _ => 0.0,
     }
 }
@@ -160,5 +277,40 @@ mod tests {
     #[test]
     fn degradation_of_empty_series_is_zero() {
         assert_eq!(degradation(&[], |p| p.mlp_accuracy), 0.0);
+    }
+
+    #[test]
+    fn robustness_experiment_is_thread_count_invariant() {
+        use crate::engine::Engine;
+        use crate::experiment::{ExperimentScale, Workload};
+        let sweep = RobustnessSweep {
+            noise_levels: vec![0.0, 0.5],
+            mlp_hidden: 6,
+            snn_neurons: 8,
+            ..RobustnessSweep::standard(Workload::Shapes)
+        };
+        let sequential = Engine::sequential(ExperimentScale::Tiny)
+            .run(&sweep)
+            .unwrap();
+        let parallel = Engine::builder()
+            .threads(3)
+            .scale(ExperimentScale::Tiny)
+            .build()
+            .run(&sweep)
+            .unwrap();
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), 2);
+    }
+
+    #[test]
+    fn robustness_experiment_rejects_an_empty_ladder() {
+        use crate::engine::Engine;
+        use crate::experiment::{ExperimentScale, Workload};
+        let sweep = RobustnessSweep {
+            noise_levels: vec![],
+            ..RobustnessSweep::standard(Workload::Shapes)
+        };
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        assert!(matches!(engine.run(&sweep), Err(Error::BadConfig(_))));
     }
 }

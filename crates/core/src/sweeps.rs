@@ -1,11 +1,22 @@
 //! Parameter sweeps behind the figures: #neurons (Figure 8), sigmoid
 //! slope (Figures 5–6), coding schemes (Figure 14).
+//!
+//! Each sweep is an [`Experiment`]: its grid points are independent
+//! trainings, fanned out as engine jobs and collected in grid order.
+//! The dataset-level free functions remain as sequential conveniences
+//! for callers that already hold `(train, test)` in hand; both paths
+//! drive every model through the unified [`Model`](nc_dataset::Model)
+//! interface.
 
+use crate::engine::{Engine, Experiment, Job, ModelSpec};
+use crate::error::Error;
 use crate::experiment::{ExperimentScale, Workload};
+use nc_dataset::model::FitBudget;
 use nc_dataset::Dataset;
-use nc_mlp::{metrics, Activation, Mlp, TrainConfig, Trainer};
+use nc_mlp::Activation;
 use nc_snn::coding::CodingScheme;
-use nc_snn::{SnnNetwork, SnnParams};
+use nc_snn::SnnParams;
+use std::sync::Arc;
 
 /// One point of the Figure 8 sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,64 +27,6 @@ pub struct NeuronSweepPoint {
     pub accuracy: f64,
 }
 
-/// Figure 8 (MLP side): accuracy vs hidden-layer width.
-pub fn mlp_neuron_sweep(
-    train: &Dataset,
-    test: &Dataset,
-    widths: &[usize],
-    epochs: usize,
-    seed: u64,
-) -> Vec<NeuronSweepPoint> {
-    widths
-        .iter()
-        .map(|&h| {
-            let mut mlp = Mlp::new(
-                &[train.input_dim(), h, train.num_classes()],
-                Activation::sigmoid(),
-                seed,
-            )
-            .expect("valid topology");
-            Trainer::new(TrainConfig {
-                epochs,
-                ..TrainConfig::default()
-            })
-            .fit(&mut mlp, train);
-            NeuronSweepPoint {
-                neurons: h,
-                accuracy: metrics::evaluate(&mlp, test).accuracy(),
-            }
-        })
-        .collect()
-}
-
-/// Figure 8 (SNN side): accuracy vs layer size, STDP-trained.
-pub fn snn_neuron_sweep(
-    train: &Dataset,
-    test: &Dataset,
-    sizes: &[usize],
-    scale: ExperimentScale,
-    seed: u64,
-) -> Vec<NeuronSweepPoint> {
-    sizes
-        .iter()
-        .map(|&n| {
-            let mut snn = SnnNetwork::new(
-                train.input_dim(),
-                train.num_classes(),
-                SnnParams::tuned(n),
-                seed,
-            );
-            snn.set_stdp_delta(scale.stdp_delta());
-            snn.train_stdp(train, scale.stdp_epochs());
-            snn.self_label(train);
-            NeuronSweepPoint {
-                neurons: n,
-                accuracy: snn.evaluate(test).accuracy(),
-            }
-        })
-        .collect()
-}
-
 /// One point of the Figure 6 bridging sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BridgePoint {
@@ -81,63 +34,6 @@ pub struct BridgePoint {
     pub slope: Option<f64>,
     /// Test error rate (1 − accuracy).
     pub error_rate: f64,
-}
-
-/// Figures 5–6: train/test the MLP under `f_a` for each slope plus the
-/// step function, returning error rates.
-pub fn sigmoid_bridge_sweep(
-    train: &Dataset,
-    test: &Dataset,
-    slopes: &[f64],
-    hidden: usize,
-    epochs: usize,
-    seed: u64,
-) -> Vec<BridgePoint> {
-    let mut points = Vec::new();
-    for &a in slopes {
-        let mut mlp = Mlp::new(
-            &[train.input_dim(), hidden, train.num_classes()],
-            Activation::sigmoid_slope(a),
-            seed,
-        )
-        .expect("valid topology");
-        Trainer::new(TrainConfig {
-            epochs,
-            // The gradient carries a slope factor (capped at 4, see
-            // Activation::derivative_from_output); keep the effective
-            // step size constant across the family.
-            learning_rate: 0.3 / a.min(nc_mlp::Activation::SURROGATE_SLOPE_CAP),
-            ..TrainConfig::default()
-        })
-        .fit(&mut mlp, train);
-        points.push(BridgePoint {
-            slope: Some(a),
-            error_rate: 1.0 - metrics::evaluate(&mlp, test).accuracy(),
-        });
-    }
-    // The step-function reference: straight-through training (forward
-    // and surrogate gradients through the steepest sigmoid of the
-    // family), deployed with the true [0/1] step — the standard recipe
-    // for binary-activation networks, and the honest hardware scenario:
-    // the silicon comparator cannot be trained through directly.
-    let mut step_mlp = Mlp::new(
-        &[train.input_dim(), hidden, train.num_classes()],
-        Activation::sigmoid_slope(16.0),
-        seed,
-    )
-    .expect("valid topology");
-    Trainer::new(TrainConfig {
-        epochs,
-        learning_rate: 0.3 / nc_mlp::Activation::SURROGATE_SLOPE_CAP,
-        ..TrainConfig::default()
-    })
-    .fit(&mut step_mlp, train);
-    step_mlp.set_activation(Activation::Step);
-    points.push(BridgePoint {
-        slope: None,
-        error_rate: 1.0 - metrics::evaluate(&step_mlp, test).accuracy(),
-    });
-    points
 }
 
 /// One point of the Figure 14 coding sweep.
@@ -151,7 +47,197 @@ pub struct CodingPoint {
     pub accuracy: f64,
 }
 
+fn mlp_point_job(
+    train: &Dataset,
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+    label: String,
+) -> Job<(ModelSpec, FitBudget)> {
+    let spec = ModelSpec::Mlp {
+        sizes: vec![train.input_dim(), hidden, train.num_classes()],
+        activation: Activation::sigmoid(),
+        seed,
+    };
+    let budget = FitBudget {
+        epochs,
+        ..FitBudget::default()
+    };
+    Job::new(label, (train.len() * epochs) as u64, (spec, budget))
+}
+
+fn snn_point_job(
+    train: &Dataset,
+    neurons: usize,
+    coding: Option<CodingScheme>,
+    scale: ExperimentScale,
+    seed: u64,
+    label: String,
+) -> Job<(ModelSpec, FitBudget)> {
+    let (inputs, classes) = (train.input_dim(), train.num_classes());
+    let params = SnnParams::tuned(neurons);
+    let spec = match coding {
+        None => ModelSpec::Snn {
+            inputs,
+            classes,
+            params,
+            seed,
+        },
+        Some(coding) => ModelSpec::SnnWithCoding {
+            inputs,
+            classes,
+            params,
+            coding,
+            seed,
+        },
+    };
+    let budget = FitBudget {
+        stdp_epochs: scale.stdp_epochs(),
+        stdp_delta: scale.stdp_delta(),
+        ..FitBudget::default()
+    };
+    Job::new(
+        label,
+        (train.len() * scale.stdp_epochs()) as u64,
+        (spec, budget),
+    )
+}
+
+fn collect(results: Vec<Result<f64, Error>>) -> Result<Vec<f64>, Error> {
+    results.into_iter().collect()
+}
+
+/// Figure 8 (MLP side): accuracy vs hidden-layer width, sequentially on
+/// datasets in hand. Prefer [`NeuronSweep`] on an [`Engine`] for
+/// parallel runs.
+pub fn mlp_neuron_sweep(
+    train: &Dataset,
+    test: &Dataset,
+    widths: &[usize],
+    epochs: usize,
+    seed: u64,
+) -> Vec<NeuronSweepPoint> {
+    let engine = Engine::sequential(ExperimentScale::Tiny);
+    let data = Arc::new((train.clone(), test.clone()));
+    let jobs = widths
+        .iter()
+        .map(|&h| mlp_point_job(train, h, epochs, seed, format!("fig8/mlp/{h}")))
+        .collect();
+    let accuracies = collect(engine.train_and_score(&data, jobs)).expect("valid sweep topology");
+    widths
+        .iter()
+        .zip(accuracies)
+        .map(|(&neurons, accuracy)| NeuronSweepPoint { neurons, accuracy })
+        .collect()
+}
+
+/// Figure 8 (SNN side): accuracy vs layer size, STDP-trained,
+/// sequentially on datasets in hand. Prefer [`NeuronSweep`] on an
+/// [`Engine`] for parallel runs.
+pub fn snn_neuron_sweep(
+    train: &Dataset,
+    test: &Dataset,
+    sizes: &[usize],
+    scale: ExperimentScale,
+    seed: u64,
+) -> Vec<NeuronSweepPoint> {
+    let engine = Engine::sequential(scale);
+    let data = Arc::new((train.clone(), test.clone()));
+    let jobs = sizes
+        .iter()
+        .map(|&n| snn_point_job(train, n, None, scale, seed, format!("fig8/snn/{n}")))
+        .collect();
+    let accuracies = collect(engine.train_and_score(&data, jobs)).expect("valid sweep topology");
+    sizes
+        .iter()
+        .zip(accuracies)
+        .map(|(&neurons, accuracy)| NeuronSweepPoint { neurons, accuracy })
+        .collect()
+}
+
+/// Figures 5–6: train/test the MLP under `f_a` for each slope plus the
+/// step function, returning error rates. Sequential convenience for
+/// datasets in hand; prefer [`SigmoidBridge`] on an [`Engine`].
+pub fn sigmoid_bridge_sweep(
+    train: &Dataset,
+    test: &Dataset,
+    slopes: &[f64],
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<BridgePoint> {
+    let engine = Engine::sequential(ExperimentScale::Tiny);
+    let data = Arc::new((train.clone(), test.clone()));
+    let jobs = bridge_jobs(train, slopes, hidden, epochs, seed);
+    let accuracies = collect(engine.train_and_score(&data, jobs)).expect("valid sweep topology");
+    bridge_points(slopes, accuracies)
+}
+
+fn bridge_jobs(
+    train: &Dataset,
+    slopes: &[f64],
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<Job<(ModelSpec, FitBudget)>> {
+    let sizes = vec![train.input_dim(), hidden, train.num_classes()];
+    let samples = (train.len() * epochs) as u64;
+    let mut jobs: Vec<Job<(ModelSpec, FitBudget)>> = slopes
+        .iter()
+        .map(|&a| {
+            let spec = ModelSpec::Mlp {
+                sizes: sizes.clone(),
+                activation: Activation::sigmoid_slope(a),
+                seed,
+            };
+            // The gradient carries a slope factor (capped, see
+            // Activation::derivative_from_output); keep the effective
+            // step size constant across the family.
+            let budget = FitBudget {
+                epochs,
+                learning_rate: Some(0.3 / a.min(Activation::SURROGATE_SLOPE_CAP)),
+                ..FitBudget::default()
+            };
+            Job::new(format!("fig6/slope/{a}"), samples, (spec, budget))
+        })
+        .collect();
+    // The step-function reference: straight-through training (forward
+    // and surrogate gradients through the steepest sigmoid of the
+    // family), deployed with the true [0/1] step.
+    jobs.push(Job::new(
+        "fig6/step",
+        samples,
+        (
+            ModelSpec::StepMlp {
+                sizes,
+                slope: 16.0,
+                seed,
+            },
+            FitBudget {
+                epochs,
+                ..FitBudget::default()
+            },
+        ),
+    ));
+    jobs
+}
+
+fn bridge_points(slopes: &[f64], accuracies: Vec<f64>) -> Vec<BridgePoint> {
+    slopes
+        .iter()
+        .map(|&a| Some(a))
+        .chain(std::iter::once(None))
+        .zip(accuracies)
+        .map(|(slope, accuracy)| BridgePoint {
+            slope,
+            error_rate: 1.0 - accuracy,
+        })
+        .collect()
+}
+
 /// Figure 14: STDP accuracy per coding scheme per layer size.
+/// Sequential convenience for datasets in hand; prefer [`CodingSweep`]
+/// on an [`Engine`].
 pub fn coding_sweep(
     train: &Dataset,
     test: &Dataset,
@@ -160,38 +246,239 @@ pub fn coding_sweep(
     scale: ExperimentScale,
     seed: u64,
 ) -> Vec<CodingPoint> {
-    let mut points = Vec::new();
-    for &scheme in schemes {
-        for &n in sizes {
-            let mut snn = SnnNetwork::with_coding(
-                train.input_dim(),
-                train.num_classes(),
-                SnnParams::tuned(n),
-                scheme,
+    let engine = Engine::sequential(scale);
+    let data = Arc::new((train.clone(), test.clone()));
+    let grid: Vec<(CodingScheme, usize)> = schemes
+        .iter()
+        .flat_map(|&s| sizes.iter().map(move |&n| (s, n)))
+        .collect();
+    let jobs = grid
+        .iter()
+        .map(|&(scheme, n)| {
+            snn_point_job(
+                train,
+                n,
+                Some(scheme),
+                scale,
                 seed,
-            );
-            snn.set_stdp_delta(scale.stdp_delta());
-            snn.train_stdp(train, scale.stdp_epochs());
-            snn.self_label(train);
-            points.push(CodingPoint {
-                scheme,
-                neurons: n,
-                accuracy: snn.evaluate(test).accuracy(),
-            });
-        }
-    }
-    points
+                format!("fig14/{scheme:?}/{n}"),
+            )
+        })
+        .collect();
+    let accuracies = collect(engine.train_and_score(&data, jobs)).expect("valid sweep topology");
+    grid.iter()
+        .zip(accuracies)
+        .map(|(&(scheme, neurons), accuracy)| CodingPoint {
+            scheme,
+            neurons,
+            accuracy,
+        })
+        .collect()
 }
 
-/// Convenience: generate a workload and run the MLP sweep in one call
-/// (used by the `fig8` binary).
-pub fn fig8_mlp(workload: Workload, scale: ExperimentScale, widths: &[usize]) -> Vec<NeuronSweepPoint> {
+/// The Figure 8 experiment: accuracy vs network size for both model
+/// families, every grid point an independent engine job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuronSweep {
+    /// Workload under test.
+    pub workload: Workload,
+    /// Pinned scale; `None` defers to the engine's scale.
+    pub scale: Option<ExperimentScale>,
+    /// MLP hidden widths to sweep.
+    pub mlp_widths: Vec<usize>,
+    /// SNN layer sizes to sweep.
+    pub snn_sizes: Vec<usize>,
+    /// Shared initialization seed.
+    pub seed: u64,
+}
+
+/// Output of [`NeuronSweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuronSweepResults {
+    /// MLP accuracy per hidden width.
+    pub mlp: Vec<NeuronSweepPoint>,
+    /// SNN accuracy per layer size.
+    pub snn: Vec<NeuronSweepPoint>,
+}
+
+impl NeuronSweep {
+    /// The paper's Figure 8 grids for a workload.
+    pub fn fig8(workload: Workload) -> Self {
+        NeuronSweep {
+            workload,
+            scale: None,
+            mlp_widths: vec![10, 15, 20, 30, 50, 100, 200],
+            snn_sizes: vec![10, 20, 50, 100, 200, 300],
+            seed: 0xF168,
+        }
+    }
+}
+
+impl Experiment for NeuronSweep {
+    type Output = NeuronSweepResults;
+
+    fn run(&self, engine: &Engine) -> Result<NeuronSweepResults, Error> {
+        if self.mlp_widths.is_empty() && self.snn_sizes.is_empty() {
+            return Err(Error::BadConfig(String::from(
+                "neuron sweep has an empty grid on both sides",
+            )));
+        }
+        let scale = self.scale.unwrap_or_else(|| engine.scale());
+        let data = engine.dataset_at(self.workload, scale);
+        let train = &data.0;
+        let mut jobs = Vec::new();
+        for &h in &self.mlp_widths {
+            jobs.push(mlp_point_job(
+                train,
+                h,
+                scale.mlp_epochs(),
+                self.seed,
+                format!("fig8/mlp/{h}"),
+            ));
+        }
+        for &n in &self.snn_sizes {
+            jobs.push(snn_point_job(
+                train,
+                n,
+                None,
+                scale,
+                self.seed,
+                format!("fig8/snn/{n}"),
+            ));
+        }
+        let accuracies = collect(engine.train_and_score(&data, jobs))?;
+        let (mlp_acc, snn_acc) = accuracies.split_at(self.mlp_widths.len());
+        Ok(NeuronSweepResults {
+            mlp: self
+                .mlp_widths
+                .iter()
+                .zip(mlp_acc)
+                .map(|(&neurons, &accuracy)| NeuronSweepPoint { neurons, accuracy })
+                .collect(),
+            snn: self
+                .snn_sizes
+                .iter()
+                .zip(snn_acc)
+                .map(|(&neurons, &accuracy)| NeuronSweepPoint { neurons, accuracy })
+                .collect(),
+        })
+    }
+}
+
+/// The Figures 5–6 experiment: the sigmoid→step bridge, every slope an
+/// independent engine job plus the step-deployed reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigmoidBridge {
+    /// Workload under test.
+    pub workload: Workload,
+    /// Pinned scale; `None` defers to the engine's scale.
+    pub scale: Option<ExperimentScale>,
+    /// Sigmoid slopes `a` to sweep.
+    pub slopes: Vec<f64>,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Experiment for SigmoidBridge {
+    type Output = Vec<BridgePoint>;
+
+    fn run(&self, engine: &Engine) -> Result<Vec<BridgePoint>, Error> {
+        if self.slopes.is_empty() {
+            return Err(Error::BadConfig(String::from("bridge sweep has no slopes")));
+        }
+        let scale = self.scale.unwrap_or_else(|| engine.scale());
+        let data = engine.dataset_at(self.workload, scale);
+        let jobs = bridge_jobs(
+            &data.0,
+            &self.slopes,
+            self.hidden,
+            scale.mlp_epochs(),
+            self.seed,
+        );
+        let accuracies = collect(engine.train_and_score(&data, jobs))?;
+        Ok(bridge_points(&self.slopes, accuracies))
+    }
+}
+
+/// The Figure 14 experiment: STDP accuracy per coding scheme per layer
+/// size, every grid cell an independent engine job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodingSweep {
+    /// Workload under test.
+    pub workload: Workload,
+    /// Pinned scale; `None` defers to the engine's scale.
+    pub scale: Option<ExperimentScale>,
+    /// Input spike codes to compare.
+    pub schemes: Vec<CodingScheme>,
+    /// SNN layer sizes per scheme.
+    pub sizes: Vec<usize>,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Experiment for CodingSweep {
+    type Output = Vec<CodingPoint>;
+
+    fn run(&self, engine: &Engine) -> Result<Vec<CodingPoint>, Error> {
+        if self.schemes.is_empty() || self.sizes.is_empty() {
+            return Err(Error::BadConfig(String::from(
+                "coding sweep has an empty grid",
+            )));
+        }
+        let scale = self.scale.unwrap_or_else(|| engine.scale());
+        let data = engine.dataset_at(self.workload, scale);
+        let train = &data.0;
+        let grid: Vec<(CodingScheme, usize)> = self
+            .schemes
+            .iter()
+            .flat_map(|&s| self.sizes.iter().map(move |&n| (s, n)))
+            .collect();
+        let jobs = grid
+            .iter()
+            .map(|&(scheme, n)| {
+                snn_point_job(
+                    train,
+                    n,
+                    Some(scheme),
+                    scale,
+                    self.seed,
+                    format!("fig14/{scheme:?}/{n}"),
+                )
+            })
+            .collect();
+        let accuracies = collect(engine.train_and_score(&data, jobs))?;
+        Ok(grid
+            .iter()
+            .zip(accuracies)
+            .map(|(&(scheme, neurons), accuracy)| CodingPoint {
+                scheme,
+                neurons,
+                accuracy,
+            })
+            .collect())
+    }
+}
+
+/// Convenience: generate a workload and run the MLP sweep in one call.
+#[deprecated(since = "0.2.0", note = "run NeuronSweep::fig8 on an Engine instead")]
+pub fn fig8_mlp(
+    workload: Workload,
+    scale: ExperimentScale,
+    widths: &[usize],
+) -> Vec<NeuronSweepPoint> {
     let (train, test) = workload.generate(scale);
     mlp_neuron_sweep(&train, &test, widths, scale.mlp_epochs(), 0xF168)
 }
 
 /// Convenience: generate a workload and run the SNN sweep in one call.
-pub fn fig8_snn(workload: Workload, scale: ExperimentScale, sizes: &[usize]) -> Vec<NeuronSweepPoint> {
+#[deprecated(since = "0.2.0", note = "run NeuronSweep::fig8 on an Engine instead")]
+pub fn fig8_snn(
+    workload: Workload,
+    scale: ExperimentScale,
+    sizes: &[usize],
+) -> Vec<NeuronSweepPoint> {
     let (train, test) = workload.generate(scale);
     snn_neuron_sweep(&train, &test, sizes, scale, 0xF168)
 }
@@ -254,5 +541,54 @@ mod tests {
             1,
         );
         assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn neuron_sweep_experiment_runs_on_the_engine() {
+        let engine = Engine::builder()
+            .threads(2)
+            .scale(ExperimentScale::Tiny)
+            .build();
+        let sweep = NeuronSweep {
+            workload: Workload::Shapes,
+            scale: None,
+            mlp_widths: vec![4],
+            snn_sizes: vec![6],
+            seed: 1,
+        };
+        let results = engine.run(&sweep).unwrap();
+        assert_eq!(results.mlp.len(), 1);
+        assert_eq!(results.snn.len(), 1);
+        assert_eq!(results.mlp[0].neurons, 4);
+        assert_eq!(results.snn[0].neurons, 6);
+    }
+
+    #[test]
+    fn empty_grids_are_rejected() {
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        let sweep = NeuronSweep {
+            workload: Workload::Shapes,
+            scale: None,
+            mlp_widths: vec![],
+            snn_sizes: vec![],
+            seed: 1,
+        };
+        assert!(matches!(engine.run(&sweep), Err(Error::BadConfig(_))));
+        let bridge = SigmoidBridge {
+            workload: Workload::Shapes,
+            scale: None,
+            slopes: vec![],
+            hidden: 4,
+            seed: 1,
+        };
+        assert!(matches!(engine.run(&bridge), Err(Error::BadConfig(_))));
+        let coding = CodingSweep {
+            workload: Workload::Shapes,
+            scale: None,
+            schemes: vec![],
+            sizes: vec![],
+            seed: 1,
+        };
+        assert!(matches!(engine.run(&coding), Err(Error::BadConfig(_))));
     }
 }

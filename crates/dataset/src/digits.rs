@@ -123,7 +123,8 @@ pub fn render_digit(
         difficulty.max_rotation,
         difficulty.scale_jitter,
     );
-    let thickness = 2.2 * (1.0 + rng.next_range(-difficulty.thickness_jitter, difficulty.thickness_jitter));
+    let thickness =
+        2.2 * (1.0 + rng.next_range(-difficulty.thickness_jitter, difficulty.thickness_jitter));
     let mut img = rasterize_strokes(SIDE, SIDE, &strokes, thickness.max(0.8), jitter);
     img.blur3();
     img.add_noise(difficulty.noise, rng);

@@ -105,7 +105,11 @@ impl GreyImage {
                     for dx in -1i64..=1 {
                         let nx = x as i64 + dx;
                         let ny = y as i64 + dy;
-                        if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height {
+                        if nx >= 0
+                            && ny >= 0
+                            && (nx as usize) < self.width
+                            && (ny as usize) < self.height
+                        {
                             sum += u32::from(self.pixels[ny as usize * self.width + nx as usize]);
                             n += 1;
                         }

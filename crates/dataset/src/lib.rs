@@ -40,10 +40,12 @@
 
 pub mod digits;
 pub mod image;
+pub mod model;
 pub mod shapes;
 pub mod spoken;
 
 pub use image::GreyImage;
+pub use model::{FitBudget, Model, ModelError};
 
 /// One labeled example: a flattened 8-bit image plus its class label.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -110,11 +112,22 @@ pub enum DatasetError {
 impl std::fmt::Display for DatasetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DatasetError::WrongPixelCount { index, expected, got } => {
+            DatasetError::WrongPixelCount {
+                index,
+                expected,
+                got,
+            } => {
                 write!(f, "sample {index} has {got} pixels, expected {expected}")
             }
-            DatasetError::LabelOutOfRange { index, label, num_classes } => {
-                write!(f, "sample {index} has label {label}, expected < {num_classes}")
+            DatasetError::LabelOutOfRange {
+                index,
+                label,
+                num_classes,
+            } => {
+                write!(
+                    f,
+                    "sample {index} has label {label}, expected < {num_classes}"
+                )
             }
             DatasetError::EmptyGeometry => {
                 write!(f, "width, height and num_classes must be nonzero")
@@ -328,7 +341,11 @@ mod tests {
         .unwrap_err();
         assert!(matches!(
             err,
-            DatasetError::WrongPixelCount { expected: 4, got: 3, .. }
+            DatasetError::WrongPixelCount {
+                expected: 4,
+                got: 3,
+                ..
+            }
         ));
     }
 
@@ -344,7 +361,10 @@ mod tests {
             }],
         )
         .unwrap_err();
-        assert!(matches!(err, DatasetError::LabelOutOfRange { label: 5, .. }));
+        assert!(matches!(
+            err,
+            DatasetError::LabelOutOfRange { label: 5, .. }
+        ));
     }
 
     #[test]

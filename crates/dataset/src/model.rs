@@ -1,0 +1,193 @@
+//! The unified model interface every accelerator candidate implements.
+//!
+//! The paper compares five model variants (MLP+BP float and 8-bit
+//! fixed-point, SNN+STDP through the LIF and SNNwot readouts, and the
+//! SNN+BP hybrid) on identical data with identical scoring. This module
+//! captures that contract as a trait so experiment drivers — notably the
+//! parallel engine in `nc-core` — can treat every variant uniformly:
+//! build, [`Model::fit`] on the training set, [`Model::evaluate`] on the
+//! test set, report accuracy from the shared confusion matrix.
+//!
+//! The trait lives here (rather than in `nc-core`) because `nc-dataset`
+//! is the lowest layer that knows both [`Dataset`] and
+//! [`Confusion`](nc_substrate::stats::Confusion); the model crates
+//! (`nc-mlp`, `nc-snn`) implement it without depending on each other.
+
+use crate::Dataset;
+use nc_substrate::stats::Confusion;
+
+/// How much training compute a [`Model::fit`] call may spend.
+///
+/// One budget type serves every model family; each model reads the
+/// fields that apply to it (gradient-based models read `epochs` and
+/// `learning_rate`, STDP models read `stdp_epochs` and `stdp_delta`).
+/// Drivers fill the fields per model — e.g. the experiment engine maps
+/// its scale's MLP epoch count or SNN+BP epoch count into `epochs`
+/// depending on which model the budget is for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitBudget {
+    /// Passes over the training set for gradient-based learners
+    /// (MLP+BP, SNN+BP).
+    pub epochs: usize,
+    /// Passes over the training set for STDP learners.
+    pub stdp_epochs: usize,
+    /// STDP weight-update magnitude (paper Table 1 uses ±1 at full
+    /// presentation volume).
+    pub stdp_delta: i16,
+    /// Learning rate override for gradient-based learners; `None` keeps
+    /// each trainer's paper default (η = 0.3 for the MLP, 0.5 for
+    /// SNN+BP).
+    pub learning_rate: Option<f64>,
+}
+
+impl Default for FitBudget {
+    /// The paper's full-volume settings (Table 1).
+    fn default() -> Self {
+        FitBudget {
+            epochs: 50,
+            stdp_epochs: 20,
+            stdp_delta: 1,
+            learning_rate: None,
+        }
+    }
+}
+
+/// Why a [`Model::fit`] call could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The dataset's input dimensionality does not match the model's.
+    GeometryMismatch {
+        /// Input dimension the model was built for.
+        expected: usize,
+        /// Input dimension the dataset provides.
+        got: usize,
+    },
+    /// The training set has no samples.
+    EmptyDataset,
+    /// The model instance cannot be trained — e.g. a deployment artifact
+    /// (a quantized or timing-free network extracted from a trained
+    /// master) that was not built with an `untrained` constructor.
+    NotTrainable {
+        /// The model's display name.
+        model: &'static str,
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::GeometryMismatch { expected, got } => {
+                write!(f, "dataset has {got} inputs, model expects {expected}")
+            }
+            ModelError::EmptyDataset => write!(f, "training set is empty"),
+            ModelError::NotTrainable { model, reason } => {
+                write!(f, "{model} cannot be trained: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A classifier that can be trained on a [`Dataset`] and scored on
+/// another — the unit of work the experiment engine schedules.
+///
+/// `evaluate` takes `&mut self` because the temporal SNN advances its
+/// presentation RNG while classifying; pure feed-forward models simply
+/// ignore the mutability.
+pub trait Model: Send {
+    /// Display name, matching the paper's Table 3 row labels.
+    fn name(&self) -> &'static str;
+
+    /// Trains on `train` within `budget`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the dataset is empty, its geometry does
+    /// not match the model, or the instance is a deployment artifact
+    /// that cannot be retrained.
+    fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError>;
+
+    /// Scores on `test`, producing the shared confusion matrix.
+    fn evaluate(&mut self, test: &Dataset) -> Confusion;
+}
+
+/// Validates the common preconditions shared by every `fit`
+/// implementation.
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptyDataset`] or
+/// [`ModelError::GeometryMismatch`].
+pub fn check_fit_inputs(train: &Dataset, expected_inputs: usize) -> Result<(), ModelError> {
+    if train.is_empty() {
+        return Err(ModelError::EmptyDataset);
+    }
+    if train.input_dim() != expected_inputs {
+        return Err(ModelError::GeometryMismatch {
+            expected: expected_inputs,
+            got: train.input_dim(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sample;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::from_samples(
+            2,
+            2,
+            2,
+            vec![Sample {
+                pixels: vec![0; 4],
+                label: 1,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn check_rejects_empty() {
+        let ds = Dataset::from_samples(2, 2, 2, vec![]).unwrap();
+        assert_eq!(check_fit_inputs(&ds, 4), Err(ModelError::EmptyDataset));
+    }
+
+    #[test]
+    fn check_rejects_geometry_mismatch() {
+        assert_eq!(
+            check_fit_inputs(&tiny_dataset(), 9),
+            Err(ModelError::GeometryMismatch {
+                expected: 9,
+                got: 4
+            })
+        );
+    }
+
+    #[test]
+    fn check_accepts_matching_geometry() {
+        assert_eq!(check_fit_inputs(&tiny_dataset(), 4), Ok(()));
+    }
+
+    #[test]
+    fn errors_display_is_nonempty() {
+        for e in [
+            ModelError::EmptyDataset,
+            ModelError::GeometryMismatch {
+                expected: 1,
+                got: 2,
+            },
+            ModelError::NotTrainable {
+                model: "x",
+                reason: "y",
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -143,23 +143,51 @@ fn star(points: usize, cx: f64, cy: f64, r_outer: f64, r_inner: f64) -> Vec<Poin
 pub fn polygon(class: usize) -> Vec<Point> {
     match class {
         0 => regular(16, 0.5, 0.5, 0.38, 0.0),
-        1 => vec![pt(0.18, 0.18), pt(0.82, 0.18), pt(0.82, 0.82), pt(0.18, 0.82)],
+        1 => vec![
+            pt(0.18, 0.18),
+            pt(0.82, 0.18),
+            pt(0.82, 0.82),
+            pt(0.18, 0.82),
+        ],
         2 => vec![pt(0.5, 0.10), pt(0.90, 0.85), pt(0.10, 0.85)],
         3 => star(5, 0.5, 0.52, 0.44, 0.18),
         4 => vec![
-            pt(0.38, 0.08), pt(0.62, 0.08), pt(0.62, 0.38), pt(0.92, 0.38),
-            pt(0.92, 0.62), pt(0.62, 0.62), pt(0.62, 0.92), pt(0.38, 0.92),
-            pt(0.38, 0.62), pt(0.08, 0.62), pt(0.08, 0.38), pt(0.38, 0.38),
+            pt(0.38, 0.08),
+            pt(0.62, 0.08),
+            pt(0.62, 0.38),
+            pt(0.92, 0.38),
+            pt(0.92, 0.62),
+            pt(0.62, 0.62),
+            pt(0.62, 0.92),
+            pt(0.38, 0.92),
+            pt(0.38, 0.62),
+            pt(0.08, 0.62),
+            pt(0.08, 0.38),
+            pt(0.38, 0.38),
         ],
         5 => vec![pt(0.5, 0.06), pt(0.90, 0.5), pt(0.5, 0.94), pt(0.10, 0.5)],
-        6 => vec![pt(0.10, 0.38), pt(0.90, 0.38), pt(0.90, 0.62), pt(0.10, 0.62)],
+        6 => vec![
+            pt(0.10, 0.38),
+            pt(0.90, 0.38),
+            pt(0.90, 0.62),
+            pt(0.10, 0.62),
+        ],
         7 => vec![
-            pt(0.15, 0.10), pt(0.42, 0.10), pt(0.42, 0.63), pt(0.90, 0.63),
-            pt(0.90, 0.90), pt(0.15, 0.90),
+            pt(0.15, 0.10),
+            pt(0.42, 0.10),
+            pt(0.42, 0.63),
+            pt(0.90, 0.63),
+            pt(0.90, 0.90),
+            pt(0.15, 0.90),
         ],
         8 => vec![
-            pt(0.08, 0.40), pt(0.55, 0.40), pt(0.55, 0.18), pt(0.94, 0.5),
-            pt(0.55, 0.82), pt(0.55, 0.60), pt(0.08, 0.60),
+            pt(0.08, 0.40),
+            pt(0.55, 0.40),
+            pt(0.55, 0.18),
+            pt(0.94, 0.5),
+            pt(0.55, 0.82),
+            pt(0.55, 0.60),
+            pt(0.08, 0.60),
         ],
         9 => {
             // A disk with a wedge notch (pac-man / crescent-like).
@@ -204,11 +232,7 @@ mod tests {
     fn silhouettes_are_mostly_binary_without_noise() {
         let mut rng = SplitMix64::new(4);
         let img = render_shape(1, &mut rng, Difficulty::none());
-        let intermediate = img
-            .pixels()
-            .iter()
-            .filter(|&&p| p > 10 && p < 245)
-            .count();
+        let intermediate = img.pixels().iter().filter(|&&p| p > 10 && p < 245).count();
         // Only the anti-aliased boundary may be intermediate.
         assert!(intermediate < img.pixels().len() / 4);
     }

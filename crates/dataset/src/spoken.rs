@@ -124,11 +124,7 @@ fn prototype(class: usize) -> Vec<Bump> {
 /// # Panics
 ///
 /// Panics if `class >= 10`.
-pub fn render_utterance(
-    class: usize,
-    rng: &mut SplitMix64,
-    difficulty: Difficulty,
-) -> GreyImage {
+pub fn render_utterance(class: usize, rng: &mut SplitMix64, difficulty: Difficulty) -> GreyImage {
     assert!(class < CLASSES, "class must be 0..=9");
     let proto = prototype(class);
     // Monotone time warp: t' = t + w·sin(π t); |w| < 1/π keeps it monotone.

@@ -1,93 +1,122 @@
-//! Property-based tests for the synthetic workload generators.
+//! Randomized invariant tests for the synthetic workload generators.
+//!
+//! Formerly proptest-based; converted to a deterministic std-only harness
+//! (seeded [`SplitMix64`] case generation) so the workspace builds and
+//! tests fully offline.
 
 use nc_dataset::{digits, shapes, spoken, Dataset, Difficulty, Sample};
-use proptest::prelude::*;
+use nc_substrate::rng::SplitMix64;
 
-fn arb_difficulty() -> impl Strategy<Value = Difficulty> {
-    (
-        0.0f64..3.0,
-        0.0f64..0.4,
-        0.0f64..0.2,
-        0.0f64..0.15,
-        0.0f64..0.5,
-    )
-        .prop_map(|(max_shift, max_rotation, scale_jitter, noise, thickness_jitter)| {
-            Difficulty {
-                max_shift,
-                max_rotation,
-                scale_jitter,
-                noise,
-                thickness_jitter,
-            }
-        })
+fn random_difficulty(rng: &mut SplitMix64) -> Difficulty {
+    Difficulty {
+        max_shift: rng.next_range(0.0, 3.0),
+        max_rotation: rng.next_range(0.0, 0.4),
+        scale_jitter: rng.next_range(0.0, 0.2),
+        noise: rng.next_range(0.0, 0.15),
+        thickness_jitter: rng.next_range(0.0, 0.5),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn digit_generation_is_structurally_valid(
-        n in 0usize..40,
-        seed in any::<u64>(),
-        difficulty in arb_difficulty(),
-    ) {
-        let (train, test) = digits::DigitsSpec { train: n, test: n / 2, seed, difficulty }.generate();
-        prop_assert_eq!(train.len(), n);
-        prop_assert_eq!(test.len(), n / 2);
-        prop_assert_eq!(train.input_dim(), 784);
+#[test]
+fn digit_generation_is_structurally_valid() {
+    let mut rng = SplitMix64::new(0xDA1);
+    for case in 0..24 {
+        let n = rng.next_below(40) as usize;
+        let seed = rng.next_u64();
+        let difficulty = random_difficulty(&mut rng);
+        let (train, test) = digits::DigitsSpec {
+            train: n,
+            test: n / 2,
+            seed,
+            difficulty,
+        }
+        .generate();
+        assert_eq!(train.len(), n, "case {case}");
+        assert_eq!(test.len(), n / 2, "case {case}");
+        assert_eq!(train.input_dim(), 784, "case {case}");
         for s in train.iter().chain(test.iter()) {
-            prop_assert_eq!(s.pixels.len(), 784);
-            prop_assert!(s.label < 10);
+            assert_eq!(s.pixels.len(), 784, "case {case}");
+            assert!(s.label < 10, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn generation_is_a_pure_function_of_the_spec(
-        seed in any::<u64>(),
-        difficulty in arb_difficulty(),
-    ) {
-        let spec = shapes::ShapesSpec { train: 12, test: 6, seed, difficulty };
-        prop_assert_eq!(spec.generate(), spec.generate());
+#[test]
+fn generation_is_a_pure_function_of_the_spec() {
+    let mut rng = SplitMix64::new(0xDA2);
+    for case in 0..12 {
+        let spec = shapes::ShapesSpec {
+            train: 12,
+            test: 6,
+            seed: rng.next_u64(),
+            difficulty: random_difficulty(&mut rng),
+        };
+        assert_eq!(spec.generate(), spec.generate(), "case {case}");
     }
+}
 
-    #[test]
-    fn spoken_patches_are_class_balanced(n10 in 1usize..6, seed in any::<u64>()) {
+#[test]
+fn spoken_patches_are_class_balanced() {
+    let mut rng = SplitMix64::new(0xDA3);
+    for case in 0..24 {
+        let n10 = 1 + rng.next_below(5) as usize;
         let n = n10 * 10;
         let (train, _) = spoken::SpokenSpec {
-            train: n, test: 0, seed, difficulty: Difficulty::default(),
-        }.generate();
-        prop_assert_eq!(train.class_counts(), vec![n10; 10]);
+            train: n,
+            test: 0,
+            seed: rng.next_u64(),
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        assert_eq!(train.class_counts(), vec![n10; 10], "case {case}");
     }
+}
 
-    #[test]
-    fn every_digit_class_renders_nonempty_under_any_difficulty(
-        digit in 0usize..10,
-        seed in any::<u64>(),
-        difficulty in arb_difficulty(),
-    ) {
-        let mut rng = nc_substrate::rng::SplitMix64::new(seed);
-        let img = digits::render_digit(digit, &mut rng, difficulty);
+#[test]
+fn every_digit_class_renders_nonempty_under_any_difficulty() {
+    let mut rng = SplitMix64::new(0xDA4);
+    for case in 0..24 {
+        let digit = rng.next_below(10) as usize;
+        let seed = rng.next_u64();
+        let difficulty = random_difficulty(&mut rng);
+        let mut render_rng = SplitMix64::new(seed);
+        let img = digits::render_digit(digit, &mut render_rng, difficulty);
         let ink: usize = img.pixels().iter().filter(|&&p| p > 64).count();
-        prop_assert!(ink > 5, "digit {digit} rendered almost empty");
+        assert!(ink > 5, "case {case}: digit {digit} rendered almost empty");
     }
+}
 
-    #[test]
-    fn take_is_a_prefix(n in 0usize..30, k in 0usize..40) {
+#[test]
+fn take_is_a_prefix() {
+    let mut rng = SplitMix64::new(0xDA5);
+    for case in 0..24 {
+        let n = rng.next_below(30) as usize;
+        let k = rng.next_below(40) as usize;
         let samples: Vec<Sample> = (0..n)
-            .map(|i| Sample { pixels: vec![i as u8], label: 0 })
+            .map(|i| Sample {
+                pixels: vec![i as u8],
+                label: 0,
+            })
             .collect();
         let ds = Dataset::from_samples(1, 1, 1, samples.clone()).unwrap();
         let taken = ds.take(k);
-        prop_assert_eq!(taken.len(), n.min(k));
-        prop_assert_eq!(taken.samples(), &samples[..n.min(k)]);
+        assert_eq!(taken.len(), n.min(k), "case {case}");
+        assert_eq!(taken.samples(), &samples[..n.min(k)], "case {case}");
     }
+}
 
-    #[test]
-    fn mean_luminance_is_a_valid_fraction(seed in any::<u64>()) {
+#[test]
+fn mean_luminance_is_a_valid_fraction() {
+    let mut rng = SplitMix64::new(0xDA6);
+    for case in 0..12 {
         let (train, _) = shapes::ShapesSpec {
-            train: 10, test: 0, seed, difficulty: Difficulty::default(),
-        }.generate();
+            train: 10,
+            test: 0,
+            seed: rng.next_u64(),
+            difficulty: Difficulty::default(),
+        }
+        .generate();
         let lum = train.mean_luminance();
-        prop_assert!((0.0..=1.0).contains(&lum));
+        assert!((0.0..=1.0).contains(&lum), "case {case}: {lum}");
     }
 }

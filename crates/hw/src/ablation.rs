@@ -45,17 +45,13 @@ pub fn count_width_sweep(
     widths
         .iter()
         .map(|&count_bits| {
-            assert!(
-                (1..=8).contains(&count_bits),
-                "count bits must be in 1..=8"
-            );
+            assert!((1..=8).contains(&count_bits), "count bits must be in 1..=8");
             let base = FoldedSnnWot::new(inputs, neurons, ni);
             let baseline = base.report();
             let lane_scale = f64::from(count_bits) / 4.0;
             // Lane-proportional parts scale; SRAM (weights) does not.
-            let lane_area = (base.neuron_area_um2() - crate::folded::SNNWOT_NEURON_BASE)
-                * neurons as f64
-                / 1e6;
+            let lane_area =
+                (base.neuron_area_um2() - crate::folded::SNNWOT_NEURON_BASE) * neurons as f64 / 1e6;
             let fixed_area = baseline.logic_area_mm2 - lane_area;
             let logic = fixed_area + lane_area * lane_scale;
             let report = HwReport {
@@ -64,8 +60,7 @@ pub fn count_width_sweep(
                 total_area_mm2: logic + baseline.sram_area_mm2,
                 clock_ns: baseline.clock_ns,
                 cycles_per_image: baseline.cycles_per_image,
-                energy_per_image_j: baseline.energy_per_image_j
-                    * (0.6 + 0.4 * lane_scale), // SRAM share (~60%) is width-invariant
+                energy_per_image_j: baseline.energy_per_image_j * (0.6 + 0.4 * lane_scale), // SRAM share (~60%) is width-invariant
             };
             CountWidthPoint {
                 count_bits,

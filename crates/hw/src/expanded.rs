@@ -11,8 +11,7 @@ use crate::report::HwReport;
 use crate::sram::expanded_sram_mm2;
 use crate::tech::{
     adder_tree_area, expanded_clock_period_ns, max_tree, DesignKind, GAUSSIAN_RNG_AREA,
-    MLP_TREE_ADDER_AREA, MULT8_AREA, SNNWOT_TREE_ADDER_AREA,
-    SNNWT_TREE_ADDER_AREA,
+    MLP_TREE_ADDER_AREA, MULT8_AREA, SNNWOT_TREE_ADDER_AREA, SNNWT_TREE_ADDER_AREA,
 };
 
 /// One row of a Table 4-style operator inventory.

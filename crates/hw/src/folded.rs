@@ -167,8 +167,7 @@ impl FoldedSnnWot {
 
     /// The full report.
     pub fn report(&self) -> HwReport {
-        let logic = (self.neuron_area_um2() * self.neurons as f64 + max_tree(self.neurons).1)
-            / 1e6;
+        let logic = (self.neuron_area_um2() * self.neurons as f64 + max_tree(self.neurons).1) / 1e6;
         let sram_cfg = self.sram();
         let cycles = self.cycles_per_image();
         let per_cycle_pj = sram_cfg.read_all_pj()
@@ -343,7 +342,10 @@ mod tests {
         let area_ratio = wot.total_area_mm2 / mlp.total_area_mm2;
         let energy_ratio = wot.energy_per_image_j / mlp.energy_per_image_j;
         assert!(area_ratio > 2.0 && area_ratio < 3.2, "area {area_ratio}");
-        assert!(energy_ratio > 1.8 && energy_ratio < 3.2, "energy {energy_ratio}");
+        assert!(
+            energy_ratio > 1.8 && energy_ratio < 3.2,
+            "energy {energy_ratio}"
+        );
     }
 
     #[test]

@@ -117,9 +117,24 @@ mod tests {
         let gpu = GpuModel::default();
         let w = GpuWorkload::mlp(&[784, 100, 10]);
         // ni = 1: paper 40.44; ni = 16: paper 626; expanded: 5409.
-        let s1 = gpu.speedup_over(&w, FoldedMlp::new(&[784, 100, 10], 1).report().time_per_image_ns());
-        let s16 = gpu.speedup_over(&w, FoldedMlp::new(&[784, 100, 10], 16).report().time_per_image_ns());
-        let se = gpu.speedup_over(&w, ExpandedMlp::new(&[784, 100, 10]).report().time_per_image_ns());
+        let s1 = gpu.speedup_over(
+            &w,
+            FoldedMlp::new(&[784, 100, 10], 1)
+                .report()
+                .time_per_image_ns(),
+        );
+        let s16 = gpu.speedup_over(
+            &w,
+            FoldedMlp::new(&[784, 100, 10], 16)
+                .report()
+                .time_per_image_ns(),
+        );
+        let se = gpu.speedup_over(
+            &w,
+            ExpandedMlp::new(&[784, 100, 10])
+                .report()
+                .time_per_image_ns(),
+        );
         assert!(s1 > 30.0 && s1 < 55.0, "{s1}");
         assert!(s16 > 480.0 && s16 < 800.0, "{s16}");
         assert!(se > 4000.0 && se < 7000.0, "{se}");
@@ -130,11 +145,19 @@ mod tests {
         let gpu = GpuModel::default();
         let w = GpuWorkload::snn(784, 300);
         // ni = 1: paper 59.10; ni = 16: 543; expanded: 6086.
-        let s1 = gpu.speedup_over(&w, FoldedSnnWot::new(784, 300, 1).report().time_per_image_ns());
-        let s16 = gpu.speedup_over(&w, FoldedSnnWot::new(784, 300, 16).report().time_per_image_ns());
+        let s1 = gpu.speedup_over(
+            &w,
+            FoldedSnnWot::new(784, 300, 1).report().time_per_image_ns(),
+        );
+        let s16 = gpu.speedup_over(
+            &w,
+            FoldedSnnWot::new(784, 300, 16).report().time_per_image_ns(),
+        );
         let se = gpu.speedup_over(
             &w,
-            ExpandedSnn::new(SnnVariant::Wot, 784, 300).report().time_per_image_ns(),
+            ExpandedSnn::new(SnnVariant::Wot, 784, 300)
+                .report()
+                .time_per_image_ns(),
         );
         assert!(s1 > 45.0 && s1 < 75.0, "{s1}");
         assert!(s16 > 420.0 && s16 < 700.0, "{s16}");
@@ -162,7 +185,9 @@ mod tests {
         let w = GpuWorkload::mlp(&[784, 100, 10]);
         let b1 = gpu.energy_benefit_over(
             &w,
-            FoldedMlp::new(&[784, 100, 10], 1).report().energy_per_image_j,
+            FoldedMlp::new(&[784, 100, 10], 1)
+                .report()
+                .energy_per_image_j,
         );
         assert!(b1 > 8_000.0 && b1 < 20_000.0, "{b1}");
         let wsnn = GpuWorkload::snn(784, 300);

@@ -75,9 +75,7 @@ impl OnlineSnn {
 
     /// Per-neuron area including the STDP circuitry, µm².
     pub fn neuron_area_um2(&self) -> f64 {
-        self.inference_core().neuron_area_um2()
-            + STDP_NEURON_BASE
-            + STDP_LANE_AREA * self.ni as f64
+        self.inference_core().neuron_area_um2() + STDP_NEURON_BASE + STDP_LANE_AREA * self.ni as f64
     }
 
     /// SRAM configuration (same banks; STDP writes back through the same
@@ -152,10 +150,9 @@ mod tests {
     fn stdp_overhead_matches_paper_claims() {
         // §4.4.1: total area 1.34x (ni=16) to 1.93x (ni=1); cycle time
         // +≤7%; energy 1.02x to 1.50x.
-        for (ni, lo_a, hi_a, lo_e, hi_e) in [
-            (1, 1.7, 2.2, 1.25, 1.75),
-            (16, 1.15, 1.55, 0.95, 1.25),
-        ] {
+        for (ni, lo_a, hi_a, lo_e, hi_e) in
+            [(1, 1.7, 2.2, 1.25, 1.75), (16, 1.15, 1.55, 0.95, 1.25)]
+        {
             let on = OnlineSnn::new(784, 300, ni).report();
             let off = FoldedSnnWt::new(784, 300, ni).report();
             let area_ratio = on.total_area_mm2 / off.total_area_mm2;

@@ -40,10 +40,7 @@ impl StaggeredPipeline {
     /// clock is not positive.
     pub fn new(stages: Vec<Stage>, clock_ns: f64) -> Self {
         assert!(!stages.is_empty(), "need at least one stage");
-        assert!(
-            stages.iter().all(|s| s.cycles > 0),
-            "zero-cycle stage"
-        );
+        assert!(stages.iter().all(|s| s.cycles > 0), "zero-cycle stage");
         assert!(clock_ns > 0.0, "clock must be positive");
         StaggeredPipeline { stages, clock_ns }
     }
@@ -82,7 +79,9 @@ impl StaggeredPipeline {
                 },
                 Stage {
                     name: "max readout".into(),
-                    cycles: crate::folded::SNNWOT_PIPELINE_LATENCY.saturating_sub(1).max(1),
+                    cycles: crate::folded::SNNWOT_PIPELINE_LATENCY
+                        .saturating_sub(1)
+                        .max(1),
                 },
             ],
             clock_ns,
@@ -164,25 +163,35 @@ mod tests {
         assert_eq!(p.batch_cycles(1), p.latency_cycles());
         let per_image_at_1000 = p.batch_cycles(1000) as f64 / 1000.0;
         assert!(per_image_at_1000 < p.latency_cycles() as f64);
-        assert!(
-            (per_image_at_1000 - p.initiation_interval_cycles() as f64).abs() < 1.0
-        );
+        assert!((per_image_at_1000 - p.initiation_interval_cycles() as f64).abs() < 1.0);
     }
 
     #[test]
     fn balanced_pipeline_has_maximal_gain() {
         let balanced = StaggeredPipeline::new(
             vec![
-                Stage { name: "a".into(), cycles: 10 },
-                Stage { name: "b".into(), cycles: 10 },
+                Stage {
+                    name: "a".into(),
+                    cycles: 10,
+                },
+                Stage {
+                    name: "b".into(),
+                    cycles: 10,
+                },
             ],
             1.0,
         );
         assert!((balanced.pipelining_gain() - 2.0).abs() < 1e-12);
         let skewed = StaggeredPipeline::new(
             vec![
-                Stage { name: "a".into(), cycles: 19 },
-                Stage { name: "b".into(), cycles: 1 },
+                Stage {
+                    name: "a".into(),
+                    cycles: 19,
+                },
+                Stage {
+                    name: "b".into(),
+                    cycles: 1,
+                },
             ],
             1.0,
         );
@@ -193,7 +202,10 @@ mod tests {
     #[should_panic(expected = "zero-cycle stage")]
     fn zero_cycle_stage_rejected() {
         let _ = StaggeredPipeline::new(
-            vec![Stage { name: "a".into(), cycles: 0 }],
+            vec![Stage {
+                name: "a".into(),
+                cycles: 0,
+            }],
             1.0,
         );
     }

@@ -57,7 +57,11 @@ pub enum PowerClass {
 /// the design's own SRAM-vs-total energy split; the remaining (logic)
 /// power is divided between clock and datapath using the Table 5 shares
 /// for the design's class.
-pub fn breakdown(report: &HwReport, class: PowerClass, sram_energy_fraction: f64) -> PowerBreakdown {
+pub fn breakdown(
+    report: &HwReport,
+    class: PowerClass,
+    sram_energy_fraction: f64,
+) -> PowerBreakdown {
     assert!(
         (0.0..=1.0).contains(&sram_energy_fraction),
         "fraction must be in [0, 1]"

@@ -84,8 +84,16 @@ mod tests {
         // must appear.
         let pts = projection(&[28]);
         let p = &pts[0];
-        assert!(p.expanded_snn_advantage() > 1.4, "{}", p.expanded_snn_advantage());
-        assert!(p.folded_mlp_advantage() > 2.0, "{}", p.folded_mlp_advantage());
+        assert!(
+            p.expanded_snn_advantage() > 1.4,
+            "{}",
+            p.expanded_snn_advantage()
+        );
+        assert!(
+            p.folded_mlp_advantage() > 2.0,
+            "{}",
+            p.folded_mlp_advantage()
+        );
     }
 
     #[test]

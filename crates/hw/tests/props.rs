@@ -1,131 +1,177 @@
-//! Property-based tests for the hardware cost model and datapath
+//! Randomized invariant tests for the hardware cost model and datapath
 //! simulators: structural invariants that must hold for *any* network
 //! geometry, not just the paper's.
+//!
+//! Formerly proptest-based; converted to a deterministic std-only harness
+//! (seeded [`SplitMix64`] case generation) so the workspace builds and
+//! tests fully offline.
 
 use nc_hw::expanded::{ExpandedMlp, ExpandedSnn, SnnVariant};
 use nc_hw::folded::{FoldedMlp, FoldedSnnWot, FoldedSnnWt};
 use nc_hw::sim::{FoldedMlpSim, WotDatapathSim};
 use nc_hw::sram::BankConfig;
 use nc_mlp::{Activation, Mlp, QuantizedMlp};
-use proptest::prelude::*;
+use nc_substrate::rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn reports_are_internally_consistent(
-        inputs in 1usize..1000,
-        neurons in 1usize..400,
-        ni in 1usize..32,
-    ) {
+fn random_bytes(rng: &mut SplitMix64, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.next_u64() as u8).collect()
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let mut rng = SplitMix64::new(0x4101);
+    for case in 0..CASES {
+        let inputs = 1 + rng.next_below(999) as usize;
+        let neurons = 1 + rng.next_below(399) as usize;
+        let ni = 1 + rng.next_below(31) as usize;
         for report in [
             FoldedSnnWot::new(inputs, neurons, ni).report(),
             FoldedSnnWt::new(inputs, neurons, ni).report(),
             FoldedMlp::new(&[inputs, neurons, 10], ni).report(),
         ] {
-            prop_assert!(report.total_area_mm2 > 0.0);
-            prop_assert!((report.total_area_mm2
-                - (report.logic_area_mm2 + report.sram_area_mm2)).abs() < 1e-9);
-            prop_assert!(report.clock_ns > 0.0);
-            prop_assert!(report.cycles_per_image > 0);
-            prop_assert!(report.energy_per_image_j > 0.0);
-            prop_assert!(report.power_w() > 0.0);
+            let ctx = format!("case {case}: inputs {inputs} neurons {neurons} ni {ni}");
+            assert!(report.total_area_mm2 > 0.0, "{ctx}");
+            assert!(
+                (report.total_area_mm2 - (report.logic_area_mm2 + report.sram_area_mm2)).abs()
+                    < 1e-9,
+                "{ctx}"
+            );
+            assert!(report.clock_ns > 0.0, "{ctx}");
+            assert!(report.cycles_per_image > 0, "{ctx}");
+            assert!(report.energy_per_image_j > 0.0, "{ctx}");
+            assert!(report.power_w() > 0.0, "{ctx}");
         }
     }
+}
 
-    #[test]
-    fn more_lanes_is_bigger_but_faster(
-        inputs in 32usize..1000,
-        neurons in 10usize..300,
-        ni in 1usize..8,
-    ) {
+#[test]
+fn more_lanes_is_bigger_but_faster() {
+    let mut rng = SplitMix64::new(0x4102);
+    for case in 0..CASES {
+        let inputs = 32 + rng.next_below(968) as usize;
+        let neurons = 10 + rng.next_below(290) as usize;
+        let ni = 1 + rng.next_below(7) as usize;
         let small = FoldedSnnWot::new(inputs, neurons, ni).report();
         let big = FoldedSnnWot::new(inputs, neurons, ni * 2).report();
-        prop_assert!(big.logic_area_mm2 > small.logic_area_mm2);
-        prop_assert!(big.cycles_per_image <= small.cycles_per_image);
+        assert!(big.logic_area_mm2 > small.logic_area_mm2, "case {case}");
+        assert!(
+            big.cycles_per_image <= small.cycles_per_image,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn bank_capacity_covers_all_weights(
-        neurons in 1usize..500,
-        inputs in 1usize..2000,
-        ni in 1usize..64,
-    ) {
+#[test]
+fn bank_capacity_covers_all_weights() {
+    let mut rng = SplitMix64::new(0x4103);
+    for case in 0..CASES {
+        let neurons = 1 + rng.next_below(499) as usize;
+        let inputs = 1 + rng.next_below(1999) as usize;
+        let ni = 1 + rng.next_below(63) as usize;
         let cfg = BankConfig::for_layer(neurons, inputs, ni);
         let capacity_bits = cfg.banks as u64 * cfg.depth as u64 * 128;
         let needed_bits = neurons as u64 * inputs as u64 * 8;
-        prop_assert!(capacity_bits >= needed_bits,
-            "banks {} x depth {} cannot hold {} weights", cfg.banks, cfg.depth,
-            neurons * inputs);
-    }
-
-    #[test]
-    fn folded_cycles_match_the_closed_forms(
-        inputs in 1usize..2000,
-        neurons in 1usize..100,
-        ni in 1usize..64,
-    ) {
-        let wot = FoldedSnnWot::new(inputs, neurons, ni);
-        prop_assert_eq!(wot.cycles_per_image(), inputs.div_ceil(ni) as u64 + 7);
-        let wt = FoldedSnnWt::new(inputs, neurons, ni);
-        prop_assert_eq!(wt.cycles_per_image(), (inputs.div_ceil(ni) as u64 + 7) * 500);
-        let mlp = FoldedMlp::new(&[inputs, neurons, 10], ni);
-        prop_assert_eq!(
-            mlp.cycles_per_image(),
-            inputs.div_ceil(ni) as u64 + 1 + neurons.div_ceil(ni) as u64 + 1
+        assert!(
+            capacity_bits >= needed_bits,
+            "case {case}: banks {} x depth {} cannot hold {} weights",
+            cfg.banks,
+            cfg.depth,
+            neurons * inputs
         );
     }
+}
 
-    #[test]
-    fn expanded_inventory_counts_scale_with_topology(
-        inputs in 2usize..500,
-        hidden in 1usize..200,
-        outputs in 1usize..20,
-    ) {
+#[test]
+fn folded_cycles_match_the_closed_forms() {
+    let mut rng = SplitMix64::new(0x4104);
+    for case in 0..CASES {
+        let inputs = 1 + rng.next_below(1999) as usize;
+        let neurons = 1 + rng.next_below(99) as usize;
+        let ni = 1 + rng.next_below(63) as usize;
+        let wot = FoldedSnnWot::new(inputs, neurons, ni);
+        assert_eq!(
+            wot.cycles_per_image(),
+            inputs.div_ceil(ni) as u64 + 7,
+            "case {case}"
+        );
+        let wt = FoldedSnnWt::new(inputs, neurons, ni);
+        assert_eq!(
+            wt.cycles_per_image(),
+            (inputs.div_ceil(ni) as u64 + 7) * 500,
+            "case {case}"
+        );
+        let mlp = FoldedMlp::new(&[inputs, neurons, 10], ni);
+        assert_eq!(
+            mlp.cycles_per_image(),
+            inputs.div_ceil(ni) as u64 + 1 + neurons.div_ceil(ni) as u64 + 1,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn expanded_inventory_counts_scale_with_topology() {
+    let mut rng = SplitMix64::new(0x4105);
+    for case in 0..CASES {
+        let inputs = 2 + rng.next_below(498) as usize;
+        let hidden = 1 + rng.next_below(199) as usize;
+        let outputs = 1 + rng.next_below(19) as usize;
         let mlp = ExpandedMlp::new(&[inputs, hidden, outputs]);
         let inv = mlp.inventory();
-        prop_assert_eq!(inv[0].count, hidden);
-        prop_assert_eq!(inv[1].count, outputs);
-        prop_assert_eq!(inv[2].count, inputs * hidden + hidden * outputs + hidden + outputs);
+        assert_eq!(inv[0].count, hidden, "case {case}");
+        assert_eq!(inv[1].count, outputs, "case {case}");
+        assert_eq!(
+            inv[2].count,
+            inputs * hidden + hidden * outputs + hidden + outputs,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn expanded_snn_area_grows_monotonically(
-        inputs in 2usize..500,
-        neurons in 1usize..200,
-    ) {
+#[test]
+fn expanded_snn_area_grows_monotonically() {
+    let mut rng = SplitMix64::new(0x4106);
+    for case in 0..CASES {
+        let inputs = 2 + rng.next_below(498) as usize;
+        let neurons = 1 + rng.next_below(199) as usize;
         let base = ExpandedSnn::new(SnnVariant::Wot, inputs, neurons).report();
         let wider = ExpandedSnn::new(SnnVariant::Wot, inputs + 1, neurons).report();
         let taller = ExpandedSnn::new(SnnVariant::Wot, inputs, neurons + 1).report();
-        prop_assert!(wider.total_area_mm2 >= base.total_area_mm2);
-        prop_assert!(taller.total_area_mm2 >= base.total_area_mm2);
+        assert!(wider.total_area_mm2 >= base.total_area_mm2, "case {case}");
+        assert!(taller.total_area_mm2 >= base.total_area_mm2, "case {case}");
     }
+}
 
-    #[test]
-    fn folded_mlp_sim_is_ni_invariant(
-        seed in any::<u64>(),
-        pixels in proptest::collection::vec(any::<u8>(), 20),
-        ni_a in 1usize..20,
-        ni_b in 1usize..20,
-    ) {
-        // The chunking factor is a scheduling choice; it must never
-        // change the functional result.
+#[test]
+fn folded_mlp_sim_is_ni_invariant() {
+    // The chunking factor is a scheduling choice; it must never change
+    // the functional result.
+    let mut rng = SplitMix64::new(0x4107);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let pixels = random_bytes(&mut rng, 20);
+        let ni_a = 1 + rng.next_below(19) as usize;
+        let ni_b = 1 + rng.next_below(19) as usize;
         let mlp = Mlp::new(&[20, 7, 4], Activation::sigmoid(), seed).unwrap();
         let q = QuantizedMlp::from_mlp(&mlp);
         let a = FoldedMlpSim::new(&q, ni_a).run(&pixels);
         let b = FoldedMlpSim::new(&q, ni_b).run(&pixels);
-        prop_assert_eq!(a.winner, b.winner);
+        assert_eq!(a.winner, b.winner, "case {case}: ni {ni_a} vs {ni_b}");
     }
+}
 
-    #[test]
-    fn wot_sim_is_ni_invariant(
-        weights in proptest::collection::vec(any::<u8>(), 30),
-        pixels in proptest::collection::vec(any::<u8>(), 10),
-        ni_a in 1usize..12,
-        ni_b in 1usize..12,
-    ) {
+#[test]
+fn wot_sim_is_ni_invariant() {
+    let mut rng = SplitMix64::new(0x4108);
+    for case in 0..CASES {
+        let weights = random_bytes(&mut rng, 30);
+        let pixels = random_bytes(&mut rng, 10);
+        let ni_a = 1 + rng.next_below(11) as usize;
+        let ni_b = 1 + rng.next_below(11) as usize;
         let a = WotDatapathSim::new(&weights, 10, 3, ni_a).run(&pixels);
         let b = WotDatapathSim::new(&weights, 10, 3, ni_b).run(&pixels);
-        prop_assert_eq!(a.winner, b.winner);
+        assert_eq!(a.winner, b.winner, "case {case}: ni {ni_a} vs {ni_b}");
     }
 }

@@ -165,10 +165,7 @@ mod tests {
             let y = f.eval(x);
             let h = 1e-6;
             let fd = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
-            assert!(
-                (f.derivative_from_output(y) - fd).abs() < 1e-5,
-                "x = {x}"
-            );
+            assert!((f.derivative_from_output(y) - fd).abs() < 1e-5, "x = {x}");
         }
     }
 

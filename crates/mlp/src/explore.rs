@@ -44,8 +44,8 @@ pub fn random_search(
     let mut rng = SplitMix64::new(seed);
     let mut results = Vec::with_capacity(budget);
     for _ in 0..budget {
-        let hidden = hidden_range.0
-            + rng.next_below((hidden_range.1 - hidden_range.0 + 1) as u64) as usize;
+        let hidden =
+            hidden_range.0 + rng.next_below((hidden_range.1 - hidden_range.0 + 1) as u64) as usize;
         // Log-uniform learning rate in [0.05, 1.0] (Table 1: 0.1–1).
         let learning_rate = 0.05 * (20.0f64).powf(rng.next_unit());
         let mut mlp = Mlp::new(
@@ -148,7 +148,10 @@ mod tests {
         assert!(acc8 >= acc2, "8-bit {acc8} vs 2-bit {acc2}");
         // And 8-bit must be close to float.
         let float_acc = metrics::evaluate(&mlp, &test).accuracy();
-        assert!(acc8 >= float_acc - 0.08, "8-bit {acc8} vs float {float_acc}");
+        assert!(
+            acc8 >= float_acc - 0.08,
+            "8-bit {acc8} vs float {float_acc}"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod activation;
 pub mod explore;
 pub mod metrics;
+pub mod model;
 pub mod network;
 pub mod quant;
 pub mod trainer;

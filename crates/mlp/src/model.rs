@@ -1,0 +1,148 @@
+//! [`Model`] implementations for the machine-learning side of the
+//! comparison: the floating-point MLP+BP and its 8-bit fixed-point
+//! deployment, scheduled as independent jobs by the experiment engine.
+
+use crate::metrics;
+use crate::network::Mlp;
+use crate::quant::QuantizedMlp;
+use crate::trainer::{TrainConfig, Trainer};
+use nc_dataset::model::{check_fit_inputs, FitBudget, Model, ModelError};
+use nc_dataset::Dataset;
+use nc_substrate::stats::Confusion;
+
+fn train_config(budget: &FitBudget) -> TrainConfig {
+    let mut config = TrainConfig {
+        epochs: budget.epochs,
+        ..TrainConfig::default()
+    };
+    if let Some(lr) = budget.learning_rate {
+        config.learning_rate = lr;
+    }
+    config
+}
+
+impl Model for Mlp {
+    fn name(&self) -> &'static str {
+        "MLP+BP"
+    }
+
+    fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        check_fit_inputs(train, self.sizes()[0])?;
+        Trainer::new(train_config(budget)).fit(self, train);
+        Ok(())
+    }
+
+    fn evaluate(&mut self, test: &Dataset) -> Confusion {
+        metrics::evaluate(self, test)
+    }
+}
+
+impl Model for QuantizedMlp {
+    fn name(&self) -> &'static str {
+        "MLP+BP (8-bit fixed point)"
+    }
+
+    /// Trains the float master (same seed → same weights as training a
+    /// standalone [`Mlp`]) and re-quantizes, reproducing the paper's
+    /// train-then-quantize pipeline bit for bit.
+    fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        check_fit_inputs(train, self.sizes()[0])?;
+        let seed = self.master_seed().ok_or(ModelError::NotTrainable {
+            model: "MLP+BP (8-bit fixed point)",
+            reason: "built with from_mlp; use QuantizedMlp::untrained for a trainable instance",
+        })?;
+        let mut master = Mlp::new(self.sizes(), self.activation(), seed)
+            .expect("topology was validated by QuantizedMlp::untrained");
+        Trainer::new(train_config(budget)).fit(&mut master, train);
+        self.requantize_from(&master);
+        Ok(())
+    }
+
+    fn evaluate(&mut self, test: &Dataset) -> Confusion {
+        metrics::evaluate_quantized(self, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use nc_dataset::{digits::DigitsSpec, Difficulty};
+
+    fn data() -> (Dataset, Dataset) {
+        DigitsSpec {
+            train: 80,
+            test: 30,
+            seed: 9,
+            difficulty: Difficulty::default(),
+        }
+        .generate()
+    }
+
+    fn budget() -> FitBudget {
+        FitBudget {
+            epochs: 2,
+            ..FitBudget::default()
+        }
+    }
+
+    #[test]
+    fn mlp_fits_and_evaluates_through_the_trait() {
+        let (train, test) = data();
+        let mut mlp = Mlp::new(&[784, 8, 10], Activation::sigmoid(), 1).unwrap();
+        let model: &mut dyn Model = &mut mlp;
+        assert_eq!(model.name(), "MLP+BP");
+        model.fit(&train, &budget()).unwrap();
+        assert_eq!(model.evaluate(&test).total(), 30);
+    }
+
+    #[test]
+    fn trait_fit_matches_manual_train_then_quantize() {
+        let (train, test) = data();
+
+        // The old sequential pipeline: train a float MLP, quantize it.
+        let mut master = Mlp::new(&[784, 8, 10], Activation::sigmoid(), 5).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        })
+        .fit(&mut master, &train);
+        let reference = QuantizedMlp::from_mlp(&master);
+
+        // The unified-API pipeline with the same seed and budget.
+        let mut q = QuantizedMlp::untrained(&[784, 8, 10], Activation::sigmoid(), 5).unwrap();
+        Model::fit(&mut q, &train, &budget()).unwrap();
+
+        assert_eq!(
+            Model::evaluate(&mut q, &test).accuracy(),
+            metrics::evaluate_quantized(&reference, &test).accuracy()
+        );
+        for l in 0..2 {
+            assert_eq!(q.layer_weights(l), reference.layer_weights(l), "layer {l}");
+        }
+    }
+
+    #[test]
+    fn deployment_artifact_refuses_fit() {
+        let (train, _) = data();
+        let master = Mlp::new(&[784, 8, 10], Activation::sigmoid(), 5).unwrap();
+        let mut q = QuantizedMlp::from_mlp(&master);
+        assert!(matches!(
+            Model::fit(&mut q, &train, &budget()),
+            Err(ModelError::NotTrainable { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_mismatch_is_reported() {
+        let (train, _) = data();
+        let mut mlp = Mlp::new(&[100, 8, 10], Activation::sigmoid(), 1).unwrap();
+        assert!(matches!(
+            Model::fit(&mut mlp, &train, &budget()),
+            Err(ModelError::GeometryMismatch {
+                expected: 100,
+                got: 784
+            })
+        ));
+    }
+}

@@ -12,7 +12,7 @@
 //! datapath simulator: both must produce identical predictions.
 
 use crate::activation::Activation;
-use crate::network::{argmax, Mlp};
+use crate::network::{argmax, Mlp, MlpError};
 use nc_substrate::interp::PiecewiseLinear;
 
 /// Bit width of weights and activations in the hardware datapath.
@@ -47,6 +47,10 @@ pub struct QuantizedMlp {
     scales: Vec<i32>,
     table: PiecewiseLinear,
     activation: Activation,
+    /// Seed for re-initializing the float master when this network is
+    /// trained through the unified `Model` interface; `None` for
+    /// deployment artifacts built with [`QuantizedMlp::from_mlp`].
+    master_seed: Option<u64>,
 }
 
 impl QuantizedMlp {
@@ -93,7 +97,39 @@ impl QuantizedMlp {
             scales,
             table: mlp.activation().hardware_table(),
             activation: mlp.activation(),
+            master_seed: None,
         }
+    }
+
+    /// Builds an *untrained* quantized network that can later be trained
+    /// through the unified `Model` interface: `fit` initializes a float
+    /// master `Mlp` from `(sizes, activation, seed)`, trains it with
+    /// back-propagation, and re-quantizes — the same train-then-quantize
+    /// pipeline the paper uses (§4.2.1), packaged so experiment drivers
+    /// can schedule this variant as an independent job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError`] if the topology is invalid.
+    pub fn untrained(sizes: &[usize], activation: Activation, seed: u64) -> Result<Self, MlpError> {
+        let master = Mlp::new(sizes, activation, seed)?;
+        let mut q = Self::from_mlp(&master);
+        q.master_seed = Some(seed);
+        Ok(q)
+    }
+
+    /// The master-initialization seed, if this network was built with
+    /// [`QuantizedMlp::untrained`].
+    pub fn master_seed(&self) -> Option<u64> {
+        self.master_seed
+    }
+
+    /// Replaces this network's weights by re-quantizing a newly trained
+    /// float master, preserving the stored master seed.
+    pub fn requantize_from(&mut self, master: &Mlp) {
+        let seed = self.master_seed;
+        *self = QuantizedMlp::from_mlp(master);
+        self.master_seed = seed;
     }
 
     /// Layer widths, input first.
@@ -243,10 +279,7 @@ mod tests {
         }
         let f_acc = f64::from(float_ok) / test.len() as f64;
         let q_acc = f64::from(quant_ok) / test.len() as f64;
-        assert!(
-            q_acc >= f_acc - 0.08,
-            "quantized {q_acc} vs float {f_acc}"
-        );
+        assert!(q_acc >= f_acc - 0.08, "quantized {q_acc} vs float {f_acc}");
     }
 
     #[test]

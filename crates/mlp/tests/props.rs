@@ -1,103 +1,150 @@
-//! Property-based tests for the MLP and its quantized hardware path.
+//! Randomized invariant tests for the MLP and its quantized hardware path.
+//!
+//! Formerly proptest-based; converted to a deterministic std-only harness
+//! (seeded [`SplitMix64`] case generation) so the workspace builds and
+//! tests fully offline.
 
 use nc_mlp::network::argmax;
 use nc_mlp::{Activation, Mlp, QuantizedMlp};
-use proptest::prelude::*;
+use nc_substrate::rng::SplitMix64;
 
-fn arb_topology() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..20, 2..5)
+const CASES: u64 = 48;
+
+fn random_topology(rng: &mut SplitMix64) -> Vec<usize> {
+    let layers = 2 + rng.next_below(3) as usize;
+    (0..layers)
+        .map(|_| 1 + rng.next_below(19) as usize)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn forward_outputs_are_sigmoid_bounded(
-        sizes in arb_topology(),
-        seed in any::<u64>(),
-        fill in 0.0f64..1.0,
-    ) {
+#[test]
+fn forward_outputs_are_sigmoid_bounded() {
+    let mut rng = SplitMix64::new(0x3101);
+    for case in 0..CASES {
+        let sizes = random_topology(&mut rng);
+        let seed = rng.next_u64();
+        let fill = rng.next_range(0.0, 1.0);
         let mlp = Mlp::new(&sizes, Activation::sigmoid(), seed).unwrap();
         let input = vec![fill; sizes[0]];
         let out = mlp.forward(&input);
-        prop_assert_eq!(out.len(), *sizes.last().unwrap());
-        prop_assert!(out.iter().all(|&y| (0.0..=1.0).contains(&y)));
+        assert_eq!(out.len(), *sizes.last().unwrap(), "case {case}");
+        assert!(
+            out.iter().all(|&y| (0.0..=1.0).contains(&y)),
+            "case {case}: {out:?}"
+        );
     }
+}
 
-    #[test]
-    fn step_outputs_are_binary(sizes in arb_topology(), seed in any::<u64>()) {
-        let mlp = Mlp::new(&sizes, Activation::Step, seed).unwrap();
+#[test]
+fn step_outputs_are_binary() {
+    let mut rng = SplitMix64::new(0x3102);
+    for case in 0..CASES {
+        let sizes = random_topology(&mut rng);
+        let mlp = Mlp::new(&sizes, Activation::Step, rng.next_u64()).unwrap();
         let input = vec![0.5; sizes[0]];
         let out = mlp.forward(&input);
-        prop_assert!(out.iter().all(|&y| y == 0.0 || y == 1.0));
+        assert!(
+            out.iter().all(|&y| y == 0.0 || y == 1.0),
+            "case {case}: {out:?}"
+        );
     }
+}
 
-    #[test]
-    fn sigmoid_is_monotone_in_slope_at_positive_x(
-        a in 0.1f64..32.0,
-        x in 0.01f64..5.0,
-    ) {
+#[test]
+fn sigmoid_is_monotone_in_slope_at_positive_x() {
+    let mut rng = SplitMix64::new(0x3103);
+    for case in 0..CASES {
+        let a = rng.next_range(0.1, 32.0);
+        let x = rng.next_range(0.01, 5.0);
         let base = Activation::sigmoid().eval(x);
         let steep = Activation::sigmoid_slope(a).eval(x);
         if a >= 1.0 {
-            prop_assert!(steep >= base - 1e-12);
+            assert!(steep >= base - 1e-12, "case {case}: a {a} x {x}");
         } else {
-            prop_assert!(steep <= base + 1e-12);
+            assert!(steep <= base + 1e-12, "case {case}: a {a} x {x}");
         }
     }
+}
 
-    #[test]
-    fn derivative_matches_finite_difference(a in 0.1f64..4.0, x in -4.0f64..4.0) {
+#[test]
+fn derivative_matches_finite_difference() {
+    let mut rng = SplitMix64::new(0x3104);
+    for case in 0..CASES {
+        let a = rng.next_range(0.1, 4.0);
+        let x = rng.next_range(-4.0, 4.0);
         let f = Activation::sigmoid_slope(a);
         let y = f.eval(x);
         let h = 1e-6;
         let fd = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
-        prop_assert!((f.derivative_from_output(y) - fd).abs() < 1e-4);
+        assert!(
+            (f.derivative_from_output(y) - fd).abs() < 1e-4,
+            "case {case}: a {a} x {x}"
+        );
     }
+}
 
-    #[test]
-    fn quantized_weights_round_trip_within_half_step(
-        sizes in arb_topology(),
-        seed in any::<u64>(),
-    ) {
-        let mlp = Mlp::new(&sizes, Activation::sigmoid(), seed).unwrap();
+#[test]
+fn quantized_weights_round_trip_within_half_step() {
+    let mut rng = SplitMix64::new(0x3105);
+    for case in 0..CASES {
+        let sizes = random_topology(&mut rng);
+        let mlp = Mlp::new(&sizes, Activation::sigmoid(), rng.next_u64()).unwrap();
         let q = QuantizedMlp::from_mlp(&mlp);
         for l in 0..sizes.len() - 1 {
             let scale = 2f64.powi(q.layer_scale_exp(l));
             for (qw, fw) in q.layer_weights(l).iter().zip(mlp.layer_weights(l)) {
-                prop_assert!((f64::from(*qw) / scale - fw).abs() <= 0.5 / scale + 1e-12);
+                assert!(
+                    (f64::from(*qw) / scale - fw).abs() <= 0.5 / scale + 1e-12,
+                    "case {case}: layer {l}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn quantized_forward_tracks_float_forward(
-        seed in any::<u64>(),
-        pixels in proptest::collection::vec(any::<u8>(), 12),
-    ) {
+#[test]
+fn quantized_forward_tracks_float_forward() {
+    let mut rng = SplitMix64::new(0x3106);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let pixels: Vec<u8> = (0..12).map(|_| rng.next_u64() as u8).collect();
         let mlp = Mlp::new(&[12, 6, 4], Activation::sigmoid(), seed).unwrap();
         let q = QuantizedMlp::from_mlp(&mlp);
         let fin: Vec<f64> = pixels.iter().map(|&p| f64::from(p) / 255.0).collect();
         let f_out = mlp.forward(&fin);
         let q_out = q.forward_u8(&pixels);
         for (f, qv) in f_out.iter().zip(&q_out) {
-            prop_assert!((f - f64::from(*qv) / 255.0).abs() < 0.08,
-                "float {} vs quantized {}", f, qv);
+            assert!(
+                (f - f64::from(*qv) / 255.0).abs() < 0.08,
+                "case {case}: float {f} vs quantized {qv}"
+            );
         }
     }
+}
 
-    #[test]
-    fn argmax_returns_a_maximal_index(xs in proptest::collection::vec(-1e9f64..1e9, 1..50)) {
+#[test]
+fn argmax_returns_a_maximal_index() {
+    let mut rng = SplitMix64::new(0x3107);
+    for case in 0..CASES {
+        let n = 1 + rng.next_below(49) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_range(-1e9, 1e9)).collect();
         let i = argmax(&xs);
-        prop_assert!(xs.iter().all(|&x| x <= xs[i]));
+        assert!(xs.iter().all(|&x| x <= xs[i]), "case {case}");
     }
+}
 
-    #[test]
-    fn initialization_is_bounded_by_fan_in(sizes in arb_topology(), seed in any::<u64>()) {
-        let mlp = Mlp::new(&sizes, Activation::sigmoid(), seed).unwrap();
+#[test]
+fn initialization_is_bounded_by_fan_in() {
+    let mut rng = SplitMix64::new(0x3108);
+    for case in 0..CASES {
+        let sizes = random_topology(&mut rng);
+        let mlp = Mlp::new(&sizes, Activation::sigmoid(), rng.next_u64()).unwrap();
         for (l, &fan_in) in sizes[..sizes.len() - 1].iter().enumerate() {
             let bound = 1.0 / (fan_in as f64).sqrt() + 1e-12;
-            prop_assert!(mlp.layer_weights(l).iter().all(|w| w.abs() <= bound));
+            assert!(
+                mlp.layer_weights(l).iter().all(|w| w.abs() <= bound),
+                "case {case}: layer {l}"
+            );
         }
     }
 }

@@ -109,6 +109,11 @@ impl BpSnn {
         self.neurons
     }
 
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
     /// The class statically assigned to a neuron.
     pub fn class_of(&self, neuron: usize) -> usize {
         neuron % self.classes

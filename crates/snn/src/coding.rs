@@ -112,10 +112,7 @@ fn poisson_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent>
             if !t.is_finite() || t >= f64::from(params.t_period) {
                 break;
             }
-            events.push(SpikeEvent {
-                t: t as u32,
-                input,
-            });
+            events.push(SpikeEvent { t: t as u32, input });
         }
     }
     events
@@ -142,10 +139,7 @@ fn gaussian_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent
             if t >= u64::from(params.t_period) {
                 break;
             }
-            events.push(SpikeEvent {
-                t: t as u32,
-                input,
-            });
+            events.push(SpikeEvent { t: t as u32, input });
         }
     }
     events
@@ -222,10 +216,15 @@ mod tests {
         let mut bright_total = 0usize;
         let mut dim_total = 0usize;
         for seed in 0..20 {
-            bright_total += CodingScheme::PoissonRate.encode(&bright, &params, seed).len();
+            bright_total += CodingScheme::PoissonRate
+                .encode(&bright, &params, seed)
+                .len();
             dim_total += CodingScheme::PoissonRate.encode(&dim, &params, seed).len();
         }
-        assert!(bright_total > dim_total * 2, "{bright_total} vs {dim_total}");
+        assert!(
+            bright_total > dim_total * 2,
+            "{bright_total} vs {dim_total}"
+        );
         // 10 pixels × ~10 spikes × 20 seeds ≈ 2000
         assert!(bright_total > 1200 && bright_total < 2800, "{bright_total}");
     }
@@ -302,8 +301,12 @@ mod tests {
         let mut po = 0usize;
         let mut ga = 0usize;
         for seed in 0..10 {
-            po += CodingScheme::PoissonRate.encode(&pixels, &params, seed).len();
-            ga += CodingScheme::GaussianRate.encode(&pixels, &params, seed).len();
+            po += CodingScheme::PoissonRate
+                .encode(&pixels, &params, seed)
+                .len();
+            ga += CodingScheme::GaussianRate
+                .encode(&pixels, &params, seed)
+                .len();
         }
         let ratio = po as f64 / ga as f64;
         assert!(ratio > 0.7 && ratio < 1.4, "ratio {ratio}");

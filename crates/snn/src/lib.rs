@@ -47,6 +47,7 @@
 pub mod bp_hybrid;
 pub mod coding;
 pub mod explore;
+pub mod model;
 pub mod network;
 pub mod params;
 pub mod stdp_rules;

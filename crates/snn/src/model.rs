@@ -1,0 +1,166 @@
+//! [`Model`] implementations for the neuroscience side of the
+//! comparison: SNN+STDP through the full LIF readout (SNNwt) and the
+//! timing-free SNNwot readout, plus the SNN+BP diagnostic hybrid —
+//! scheduled as independent jobs by the experiment engine.
+
+use crate::bp_hybrid::{BpSnn, BpSnnConfig};
+use crate::network::SnnNetwork;
+use crate::wot::WotSnn;
+use nc_dataset::model::{check_fit_inputs, FitBudget, Model, ModelError};
+use nc_dataset::Dataset;
+use nc_substrate::stats::Confusion;
+
+impl Model for SnnNetwork {
+    fn name(&self) -> &'static str {
+        "SNN+STDP - LIF (SNNwt)"
+    }
+
+    fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        check_fit_inputs(train, self.inputs())?;
+        self.set_stdp_delta(budget.stdp_delta);
+        self.train_stdp(train, budget.stdp_epochs);
+        self.self_label(train);
+        Ok(())
+    }
+
+    fn evaluate(&mut self, test: &Dataset) -> Confusion {
+        SnnNetwork::evaluate(self, test)
+    }
+}
+
+impl Model for WotSnn {
+    fn name(&self) -> &'static str {
+        "SNN+STDP - Simplified (SNNwot)"
+    }
+
+    /// Trains the temporal master (same seed → same weights as training
+    /// a standalone [`SnnNetwork`]) and re-extracts the timing-free
+    /// engine, reproducing the paper's train-then-simplify pipeline bit
+    /// for bit.
+    fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        let spec = self.master_spec().ok_or(ModelError::NotTrainable {
+            model: "SNN+STDP - Simplified (SNNwot)",
+            reason: "built with from_network; use WotSnn::untrained for a trainable instance",
+        })?;
+        check_fit_inputs(train, spec.inputs)?;
+        let mut master = SnnNetwork::new(spec.inputs, spec.classes, spec.params, spec.seed);
+        master.set_stdp_delta(budget.stdp_delta);
+        master.train_stdp(train, budget.stdp_epochs);
+        master.self_label(train);
+        self.redeploy_from(&master);
+        Ok(())
+    }
+
+    fn evaluate(&mut self, test: &Dataset) -> Confusion {
+        WotSnn::evaluate(self, test)
+    }
+}
+
+impl Model for BpSnn {
+    fn name(&self) -> &'static str {
+        "SNN+BP"
+    }
+
+    fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        check_fit_inputs(train, self.inputs())?;
+        let mut config = BpSnnConfig {
+            epochs: budget.epochs,
+            ..BpSnnConfig::default()
+        };
+        if let Some(lr) = budget.learning_rate {
+            config.learning_rate = lr;
+        }
+        BpSnn::fit(self, train, &config);
+        Ok(())
+    }
+
+    fn evaluate(&mut self, test: &Dataset) -> Confusion {
+        BpSnn::evaluate(self, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SnnParams;
+    use nc_dataset::{digits::DigitsSpec, Difficulty};
+
+    fn data() -> (Dataset, Dataset) {
+        DigitsSpec {
+            train: 60,
+            test: 20,
+            seed: 11,
+            difficulty: Difficulty::default(),
+        }
+        .generate()
+    }
+
+    fn budget() -> FitBudget {
+        FitBudget {
+            epochs: 2,
+            stdp_epochs: 1,
+            stdp_delta: 8,
+            learning_rate: None,
+        }
+    }
+
+    #[test]
+    fn all_three_snn_variants_run_through_the_trait() {
+        let (train, test) = data();
+        let mut models: Vec<Box<dyn Model>> = vec![
+            Box::new(SnnNetwork::new(784, 10, SnnParams::for_neurons(10), 3)),
+            Box::new(WotSnn::untrained(784, 10, SnnParams::for_neurons(10), 3)),
+            Box::new(BpSnn::new(784, 10, SnnParams::for_neurons(10), 3)),
+        ];
+        for model in &mut models {
+            model.fit(&train, &budget()).unwrap();
+            assert_eq!(model.evaluate(&test).total(), 20, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn trait_fit_matches_manual_train_then_simplify() {
+        let (train, test) = data();
+
+        // The old sequential pipeline: train a temporal SNN, extract wot.
+        let mut master = SnnNetwork::new(784, 10, SnnParams::for_neurons(10), 7);
+        master.set_stdp_delta(8);
+        master.train_stdp(&train, 1);
+        master.self_label(&train);
+        let reference = WotSnn::from_network(&master);
+
+        // The unified-API pipeline with the same seed and budget.
+        let mut wot = WotSnn::untrained(784, 10, SnnParams::for_neurons(10), 7);
+        Model::fit(&mut wot, &train, &budget()).unwrap();
+
+        assert_eq!(wot.weights(), reference.weights());
+        assert_eq!(
+            Model::evaluate(&mut wot, &test).accuracy(),
+            reference.evaluate(&test).accuracy()
+        );
+    }
+
+    #[test]
+    fn deployment_artifact_refuses_fit() {
+        let (train, _) = data();
+        let master = SnnNetwork::new(784, 10, SnnParams::for_neurons(4), 1);
+        let mut wot = WotSnn::from_network(&master);
+        assert!(matches!(
+            Model::fit(&mut wot, &train, &budget()),
+            Err(ModelError::NotTrainable { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_mismatch_is_reported() {
+        let (train, _) = data();
+        let mut snn = SnnNetwork::new(169, 10, SnnParams::for_neurons(4), 1);
+        assert!(matches!(
+            Model::fit(&mut snn, &train, &budget()),
+            Err(ModelError::GeometryMismatch {
+                expected: 169,
+                got: 784
+            })
+        ));
+    }
+}

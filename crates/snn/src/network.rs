@@ -431,8 +431,7 @@ impl SnnNetwork {
                 }
                 // "the score is deduced from the label counter value by
                 // dividing by the number of input images with that label".
-                let score =
-                    self.label_counts[j * self.classes + c] as f64 / presented as f64;
+                let score = self.label_counts[j * self.classes + c] as f64 / presented as f64;
                 if score > 0.0 && best.is_none_or(|(s, _)| score > s) {
                     best = Some((score, c));
                 }
@@ -507,12 +506,10 @@ mod tests {
         assert!(outcome.potentials[0] > 0.0);
         // Compare: total un-decayed drive is count·w ≥ potential.
         let w = f64::from(snn.weight(0, 0));
-        let events = snn
-            .coding()
-            .encode(&[255, 0], snn.params(), {
-                // same seed derivation as simulate() with seed 3, pres 0
-                3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            });
+        let events = snn.coding().encode(&[255, 0], snn.params(), {
+            // same seed derivation as simulate() with seed 3, pres 0
+            3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        });
         let undecayed = events.len() as f64 * w;
         assert!(outcome.potentials[0] < undecayed);
     }
@@ -538,7 +535,10 @@ mod tests {
         use crate::stdp_rules::StdpRule;
         for rule in [
             StdpRule::Multiplicative { rate: 0.05 },
-            StdpRule::Exponential { delta: 6.0, tau: 20.0 },
+            StdpRule::Exponential {
+                delta: 6.0,
+                tau: 20.0,
+            },
         ] {
             let mut params = tiny_params(1);
             params.initial_threshold = 300.0;

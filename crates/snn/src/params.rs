@@ -121,7 +121,10 @@ impl SnnParams {
         assert!(self.t_leak > 0.0, "Tleak must be positive");
         assert!(self.initial_threshold > 0.0, "threshold must be positive");
         assert!(self.max_rate_hz > 0.0, "max rate must be positive");
-        assert!(self.homeo_epoch_ms > 0, "homeostasis epoch must be positive");
+        assert!(
+            self.homeo_epoch_ms > 0,
+            "homeostasis epoch must be positive"
+        );
     }
 }
 

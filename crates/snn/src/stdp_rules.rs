@@ -75,9 +75,7 @@ impl StdpRule {
     /// between the synapse's last input spike and the output spike.
     pub fn potentiate(&self, w: u8, dt_ms: u32) -> u8 {
         match *self {
-            StdpRule::Additive { delta } => {
-                (i32::from(w) + i32::from(delta)).clamp(0, 255) as u8
-            }
+            StdpRule::Additive { delta } => (i32::from(w) + i32::from(delta)).clamp(0, 255) as u8,
             StdpRule::Multiplicative { rate } => {
                 let headroom = 255.0 - f64::from(w);
                 (f64::from(w) + rate * headroom).round().clamp(0.0, 255.0) as u8
@@ -92,9 +90,7 @@ impl StdpRule {
     /// The depressed weight after an LTD event.
     pub fn depress(&self, w: u8) -> u8 {
         match *self {
-            StdpRule::Additive { delta } => {
-                (i32::from(w) - i32::from(delta)).clamp(0, 255) as u8
-            }
+            StdpRule::Additive { delta } => (i32::from(w) - i32::from(delta)).clamp(0, 255) as u8,
             StdpRule::Multiplicative { rate } => {
                 (f64::from(w) * (1.0 - rate)).round().clamp(0.0, 255.0) as u8
             }
@@ -179,7 +175,10 @@ mod tests {
 
     #[test]
     fn exponential_decays_with_spike_distance() {
-        let rule = StdpRule::Exponential { delta: 20.0, tau: 10.0 };
+        let rule = StdpRule::Exponential {
+            delta: 20.0,
+            tau: 10.0,
+        };
         let near = rule.potentiate(100, 0) - 100;
         let mid = rule.potentiate(100, 10) - 100;
         let far = rule.potentiate(100, 40) - 100;
@@ -201,7 +200,10 @@ mod tests {
 
     #[test]
     fn exponential_exposes_its_window_table() {
-        let rule = StdpRule::Exponential { delta: 5.0, tau: 20.0 };
+        let rule = StdpRule::Exponential {
+            delta: 5.0,
+            tau: 20.0,
+        };
         let t = rule.window_table(16, 60.0).expect("exponential rule");
         assert!((t.eval(0.0) - 1.0).abs() < 1e-12);
         assert!(t.eval(60.0) < 0.06);

@@ -137,7 +137,9 @@ mod tests {
     fn csv_headers_are_present() {
         let trace = PresentationTrace::new(1);
         assert!(trace.raster_csv().starts_with("t_ms,input\n"));
-        assert!(trace.potentials_csv().starts_with("t_ms,neuron,potential\n"));
+        assert!(trace
+            .potentials_csv()
+            .starts_with("t_ms,neuron,potential\n"));
     }
 
     #[test]

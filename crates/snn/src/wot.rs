@@ -26,8 +26,25 @@
 
 use crate::coding::wot_spike_count;
 use crate::network::SnnNetwork;
+use crate::params::SnnParams;
 use nc_dataset::Dataset;
 use nc_substrate::stats::Confusion;
+
+/// Recipe for (re)building and training the temporal master network a
+/// [`WotSnn`] is extracted from, stored by [`WotSnn::untrained`] so the
+/// unified `Model` interface can drive the train-then-simplify pipeline
+/// as one self-contained job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WotMasterSpec {
+    /// Input count of the master network.
+    pub inputs: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// LIF/STDP hyper-parameters (including the neuron count).
+    pub params: SnnParams,
+    /// Master initialization seed.
+    pub seed: u64,
+}
 
 /// The timing-free SNN inference engine.
 ///
@@ -50,6 +67,9 @@ pub struct WotSnn {
     weights: Vec<u8>,
     /// Labels inherited from the trained network's self-labeling.
     labels: Vec<Option<usize>>,
+    /// Master recipe when built with [`WotSnn::untrained`]; `None` for
+    /// deployment artifacts extracted with [`WotSnn::from_network`].
+    master: Option<WotMasterSpec>,
 }
 
 impl WotSnn {
@@ -86,7 +106,40 @@ impl WotSnn {
                 .max(1),
             weights,
             labels: snn.labels().to_vec(),
+            master: None,
         }
+    }
+
+    /// Builds an *untrained* SNNwot that can later be trained through
+    /// the unified `Model` interface: `fit` initializes a temporal
+    /// master [`SnnNetwork`] from the spec, trains it with STDP, and
+    /// extracts the timing-free engine — the same train-then-simplify
+    /// pipeline the paper uses (§4.2.2), packaged so experiment drivers
+    /// can schedule this variant as an independent job.
+    pub fn untrained(inputs: usize, classes: usize, params: SnnParams, seed: u64) -> Self {
+        let master = SnnNetwork::new(inputs, classes, params, seed);
+        let mut wot = Self::from_network(&master);
+        wot.master = Some(WotMasterSpec {
+            inputs,
+            classes,
+            params,
+            seed,
+        });
+        wot
+    }
+
+    /// The master recipe, if this engine was built with
+    /// [`WotSnn::untrained`].
+    pub fn master_spec(&self) -> Option<WotMasterSpec> {
+        self.master
+    }
+
+    /// Replaces this engine by re-extracting from a newly trained
+    /// master, preserving the stored master spec.
+    pub fn redeploy_from(&mut self, master: &SnnNetwork) {
+        let spec = self.master;
+        *self = WotSnn::from_network(master);
+        self.master = spec;
     }
 
     /// The deployed (threshold-equalized) 8-bit weights, row-major
@@ -115,7 +168,10 @@ impl WotSnn {
     /// Panics if `pixels.len()` does not match the input count.
     pub fn potentials(&self, pixels: &[u8]) -> Vec<u64> {
         assert_eq!(pixels.len(), self.inputs, "pixel count mismatch");
-        let counts: Vec<u64> = pixels.iter().map(|&p| u64::from(wot_spike_count(p))).collect();
+        let counts: Vec<u64> = pixels
+            .iter()
+            .map(|&p| u64::from(wot_spike_count(p)))
+            .collect();
         (0..self.neurons)
             .map(|j| {
                 let row = &self.weights[j * self.inputs..(j + 1) * self.inputs];

@@ -1,61 +1,70 @@
-//! Property-based tests for the SNN: coding schemes, WTA dynamics, STDP
-//! weight invariants and the SNNwot arithmetic.
+//! Randomized invariant tests for the SNN: coding schemes, WTA dynamics,
+//! STDP weight invariants and the SNNwot arithmetic.
+//!
+//! Formerly proptest-based; converted to a deterministic std-only harness
+//! (seeded [`SplitMix64`] case generation) so the workspace builds and
+//! tests fully offline.
 
 use nc_snn::coding::{wot_spike_count, CodingScheme, ACTIVE_THRESHOLD};
 use nc_snn::{SnnNetwork, SnnParams, WotSnn};
-use proptest::prelude::*;
+use nc_substrate::rng::SplitMix64;
 
-fn arb_pixels(n: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), n)
+const CASES: u64 = 32;
+
+const ALL_SCHEMES: [CodingScheme; 4] = [
+    CodingScheme::PoissonRate,
+    CodingScheme::GaussianRate,
+    CodingScheme::RankOrder,
+    CodingScheme::TimeToFirstSpike,
+];
+
+fn random_pixels(rng: &mut SplitMix64, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.next_u64() as u8).collect()
 }
 
-fn arb_scheme() -> impl Strategy<Value = CodingScheme> {
-    prop_oneof![
-        Just(CodingScheme::PoissonRate),
-        Just(CodingScheme::GaussianRate),
-        Just(CodingScheme::RankOrder),
-        Just(CodingScheme::TimeToFirstSpike),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn all_codes_emit_sorted_in_window_events(
-        pixels in arb_pixels(32),
-        scheme in arb_scheme(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn all_codes_emit_sorted_in_window_events() {
+    let mut rng = SplitMix64::new(0x5101);
+    for case in 0..CASES {
+        let pixels = random_pixels(&mut rng, 32);
+        let scheme = ALL_SCHEMES[rng.next_below(4) as usize];
+        let seed = rng.next_u64();
         let params = SnnParams::for_neurons(4);
         let events = scheme.encode(&pixels, &params, seed);
-        prop_assert!(events.windows(2).all(|w| w[0].t <= w[1].t));
-        prop_assert!(events.iter().all(|e| e.t < params.t_period));
-        prop_assert!(events.iter().all(|e| e.input < pixels.len()));
+        assert!(
+            events.windows(2).all(|w| w[0].t <= w[1].t),
+            "case {case}: {scheme:?} events unsorted"
+        );
+        assert!(events.iter().all(|e| e.t < params.t_period), "case {case}");
+        assert!(events.iter().all(|e| e.input < pixels.len()), "case {case}");
     }
+}
 
-    #[test]
-    fn temporal_codes_emit_exactly_one_spike_per_active_pixel(
-        pixels in arb_pixels(48),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn temporal_codes_emit_exactly_one_spike_per_active_pixel() {
+    let mut rng = SplitMix64::new(0x5102);
+    for case in 0..CASES {
+        let pixels = random_pixels(&mut rng, 48);
+        let seed = rng.next_u64();
         let params = SnnParams::for_neurons(4);
         let active = pixels.iter().filter(|&&p| p >= ACTIVE_THRESHOLD).count();
         for scheme in [CodingScheme::RankOrder, CodingScheme::TimeToFirstSpike] {
             let events = scheme.encode(&pixels, &params, seed);
-            prop_assert_eq!(events.len(), active);
+            assert_eq!(events.len(), active, "case {case}: {scheme:?}");
         }
     }
+}
 
-    #[test]
-    fn rate_codes_never_exceed_the_4bit_budget_per_pixel(
-        pixels in arb_pixels(16),
-        seed in any::<u64>(),
-    ) {
-        // §4.2.2: "an 8-bit pixel can generate up to 10 spikes". The
-        // stochastic generators can exceed the mean but must stay within
-        // the hardware budget at the minimum 1 ms interval granularity...
-        // in fact the binding bound is Tperiod (one spike per ms).
+#[test]
+fn rate_codes_never_exceed_the_4bit_budget_per_pixel() {
+    // §4.2.2: "an 8-bit pixel can generate up to 10 spikes". The
+    // stochastic generators can exceed the mean but must stay within
+    // the hardware budget at the minimum 1 ms interval granularity...
+    // in fact the binding bound is Tperiod (one spike per ms).
+    let mut rng = SplitMix64::new(0x5103);
+    for case in 0..CASES {
+        let pixels = random_pixels(&mut rng, 16);
+        let seed = rng.next_u64();
         let params = SnnParams::for_neurons(4);
         for scheme in [CodingScheme::PoissonRate, CodingScheme::GaussianRate] {
             let events = scheme.encode(&pixels, &params, seed);
@@ -66,40 +75,49 @@ proptest! {
             // Statistical bound: a 20 Hz max-rate source over 500 ms
             // produces ~10 spikes; allow generous head-room but catch
             // runaway generators.
-            prop_assert!(per_pixel.iter().all(|&c| c <= 40), "{:?}", per_pixel);
+            assert!(
+                per_pixel.iter().all(|&c| c <= 40),
+                "case {case}: {scheme:?} {per_pixel:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn wot_count_staircase_is_monotone_and_4bit(p in any::<u8>(), q in any::<u8>()) {
-        let (cp, cq) = (wot_spike_count(p), wot_spike_count(q));
-        prop_assert!(cp <= 10 && cq <= 10);
-        if p <= q {
-            prop_assert!(cp <= cq);
+#[test]
+fn wot_count_staircase_is_monotone_and_4bit() {
+    for p in 0..=255u8 {
+        let cp = wot_spike_count(p);
+        assert!(cp <= 10, "pixel {p}");
+        if p < 255 {
+            assert!(cp <= wot_spike_count(p + 1), "pixel {p}");
         }
     }
+}
 
-    #[test]
-    fn presentation_never_panics_and_respects_shape(
-        pixels in arb_pixels(25),
-        seed in any::<u64>(),
-        neurons in 1usize..8,
-    ) {
+#[test]
+fn presentation_never_panics_and_respects_shape() {
+    let mut rng = SplitMix64::new(0x5105);
+    for case in 0..CASES {
+        let pixels = random_pixels(&mut rng, 25);
+        let seed = rng.next_u64();
+        let neurons = 1 + rng.next_below(7) as usize;
         let mut snn = SnnNetwork::new(25, 3, SnnParams::tuned(neurons), seed);
         let outcome = snn.present(&pixels, seed);
-        prop_assert_eq!(outcome.potentials.len(), neurons);
+        assert_eq!(outcome.potentials.len(), neurons, "case {case}");
         if let Some(w) = outcome.winner {
-            prop_assert!(w < neurons);
-            prop_assert_eq!(outcome.fires[0].1, w);
+            assert!(w < neurons, "case {case}");
+            assert_eq!(outcome.fires[0].1, w, "case {case}");
         }
-        prop_assert!(outcome.readout() < neurons);
+        assert!(outcome.readout() < neurons, "case {case}");
     }
+}
 
-    #[test]
-    fn refractory_neurons_cannot_fire_twice_within_trefrac(
-        pixels in arb_pixels(16),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn refractory_neurons_cannot_fire_twice_within_trefrac() {
+    let mut rng = SplitMix64::new(0x5106);
+    for case in 0..CASES {
+        let pixels = random_pixels(&mut rng, 16);
+        let seed = rng.next_u64();
         let mut params = SnnParams::for_neurons(3);
         params.initial_threshold = 400.0; // fire often
         let mut snn = SnnNetwork::new(16, 3, params, seed);
@@ -112,17 +130,21 @@ proptest! {
                 .filter(|(_, n)| *n == j)
                 .map(|(t, _)| *t)
                 .collect();
-            prop_assert!(times.windows(2).all(|w| w[1] - w[0] >= params.t_refrac),
-                "neuron {} fired at {:?}", j, times);
+            assert!(
+                times.windows(2).all(|w| w[1] - w[0] >= params.t_refrac),
+                "case {case}: neuron {j} fired at {times:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn stdp_learning_keeps_weights_in_u8(
-        pixels in arb_pixels(16),
-        seed in any::<u64>(),
-        delta in 1i16..300,
-    ) {
+#[test]
+fn stdp_learning_keeps_weights_in_u8() {
+    let mut rng = SplitMix64::new(0x5107);
+    for case in 0..CASES {
+        let pixels = random_pixels(&mut rng, 16);
+        let seed = rng.next_u64();
+        let delta = 1 + rng.next_below(299) as i16;
         let mut params = SnnParams::tuned(2);
         params.initial_threshold = 500.0;
         let mut snn = SnnNetwork::new(16, 2, params, seed);
@@ -134,16 +156,22 @@ proptest! {
         // matrix view (shape invariant).
         for j in 0..2 {
             for i in 0..16 {
-                prop_assert_eq!(snn.weight(j, i), snn.weights()[j * 16 + i]);
+                assert_eq!(
+                    snn.weight(j, i),
+                    snn.weights()[j * 16 + i],
+                    "case {case}: delta {delta}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn wot_potentials_equal_the_dot_product(
-        pixels in arb_pixels(12),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn wot_potentials_equal_the_dot_product() {
+    let mut rng = SplitMix64::new(0x5108);
+    for case in 0..CASES {
+        let pixels = random_pixels(&mut rng, 12);
+        let seed = rng.next_u64();
         let snn = SnnNetwork::new(12, 2, SnnParams::tuned(3), seed);
         let wot = WotSnn::from_network(&snn);
         let pots = wot.potentials(&pixels);
@@ -153,16 +181,21 @@ proptest! {
                 .enumerate()
                 .map(|(i, &p)| u64::from(snn.weight(j, i)) * u64::from(wot_spike_count(p)))
                 .sum();
-            prop_assert_eq!(pot, expected);
+            assert_eq!(pot, expected, "case {case}: neuron {j}");
         }
     }
+}
 
-    #[test]
-    fn wot_winner_maximizes_potential(pixels in arb_pixels(12), seed in any::<u64>()) {
+#[test]
+fn wot_winner_maximizes_potential() {
+    let mut rng = SplitMix64::new(0x5109);
+    for case in 0..CASES {
+        let pixels = random_pixels(&mut rng, 12);
+        let seed = rng.next_u64();
         let snn = SnnNetwork::new(12, 2, SnnParams::tuned(5), seed);
         let wot = WotSnn::from_network(&snn);
         let pots = wot.potentials(&pixels);
         let w = wot.winner(&pixels);
-        prop_assert!(pots.iter().all(|&p| p <= pots[w]));
+        assert!(pots.iter().all(|&p| p <= pots[w]), "case {case}");
     }
 }

@@ -145,7 +145,10 @@ impl Confusion {
     ///
     /// Panics if either label is out of range.
     pub fn record(&mut self, truth: usize, predicted: usize) {
-        assert!(truth < self.classes && predicted < self.classes, "label out of range");
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "label out of range"
+        );
         self.counts[truth * self.classes + predicted] += 1;
     }
 

@@ -1,135 +1,203 @@
-//! Property-based tests for the numeric substrate.
+//! Randomized invariant tests for the numeric substrate.
+//!
+//! Formerly proptest-based; converted to a deterministic std-only harness
+//! (seeded [`SplitMix64`] case generation) so the workspace builds and
+//! tests fully offline. Each test sweeps a fixed number of pseudo-random
+//! cases and reports the failing case inline.
 
-use nc_substrate::fixed::{quantize_to_grid, Q8, QFixed};
+use nc_substrate::fixed::{quantize_to_grid, QFixed, Q8};
 use nc_substrate::interp::PiecewiseLinear;
 use nc_substrate::rng::{GaussianClt, Lfsr31, PoissonInterval, SplitMix64};
 use nc_substrate::stats::Running;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn q8_offset_stays_in_range(raw in any::<u8>(), delta in -512i16..=512) {
+const CASES: u64 = 64;
+
+#[test]
+fn q8_offset_stays_in_range() {
+    let mut rng = SplitMix64::new(0x51);
+    for case in 0..CASES {
+        let raw = rng.next_u64() as u8;
+        let delta = (rng.next_below(1025) as i16) - 512;
         let w = Q8::from_raw(raw).saturating_offset(delta);
-        // The result is a valid u8 by construction; check semantics:
         let expected = (i32::from(raw) + i32::from(delta)).clamp(0, 255) as u8;
-        prop_assert_eq!(w.raw(), expected);
+        assert_eq!(w.raw(), expected, "case {case}: raw {raw} delta {delta}");
     }
+}
 
-    #[test]
-    fn q8_unit_round_trip_is_lossless(raw in any::<u8>()) {
+#[test]
+fn q8_unit_round_trip_is_lossless() {
+    for raw in 0..=255u8 {
         let q = Q8::from_raw(raw);
-        prop_assert_eq!(Q8::from_unit(q.to_unit()), q);
+        assert_eq!(Q8::from_unit(q.to_unit()), q, "raw {raw}");
     }
+}
 
-    #[test]
-    fn qfixed_addition_is_exact_and_commutative(a in -1e6f64..1e6, b in -1e6f64..1e6) {
-        type F = QFixed<16>;
+#[test]
+fn qfixed_addition_is_exact_and_commutative() {
+    type F = QFixed<16>;
+    let mut rng = SplitMix64::new(0x52);
+    for case in 0..CASES {
+        let a = rng.next_range(-1e6, 1e6);
+        let b = rng.next_range(-1e6, 1e6);
         let (fa, fb) = (F::from_f64(a), F::from_f64(b));
-        prop_assert_eq!((fa + fb).raw(), (fb + fa).raw());
-        prop_assert_eq!((fa + fb).raw(), fa.raw() + fb.raw());
+        assert_eq!((fa + fb).raw(), (fb + fa).raw(), "case {case}");
+        assert_eq!((fa + fb).raw(), fa.raw() + fb.raw(), "case {case}");
     }
+}
 
-    #[test]
-    fn qfixed_mul_error_is_within_half_ulp(a in -1e3f64..1e3, b in -1e3f64..1e3) {
-        type F = QFixed<16>;
+#[test]
+fn qfixed_mul_error_is_within_half_ulp() {
+    type F = QFixed<16>;
+    let mut rng = SplitMix64::new(0x53);
+    for case in 0..CASES {
+        let a = rng.next_range(-1e3, 1e3);
+        let b = rng.next_range(-1e3, 1e3);
         let (fa, fb) = (F::from_f64(a), F::from_f64(b));
         let exact = fa.to_f64() * fb.to_f64();
         let got = (fa * fb).to_f64();
         // Rounding the product to the grid loses at most half an ulp.
-        prop_assert!((got - exact).abs() <= 0.5 / 65536.0 + 1e-12, "{got} vs {exact}");
+        assert!(
+            (got - exact).abs() <= 0.5 / 65536.0 + 1e-12,
+            "case {case}: {got} vs {exact}"
+        );
     }
+}
 
-    #[test]
-    fn grid_quantization_is_idempotent(x in -1e4f64..1e4, bits in 2u32..16, frac_off in 1u32..8) {
+#[test]
+fn grid_quantization_is_idempotent() {
+    let mut rng = SplitMix64::new(0x54);
+    for case in 0..CASES {
+        let x = rng.next_range(-1e4, 1e4);
+        let bits = 2 + rng.next_below(14) as u32;
+        let frac_off = 1 + rng.next_below(7) as u32;
         let frac = (bits - 1).min(frac_off);
         let q = quantize_to_grid(x, bits, frac);
-        prop_assert_eq!(quantize_to_grid(q, bits, frac), q);
+        assert_eq!(quantize_to_grid(q, bits, frac), q, "case {case}: x {x}");
     }
+}
 
-    #[test]
-    fn lfsr_stays_nonzero_and_in_31_bits(seed in any::<u32>(), steps in 1usize..200) {
+#[test]
+fn lfsr_stays_nonzero_and_in_31_bits() {
+    let mut rng = SplitMix64::new(0x55);
+    for case in 0..CASES {
+        let seed = rng.next_u64() as u32;
+        let steps = 1 + rng.next_below(199) as usize;
         let mut l = Lfsr31::new(seed);
         for _ in 0..steps {
             l.step();
-            prop_assert!(l.state() != 0);
-            prop_assert!(l.state() <= 0x7FFF_FFFF);
+            assert!(l.state() != 0, "case {case}: seed {seed}");
+            assert!(l.state() <= 0x7FFF_FFFF, "case {case}: seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn lfsr_unit_samples_are_in_unit_interval(seed in any::<u32>()) {
-        let mut l = Lfsr31::new(seed);
+#[test]
+fn lfsr_unit_samples_are_in_unit_interval() {
+    let mut rng = SplitMix64::new(0x56);
+    for case in 0..CASES {
+        let mut l = Lfsr31::new(rng.next_u64() as u32);
         for _ in 0..32 {
             let u = l.next_unit();
-            prop_assert!((0.0..1.0).contains(&u));
+            assert!((0.0..1.0).contains(&u), "case {case}: {u}");
         }
     }
+}
 
-    #[test]
-    fn splitmix_next_below_is_bounded(seed in any::<u64>(), n in 1u64..10_000) {
-        let mut s = SplitMix64::new(seed);
+#[test]
+fn splitmix_next_below_is_bounded() {
+    let mut rng = SplitMix64::new(0x57);
+    for case in 0..CASES {
+        let mut s = SplitMix64::new(rng.next_u64());
+        let n = 1 + rng.next_below(9_999);
         for _ in 0..64 {
-            prop_assert!(s.next_below(n) < n);
+            assert!(s.next_below(n) < n, "case {case}: n {n}");
         }
     }
+}
 
-    #[test]
-    fn splitmix_range_is_respected(seed in any::<u64>(), lo in -100.0f64..0.0, span in 0.001f64..100.0) {
-        let mut s = SplitMix64::new(seed);
-        let hi = lo + span;
+#[test]
+fn splitmix_range_is_respected() {
+    let mut rng = SplitMix64::new(0x58);
+    for case in 0..CASES {
+        let mut s = SplitMix64::new(rng.next_u64());
+        let lo = rng.next_range(-100.0, 0.0);
+        let hi = lo + rng.next_range(0.001, 100.0);
         for _ in 0..32 {
             let x = s.next_range(lo, hi);
-            prop_assert!(x >= lo && x < hi);
+            assert!(x >= lo && x < hi, "case {case}: {x} not in [{lo}, {hi})");
         }
     }
+}
 
-    #[test]
-    fn gaussian_clt_is_hard_bounded(seed in any::<u64>()) {
-        let mut g = GaussianClt::new(seed);
-        let bound = 2.0 * 3f64.sqrt() + 1e-9;
+#[test]
+fn gaussian_clt_is_hard_bounded() {
+    let mut rng = SplitMix64::new(0x59);
+    let bound = 2.0 * 3f64.sqrt() + 1e-9;
+    for case in 0..CASES {
+        let mut g = GaussianClt::new(rng.next_u64());
         for _ in 0..64 {
-            prop_assert!(g.sample_unit().abs() <= bound);
+            assert!(g.sample_unit().abs() <= bound, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn gaussian_intervals_are_positive(seed in any::<u64>(), mean in 1.0f64..500.0) {
-        let mut g = GaussianClt::new(seed);
+#[test]
+fn gaussian_intervals_are_positive() {
+    let mut rng = SplitMix64::new(0x5A);
+    for case in 0..CASES {
+        let mut g = GaussianClt::new(rng.next_u64());
+        let mean = rng.next_range(1.0, 500.0);
         for _ in 0..32 {
-            prop_assert!(g.sample_interval_ms(mean, mean / 3.0) >= 1);
+            assert!(g.sample_interval_ms(mean, mean / 3.0) >= 1, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn poisson_intervals_are_positive_and_finite(seed in any::<u32>(), rate in 0.0001f64..1.0) {
-        let mut p = PoissonInterval::new(seed);
+#[test]
+fn poisson_intervals_are_positive_and_finite() {
+    let mut rng = SplitMix64::new(0x5B);
+    for case in 0..CASES {
+        let mut p = PoissonInterval::new(rng.next_u64() as u32);
+        let rate = rng.next_range(0.0001, 1.0);
         for _ in 0..32 {
             let dt = p.sample_interval(rate);
-            prop_assert!(dt > 0.0 && dt.is_finite());
+            assert!(
+                dt > 0.0 && dt.is_finite(),
+                "case {case}: rate {rate} dt {dt}"
+            );
         }
     }
+}
 
-    #[test]
-    fn interpolation_of_monotone_function_stays_in_range(
-        segments in 1usize..64,
-        lo in -10.0f64..0.0,
-        span in 0.1f64..20.0,
-        x in -30.0f64..30.0,
-    ) {
-        let hi = lo + span;
+#[test]
+fn interpolation_of_monotone_function_stays_in_range() {
+    let mut rng = SplitMix64::new(0x5C);
+    for case in 0..CASES {
+        let segments = 1 + rng.next_below(63) as usize;
+        let lo = rng.next_range(-10.0, 0.0);
+        let hi = lo + rng.next_range(0.1, 20.0);
+        let x = rng.next_range(-30.0, 30.0);
         let t = PiecewiseLinear::from_fn(segments, (lo, hi), f64::tanh);
         let y = t.eval(x);
         // tanh is monotone: a piecewise-linear interpolant through exact
         // endpoint samples stays within the endpoint values.
-        prop_assert!(y >= lo.tanh() - 1e-12 && y <= hi.tanh() + 1e-12);
+        assert!(
+            y >= lo.tanh() - 1e-12 && y <= hi.tanh() + 1e-12,
+            "case {case}: x {x} y {y}"
+        );
     }
+}
 
-    #[test]
-    fn running_mean_is_bracketed(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+#[test]
+fn running_mean_is_bracketed() {
+    let mut rng = SplitMix64::new(0x5D);
+    for case in 0..CASES {
+        let n = 1 + rng.next_below(99) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_range(-1e6, 1e6)).collect();
         let r: Running = xs.iter().copied().collect();
-        prop_assert!(r.mean() >= r.min() - 1e-9);
-        prop_assert!(r.mean() <= r.max() + 1e-9);
-        prop_assert_eq!(r.count(), xs.len() as u64);
-        prop_assert!(r.variance() >= 0.0);
+        assert!(r.mean() >= r.min() - 1e-9, "case {case}");
+        assert!(r.mean() <= r.max() + 1e-9, "case {case}");
+        assert_eq!(r.count(), xs.len() as u64, "case {case}");
+        assert!(r.variance() >= 0.0, "case {case}");
     }
 }

@@ -39,7 +39,11 @@ fn main() {
 
     // Pareto frontier on (area, time) across everything incl. expanded.
     let mut all = tagged.clone();
-    all.push(("MLP", usize::MAX, ExpandedMlp::new(&[784, 100, 10]).report()));
+    all.push((
+        "MLP",
+        usize::MAX,
+        ExpandedMlp::new(&[784, 100, 10]).report(),
+    ));
     all.push((
         "SNNwot",
         usize::MAX,
@@ -100,7 +104,10 @@ fn main() {
         "\nGPU reference: {:.1} us/image — the ni=16 folded MLP is {:.0}x faster \
          in {:.2} mm2.",
         gpu.time_per_image_us(&GpuWorkload::mlp(&[784, 100, 10])),
-        gpu.speedup_over(&GpuWorkload::mlp(&[784, 100, 10]), mlp16.time_per_image_ns()),
+        gpu.speedup_over(
+            &GpuWorkload::mlp(&[784, 100, 10]),
+            mlp16.time_per_image_ns()
+        ),
         mlp16.total_area_mm2
     );
 }

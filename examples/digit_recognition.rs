@@ -1,14 +1,16 @@
 //! Digit recognition, end to end: the full §3 + §4.2 pipeline on one
-//! workload — train every model variant, inspect what the SNN learned,
-//! quantize the MLP onto the 8-bit hardware path, and verify the
-//! cycle-level datapath simulators agree with the models.
+//! workload — train every model variant through the unified `Model`
+//! interface, inspect what the SNN learned, quantize the MLP onto the
+//! 8-bit hardware path, and verify the cycle-level datapath simulators
+//! agree with the models.
 //!
 //! Run with: `cargo run --release --example digit_recognition`
 
-use neurocmp::dataset::{digits::DigitsSpec, Difficulty, GreyImage};
+use neurocmp::core::FitBudget;
+use neurocmp::dataset::{digits::DigitsSpec, Difficulty, GreyImage, Model};
 use neurocmp::hw::sim::{FoldedMlpSim, WotDatapathSim};
-use neurocmp::mlp::{metrics, Activation, Mlp, QuantizedMlp, TrainConfig, Trainer};
-use neurocmp::snn::bp_hybrid::{BpSnn, BpSnnConfig};
+use neurocmp::mlp::{metrics, Activation, Mlp, QuantizedMlp};
+use neurocmp::snn::bp_hybrid::BpSnn;
 use neurocmp::snn::{SnnNetwork, SnnParams, WotSnn};
 
 fn main() {
@@ -32,12 +34,12 @@ fn main() {
 
     // --- MLP+BP, float and 8-bit quantized (paper §4.2.1) ---
     let mut mlp = Mlp::new(&[784, 64, 10], Activation::sigmoid(), 5).expect("valid topology");
-    Trainer::new(TrainConfig {
+    let budget = FitBudget {
         epochs: 20,
-        ..TrainConfig::default()
-    })
-    .fit(&mut mlp, &train);
-    let float_acc = metrics::evaluate(&mlp, &test).accuracy();
+        ..FitBudget::default()
+    };
+    Model::fit(&mut mlp, &train, &budget).expect("geometry matches");
+    let float_acc = Model::evaluate(&mut mlp, &test).accuracy();
     let quant = QuantizedMlp::from_mlp(&mlp);
     let quant_acc = metrics::evaluate_quantized(&quant, &test).accuracy();
     println!("MLP+BP float:        {:.2}%", float_acc * 100.0);
@@ -48,10 +50,13 @@ fn main() {
 
     // --- SNN+STDP (paper §2.2) ---
     let mut snn = SnnNetwork::new(784, 10, SnnParams::tuned(100), 5);
-    snn.set_stdp_delta(3);
-    snn.train_stdp(&train, 8);
-    snn.self_label(&train);
-    let snn_acc = snn.evaluate(&test).accuracy();
+    let stdp_budget = FitBudget {
+        stdp_epochs: 8,
+        stdp_delta: 3,
+        ..FitBudget::default()
+    };
+    Model::fit(&mut snn, &train, &stdp_budget).expect("geometry matches");
+    let snn_acc = Model::evaluate(&mut snn, &test).accuracy();
     let wot = WotSnn::from_network(&snn);
     let wot_acc = wot.evaluate(&test).accuracy();
     println!("SNN+STDP (LIF):      {:.2}%", snn_acc * 100.0);
@@ -59,14 +64,12 @@ fn main() {
 
     // --- SNN+BP: the learning-rule diagnostic (paper §3.2) ---
     let mut bp_snn = BpSnn::new(784, 10, SnnParams::tuned(100), 5);
-    bp_snn.fit(
-        &train,
-        &BpSnnConfig {
-            epochs: 15,
-            ..BpSnnConfig::default()
-        },
-    );
-    let bp_acc = bp_snn.evaluate(&test).accuracy();
+    let bp_budget = FitBudget {
+        epochs: 15,
+        ..FitBudget::default()
+    };
+    Model::fit(&mut bp_snn, &train, &bp_budget).expect("geometry matches");
+    let bp_acc = Model::evaluate(&mut bp_snn, &test).accuracy();
     println!(
         "SNN+BP:              {:.2}%  (between STDP and MLP — the gap is the learning rule)",
         bp_acc * 100.0

@@ -56,7 +56,11 @@ fn main() {
             let ds = to_dataset(&label_refresh);
             snn.self_label(&ds);
             let acc = rolling(&window, 600);
-            println!("  step {:>5}: rolling accuracy {:.1}%", step + 1, acc * 100.0);
+            println!(
+                "  step {:>5}: rolling accuracy {:.1}%",
+                step + 1,
+                acc * 100.0
+            );
         }
     }
 
@@ -76,7 +80,11 @@ fn main() {
             let ds = to_dataset(&label_refresh);
             snn.self_label(&ds);
             let acc = rolling(&window, 800);
-            println!("  step {:>5}: rolling accuracy {:.1}%", step + 1, acc * 100.0);
+            println!(
+                "  step {:>5}: rolling accuracy {:.1}%",
+                step + 1,
+                acc * 100.0
+            );
         }
     }
 

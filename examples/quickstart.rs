@@ -1,49 +1,58 @@
-//! Quickstart: train both model families on the synthetic digit task,
-//! compare their accuracy, then ask the hardware cost model what each
-//! accelerator would cost — the paper's whole argument in ~80 lines.
+//! Quickstart: train both model families on the synthetic digit task
+//! through the experiment engine, compare their accuracy, then ask the
+//! hardware cost model what each accelerator would cost — the paper's
+//! whole argument in ~80 lines.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use neurocmp::dataset::{digits::DigitsSpec, Difficulty};
+use neurocmp::core::{Engine, ExperimentScale, FitBudget, Job, ModelSpec, Workload};
 use neurocmp::hw::folded::{FoldedMlp, FoldedSnnWot};
-use neurocmp::mlp::{metrics, Activation, Mlp, TrainConfig, Trainer};
-use neurocmp::snn::{SnnNetwork, SnnParams};
+use neurocmp::mlp::Activation;
+use neurocmp::snn::SnnParams;
 
 fn main() {
-    // A small instance of the MNIST-like task (see DESIGN.md §5 for why
-    // the dataset is synthetic).
-    let (train, test) = DigitsSpec {
-        train: 1_500,
-        test: 400,
-        seed: 7,
-        difficulty: Difficulty::default(),
-    }
-    .generate();
+    // The engine owns the dataset cache and the worker pool; results
+    // are bit-identical whatever the thread count.
+    let engine = Engine::builder().scale(ExperimentScale::Quick).build();
+    let data = engine.dataset(Workload::Digits);
+    let (train, test) = (&data.0, &data.1);
     println!(
-        "dataset: {} train / {} test, {}x{} 8-bit pixels, {} classes\n",
+        "dataset: {} train / {} test, {}x{} 8-bit pixels, {} classes ({} threads)\n",
         train.len(),
         test.len(),
         train.width(),
         train.height(),
-        train.num_classes()
+        train.num_classes(),
+        engine.threads(),
     );
 
-    // --- Machine-learning side: MLP + back-propagation (paper §2.1) ---
-    let mut mlp = Mlp::new(&[784, 50, 10], Activation::sigmoid(), 42).expect("valid topology");
-    Trainer::new(TrainConfig {
-        epochs: 15,
-        ..TrainConfig::default()
-    })
-    .fit(&mut mlp, &train);
-    let mlp_acc = metrics::evaluate(&mlp, &test).accuracy();
-    println!("MLP+BP  (784-50-10):   accuracy {:.1}%", mlp_acc * 100.0);
-
-    // --- Neuroscience side: LIF + STDP (paper §2.2) ---
-    let mut snn = SnnNetwork::new(784, 10, SnnParams::tuned(100), 42);
-    snn.set_stdp_delta(4); // scaled-down presentation volume
-    snn.train_stdp(&train, 6);
-    snn.self_label(&train);
-    let snn_acc = snn.evaluate(&test).accuracy();
+    // Both sides of the paper's comparison as one job list: the
+    // machine-learning MLP+BP (§2.1) and the neuroscience LIF+STDP
+    // network (§2.2), trained concurrently through the Model trait.
+    let specs = [
+        ModelSpec::Mlp {
+            sizes: vec![train.input_dim(), 50, train.num_classes()],
+            activation: Activation::sigmoid(),
+            seed: 42,
+        },
+        ModelSpec::Snn {
+            inputs: train.input_dim(),
+            classes: train.num_classes(),
+            params: SnnParams::tuned(100),
+            seed: 42,
+        },
+    ];
+    let jobs: Vec<Job<(ModelSpec, FitBudget)>> = specs
+        .into_iter()
+        .map(|spec| {
+            let budget = spec.budget(engine.scale());
+            Job::new(spec.display_name(), train.len() as u64, (spec, budget))
+        })
+        .collect();
+    let scores = engine.train_and_score(&data, jobs);
+    let mlp_acc = *scores[0].as_ref().expect("valid MLP topology");
+    let snn_acc = *scores[1].as_ref().expect("valid SNN config");
+    println!("MLP+BP   (784-50-10):  accuracy {:.1}%", mlp_acc * 100.0);
     println!("SNN+STDP (784-100):    accuracy {:.1}%", snn_acc * 100.0);
     println!(
         "\naccuracy gap: {:.1} points (paper on MNIST: 5.8 points)\n",
@@ -63,4 +72,5 @@ fn main() {
         snn_hw.total_area_mm2 / mlp_hw.total_area_mm2,
         snn_hw.energy_per_image_j / mlp_hw.energy_per_image_j
     );
+    eprintln!("\n{}", engine.summary());
 }

@@ -1,16 +1,23 @@
 //! End-to-end integration tests: the paper's qualitative conclusions must
-//! reproduce across the whole stack (dataset → models → evaluation) at
-//! the Tiny scale, on every workload.
+//! reproduce across the whole stack (dataset → engine → models →
+//! evaluation) at the Tiny scale, on every workload — and the parallel
+//! schedule must be bit-identical to the sequential one.
 
 use neurocmp::core::experiment::{AccuracyComparison, ExperimentScale, Workload};
+use neurocmp::core::Engine;
+use std::sync::Arc;
+
+fn tiny_engine() -> Engine {
+    Engine::sequential(ExperimentScale::Tiny)
+}
 
 #[test]
 fn table3_ordering_reproduces_on_digits() {
     // Small topology so the test runs in seconds under `cargo test`.
-    let mut cmp = AccuracyComparison::new(Workload::Digits, ExperimentScale::Tiny);
+    let mut cmp = AccuracyComparison::on(Workload::Digits);
     cmp.snn_neurons = Some(40);
     cmp.mlp_hidden = Some(24);
-    let r = cmp.run();
+    let r = tiny_engine().run(&cmp).unwrap();
     assert!(
         r.mlp_bp > r.snn_stdp_lif,
         "MLP ({:.2}) must beat SNN+STDP ({:.2})",
@@ -42,10 +49,10 @@ fn table3_ordering_reproduces_on_digits() {
 
 #[test]
 fn accuracy_structure_holds_on_shapes() {
-    let mut cmp = AccuracyComparison::new(Workload::Shapes, ExperimentScale::Tiny);
+    let mut cmp = AccuracyComparison::on(Workload::Shapes);
     cmp.snn_neurons = Some(30);
     cmp.mlp_hidden = Some(12);
-    let r = cmp.run();
+    let r = tiny_engine().run(&cmp).unwrap();
     assert!(
         r.mlp_bp >= r.snn_stdp_lif,
         "shapes: MLP ({:.2}) must be >= SNN+STDP ({:.2})",
@@ -58,10 +65,10 @@ fn accuracy_structure_holds_on_shapes() {
 
 #[test]
 fn accuracy_structure_holds_on_spoken() {
-    let mut cmp = AccuracyComparison::new(Workload::Spoken, ExperimentScale::Tiny);
+    let mut cmp = AccuracyComparison::on(Workload::Spoken);
     cmp.snn_neurons = Some(30);
     cmp.mlp_hidden = Some(20);
-    let r = cmp.run();
+    let r = tiny_engine().run(&cmp).unwrap();
     assert!(
         r.mlp_bp >= r.snn_stdp_lif,
         "spoken: MLP ({:.2}) must be >= SNN+STDP ({:.2})",
@@ -73,10 +80,64 @@ fn accuracy_structure_holds_on_spoken() {
 
 #[test]
 fn experiments_are_reproducible() {
-    let mut cmp = AccuracyComparison::new(Workload::Digits, ExperimentScale::Tiny);
+    let mut cmp = AccuracyComparison::on(Workload::Digits);
     cmp.snn_neurons = Some(15);
     cmp.mlp_hidden = Some(8);
-    let a = cmp.run();
-    let b = cmp.run();
+    let engine = tiny_engine();
+    let a = engine.run(&cmp).unwrap();
+    let b = engine.run(&cmp).unwrap();
     assert_eq!(a, b, "same seed must give identical results");
+}
+
+#[test]
+fn parallel_schedule_is_bit_identical_to_sequential() {
+    // The engine's determinism contract: every job owns its seeded RNG
+    // and results are collected by job index, so threads=4 must
+    // reproduce threads=1 exactly — not approximately.
+    let mut cmp = AccuracyComparison::on(Workload::Digits);
+    cmp.snn_neurons = Some(15);
+    cmp.mlp_hidden = Some(8);
+    let sequential = Engine::builder()
+        .threads(1)
+        .scale(ExperimentScale::Tiny)
+        .build()
+        .run(&cmp)
+        .unwrap();
+    let parallel = Engine::builder()
+        .threads(4)
+        .scale(ExperimentScale::Tiny)
+        .build()
+        .run(&cmp)
+        .unwrap();
+    assert_eq!(
+        sequential, parallel,
+        "thread count must not change any reported accuracy bit"
+    );
+}
+
+#[test]
+fn dataset_cache_hands_out_one_shared_arc_per_key() {
+    let engine = tiny_engine();
+    let a = engine.dataset(Workload::Digits);
+    let b = engine.dataset(Workload::Digits);
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "the same (workload, scale) key must be generated once and shared"
+    );
+    let other = engine.dataset(Workload::Shapes);
+    assert!(!Arc::ptr_eq(&a, &other), "distinct keys get distinct data");
+}
+
+#[test]
+fn per_job_stats_cover_every_model_variant() {
+    let mut cmp = AccuracyComparison::on(Workload::Digits);
+    cmp.snn_neurons = Some(15);
+    cmp.mlp_hidden = Some(8);
+    let engine = tiny_engine();
+    engine.run(&cmp).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.len(), 5, "one job per Table 3 model variant");
+    assert!(stats.iter().all(|s| s.samples > 0));
+    let summary = engine.summary();
+    assert!(summary.contains("table3/digits/"), "summary: {summary}");
 }
