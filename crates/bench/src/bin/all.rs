@@ -10,7 +10,8 @@
 use nc_core::{Engine, Job};
 
 fn main() {
-    let engine = nc_bench::engine_from_args();
+    let ctx = nc_bench::BenchContext::from_args("all");
+    let engine = &ctx.engine;
     type Section = fn(&Engine) -> String;
     let sections: Vec<(&str, Section)> = vec![
         ("table1", |_| nc_bench::gen_tables::table1()),
@@ -36,9 +37,9 @@ fn main() {
         .iter()
         .map(|&(name, section)| Job::new(format!("all/{name}"), 0, section))
         .collect();
-    let report = engine.run_jobs(jobs, |section| section(&engine));
+    let report = engine.run_jobs(jobs, |section| section(engine));
     for block in report {
         println!("{block}");
     }
-    eprintln!("{}", engine.summary());
+    ctx.finish();
 }

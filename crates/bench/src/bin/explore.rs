@@ -1,6 +1,7 @@
 //! Hyper-parameter random search for both models (the paper's "1000
 //! evaluated settings" protocol, at a configurable budget).
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_extensions::explore(&engine, 12));
+    let ctx = nc_bench::BenchContext::from_args("explore");
+    println!("{}", nc_bench::gen_extensions::explore(&ctx.engine, 12));
+    ctx.finish();
 }

@@ -1,6 +1,6 @@
 //! Regenerates Figure 14 (SNN coding-scheme comparison).
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_models::fig14(&engine));
-    eprintln!("{}", engine.summary());
+    let ctx = nc_bench::BenchContext::from_args("fig14");
+    println!("{}", nc_bench::gen_models::fig14(&ctx.engine));
+    ctx.finish();
 }

@@ -1,5 +1,6 @@
 //! Regenerates Figure 3 (spike raster + membrane potentials) as CSV.
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_models::fig3(&engine));
+    let ctx = nc_bench::BenchContext::from_args("fig3");
+    println!("{}", nc_bench::gen_models::fig3(&ctx.engine));
+    ctx.finish();
 }

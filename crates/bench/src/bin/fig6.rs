@@ -1,6 +1,6 @@
 //! Regenerates Figure 6 (sigmoid-to-step error bridging).
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_models::fig6(&engine));
-    eprintln!("{}", engine.summary());
+    let ctx = nc_bench::BenchContext::from_args("fig6");
+    println!("{}", nc_bench::gen_models::fig6(&ctx.engine));
+    ctx.finish();
 }

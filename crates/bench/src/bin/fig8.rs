@@ -1,6 +1,6 @@
 //! Regenerates Figure 8 (accuracy vs #neurons for MLP and SNN).
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_models::fig8(&engine));
-    eprintln!("{}", engine.summary());
+    let ctx = nc_bench::BenchContext::from_args("fig8");
+    println!("{}", nc_bench::gen_models::fig8(&ctx.engine));
+    ctx.finish();
 }

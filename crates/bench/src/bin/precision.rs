@@ -1,5 +1,6 @@
 //! Weight/synapse precision sweeps for both models.
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_extensions::precision(&engine));
+    let ctx = nc_bench::BenchContext::from_args("precision");
+    println!("{}", nc_bench::gen_extensions::precision(&ctx.engine));
+    ctx.finish();
 }

@@ -1,6 +1,6 @@
 //! Test-time input-noise robustness sweep.
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_extensions::robustness(&engine));
-    eprintln!("{}", engine.summary());
+    let ctx = nc_bench::BenchContext::from_args("robustness");
+    println!("{}", nc_bench::gen_extensions::robustness(&ctx.engine));
+    ctx.finish();
 }

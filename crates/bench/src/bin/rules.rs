@@ -1,5 +1,6 @@
 //! STDP-rule comparison (additive / multiplicative / exponential).
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_extensions::stdp_rules(&engine));
+    let ctx = nc_bench::BenchContext::from_args("rules");
+    println!("{}", nc_bench::gen_extensions::stdp_rules(&ctx.engine));
+    ctx.finish();
 }

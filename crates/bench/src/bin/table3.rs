@@ -1,7 +1,7 @@
 //! Regenerates the paper's Table 3 (accuracy comparison).
 //! Usage: `cargo run -p nc-bench --release --bin table3 [-- --scale quick|standard|full] [--threads N]`.
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_models::table3(&engine));
-    eprintln!("{}", engine.summary());
+    let ctx = nc_bench::BenchContext::from_args("table3");
+    println!("{}", nc_bench::gen_models::table3(&ctx.engine));
+    ctx.finish();
 }

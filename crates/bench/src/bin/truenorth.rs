@@ -1,6 +1,7 @@
 //! Regenerates the §5 TrueNorth-core comparison.
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    let acc = nc_bench::gen_models::snnwot_accuracy(&engine);
+    let ctx = nc_bench::BenchContext::from_args("truenorth");
+    let acc = nc_bench::gen_models::snnwot_accuracy(&ctx.engine);
     println!("{}", nc_bench::gen_tables::truenorth_comparison(acc));
+    ctx.finish();
 }

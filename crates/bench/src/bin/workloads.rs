@@ -1,7 +1,7 @@
 //! Regenerates the §4.5 validation on the shapes (MPEG-7) and spoken
 //! (Spoken Arabic Digits) workloads.
 fn main() {
-    let engine = nc_bench::engine_from_args();
-    println!("{}", nc_bench::gen_models::workloads(&engine));
-    eprintln!("{}", engine.summary());
+    let ctx = nc_bench::BenchContext::from_args("workloads");
+    println!("{}", nc_bench::gen_models::workloads(&ctx.engine));
+    ctx.finish();
 }

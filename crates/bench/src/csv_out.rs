@@ -1,0 +1,157 @@
+//! Pure CSV serializers for the figure series, shared between the
+//! regeneration binaries (which run them at `--scale`) and the
+//! golden-snapshot tests (which run them at a pinned tiny scale and
+//! diff against `tests/snapshots/`). Keeping serialization separate
+//! from sweep execution is what makes the snapshots byte-stable: the
+//! tests exercise exactly the bytes the binaries write.
+
+use nc_core::report::csv;
+use nc_core::robustness::RobustnessPoint;
+use nc_core::sweeps::{BridgePoint, CodingPoint, NeuronSweepResults};
+use nc_snn::coding::CodingScheme;
+
+/// Display name of a coding scheme (Figure 14 row labels).
+pub fn coding_scheme_name(scheme: CodingScheme) -> &'static str {
+    match scheme {
+        CodingScheme::PoissonRate => "rate (Poisson)",
+        CodingScheme::GaussianRate => "rate (Gaussian)",
+        CodingScheme::RankOrder => "temporal (rank order)",
+        CodingScheme::TimeToFirstSpike => "temporal (time-to-first-spike)",
+    }
+}
+
+/// The Figure 6 bridging series (`fig6_bridge.csv`).
+pub fn fig6_csv(points: &[BridgePoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.slope.map_or("step".to_string(), |a| format!("{a}")),
+                format!("{:.5}", p.error_rate),
+            ]
+        })
+        .collect();
+    csv(&["slope", "error_rate"], &rows)
+}
+
+/// The Figure 8 accuracy-vs-neurons series (`fig8_neurons.csv`).
+pub fn fig8_csv(results: &NeuronSweepResults) -> String {
+    let rows: Vec<Vec<String>> = results
+        .mlp
+        .iter()
+        .map(|p| ("mlp", p))
+        .chain(results.snn.iter().map(|p| ("snn", p)))
+        .map(|(model, p)| {
+            vec![
+                model.to_string(),
+                format!("{}", p.neurons),
+                format!("{:.4}", p.accuracy),
+            ]
+        })
+        .collect();
+    csv(&["model", "neurons", "accuracy"], &rows)
+}
+
+/// The Figure 14 coding-scheme series (`fig14_coding.csv`).
+pub fn fig14_csv(points: &[CodingPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                coding_scheme_name(p.scheme).replace(' ', "_"),
+                format!("{}", p.neurons),
+                format!("{:.4}", p.accuracy),
+            ]
+        })
+        .collect();
+    csv(&["scheme", "neurons", "accuracy"], &rows)
+}
+
+/// The input-noise robustness series (`robustness_noise.csv`).
+pub fn robustness_csv(points: &[RobustnessPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.noise),
+                format!("{:.4}", p.mlp_accuracy),
+                format!("{:.4}", p.snn_accuracy),
+                format!("{:.4}", p.wot_accuracy),
+            ]
+        })
+        .collect();
+    csv(&["noise", "mlp", "snn", "wot"], &rows)
+}
+
+/// A `bits,accuracy` precision series (`precision_mlp.csv` /
+/// `precision_snn.csv`). Takes `(bits, accuracy)` pairs so the MLP and
+/// SNN sweeps (distinct point types) share one serializer.
+pub fn precision_csv(points: &[(u32, f64)]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|&(bits, accuracy)| vec![format!("{bits}"), format!("{accuracy:.4}")])
+        .collect();
+    csv(&["bits", "accuracy"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::sweeps::NeuronSweepPoint;
+
+    #[test]
+    fn fig6_rows_label_the_step_reference() {
+        let out = fig6_csv(&[
+            BridgePoint {
+                slope: Some(2.0),
+                error_rate: 0.125,
+            },
+            BridgePoint {
+                slope: None,
+                error_rate: 0.5,
+            },
+        ]);
+        assert_eq!(out, "slope,error_rate\n2,0.12500\nstep,0.50000\n");
+    }
+
+    #[test]
+    fn fig8_interleaves_models_in_order() {
+        let out = fig8_csv(&NeuronSweepResults {
+            mlp: vec![NeuronSweepPoint {
+                neurons: 10,
+                accuracy: 0.5,
+            }],
+            snn: vec![NeuronSweepPoint {
+                neurons: 20,
+                accuracy: 0.25,
+            }],
+        });
+        assert_eq!(
+            out,
+            "model,neurons,accuracy\nmlp,10,0.5000\nsnn,20,0.2500\n"
+        );
+    }
+
+    #[test]
+    fn fig14_escapes_scheme_names() {
+        let out = fig14_csv(&[CodingPoint {
+            scheme: CodingScheme::RankOrder,
+            neurons: 50,
+            accuracy: 0.75,
+        }]);
+        assert!(out.contains("temporal_(rank_order),50,0.7500"), "{out}");
+    }
+
+    #[test]
+    fn robustness_and_precision_shapes() {
+        let r = robustness_csv(&[RobustnessPoint {
+            noise: 0.1,
+            mlp_accuracy: 0.9,
+            snn_accuracy: 0.8,
+            wot_accuracy: 0.7,
+        }]);
+        assert_eq!(r, "noise,mlp,snn,wot\n0.10,0.9000,0.8000,0.7000\n");
+        let p = precision_csv(&[(8, 0.95)]);
+        assert_eq!(p, "bits,accuracy\n8,0.9500\n");
+    }
+}

@@ -136,17 +136,17 @@ pub fn precision(engine: &Engine) -> String {
     .fit(&mut mlp, train);
     let float_acc = nc_mlp::metrics::evaluate(&mlp, test).accuracy();
     let mut t = TextTable::new(&["MLP weight bits", "accuracy"]);
-    let mut rows = Vec::new();
+    let mut pairs = Vec::new();
     for p in mlp_explore::precision_sweep(&mlp, test, &[2, 3, 4, 5, 6, 8]) {
         t.row_owned(vec![format!("{}", p.bits), pct(p.accuracy)]);
-        rows.push(vec![format!("{}", p.bits), format!("{:.4}", p.accuracy)]);
+        pairs.push((p.bits, p.accuracy));
     }
     t.row_owned(vec!["float".into(), pct(float_acc)]);
     out.push_str(&format!(
         "\nMLP weight precision (paper: 8-bit 'on par' with float — 96.65% vs 97.65%):\n{}",
         t.render()
     ));
-    write_results("precision_mlp.csv", &csv(&["bits", "accuracy"], &rows));
+    write_results("precision_mlp.csv", &crate::csv_out::precision_csv(&pairs));
 
     let mut snn = SnnNetwork::new(
         train.input_dim(),
@@ -158,16 +158,16 @@ pub fn precision(engine: &Engine) -> String {
     snn.train_stdp(train, scale.stdp_epochs());
     snn.self_label(train);
     let mut t = TextTable::new(&["SNN synapse bits", "accuracy"]);
-    let mut rows = Vec::new();
+    let mut pairs = Vec::new();
     for p in snn_explore::precision_sweep(&snn, train, test, &[1, 2, 3, 4, 5, 6, 8]) {
         t.row_owned(vec![format!("{}", p.bits), pct(p.accuracy)]);
-        rows.push(vec![format!("{}", p.bits), format!("{:.4}", p.accuracy)]);
+        pairs.push((p.bits, p.accuracy));
     }
     out.push_str(&format!(
         "\nSNN synaptic precision (related work: losses below ~5 bits):\n{}",
         t.render()
     ));
-    write_results("precision_snn.csv", &csv(&["bits", "accuracy"], &rows));
+    write_results("precision_snn.csv", &crate::csv_out::precision_csv(&pairs));
     out
 }
 
@@ -289,7 +289,6 @@ pub fn robustness(engine: &Engine) -> String {
     };
     let points = engine.run(&sweep).expect("robustness config is valid");
     let mut t = TextTable::new(&["test noise", "MLP", "SNN (LIF)", "SNNwot"]);
-    let mut rows = Vec::new();
     for p in &points {
         t.row_owned(vec![
             format!("{:.2}", p.noise),
@@ -297,16 +296,10 @@ pub fn robustness(engine: &Engine) -> String {
             pct(p.snn_accuracy),
             pct(p.wot_accuracy),
         ]);
-        rows.push(vec![
-            format!("{:.2}", p.noise),
-            format!("{:.4}", p.mlp_accuracy),
-            format!("{:.4}", p.snn_accuracy),
-            format!("{:.4}", p.wot_accuracy),
-        ]);
     }
     write_results(
         "robustness_noise.csv",
-        &csv(&["noise", "mlp", "snn", "wot"], &rows),
+        &crate::csv_out::robustness_csv(&points),
     );
     format!(
         "== Test-time noise robustness (no retraining) ==\n{}\

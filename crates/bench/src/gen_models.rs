@@ -92,7 +92,6 @@ pub fn fig6(engine: &Engine) -> String {
     };
     let points = engine.run(&bridge).expect("bridge config is valid");
     let mut t = TextTable::new(&["activation", "error rate", "paper (MNIST)"]);
-    let mut rows = Vec::new();
     for p in &points {
         let label = match p.slope {
             Some(a) => format!("sigmoid (a={a})"),
@@ -107,12 +106,8 @@ pub fn fig6(engine: &Engine) -> String {
             None => "~2.9%".to_string(),
         };
         t.row_owned(vec![label.clone(), pct(p.error_rate), paper]);
-        rows.push(vec![
-            p.slope.map_or("step".to_string(), |a| format!("{a}")),
-            format!("{:.5}", p.error_rate),
-        ]);
     }
-    write_results("fig6_bridge.csv", &csv(&["slope", "error_rate"], &rows));
+    write_results("fig6_bridge.csv", &crate::csv_out::fig6_csv(&points));
     // The bridging claim: the steepest sigmoid's error is closer to the
     // step function's than the classical sigmoid's is.
     let step_err = points.last().map_or(0.0, |p| p.error_rate);
@@ -134,17 +129,11 @@ pub fn fig8(engine: &Engine) -> String {
         .run(&NeuronSweep::fig8(Workload::Digits))
         .expect("fig8 grid is valid");
     let mut t = TextTable::new(&["model", "#neurons", "accuracy"]);
-    let mut rows = Vec::new();
     for p in &results.mlp {
         t.row_owned(vec![
             "MLP".into(),
             format!("{}", p.neurons),
             pct(p.accuracy),
-        ]);
-        rows.push(vec![
-            "mlp".into(),
-            format!("{}", p.neurons),
-            format!("{:.4}", p.accuracy),
         ]);
     }
     for p in &results.snn {
@@ -153,16 +142,8 @@ pub fn fig8(engine: &Engine) -> String {
             format!("{}", p.neurons),
             pct(p.accuracy),
         ]);
-        rows.push(vec![
-            "snn".into(),
-            format!("{}", p.neurons),
-            format!("{:.4}", p.accuracy),
-        ]);
     }
-    write_results(
-        "fig8_neurons.csv",
-        &csv(&["model", "neurons", "accuracy"], &rows),
-    );
+    write_results("fig8_neurons.csv", &crate::csv_out::fig8_csv(&results));
     let mlp_plateau = results.mlp.last().map_or(0.0, |p| p.accuracy)
         - results
             .mlp
@@ -192,25 +173,11 @@ pub fn fig14(engine: &Engine) -> String {
     };
     let points = engine.run(&sweep).expect("fig14 grid is valid");
     let mut t = TextTable::new(&["coding scheme", "#neurons", "accuracy"]);
-    let mut rows = Vec::new();
     for p in &points {
-        let name = match p.scheme {
-            CodingScheme::PoissonRate => "rate (Poisson)",
-            CodingScheme::GaussianRate => "rate (Gaussian)",
-            CodingScheme::RankOrder => "temporal (rank order)",
-            CodingScheme::TimeToFirstSpike => "temporal (time-to-first-spike)",
-        };
+        let name = crate::csv_out::coding_scheme_name(p.scheme);
         t.row_owned(vec![name.into(), format!("{}", p.neurons), pct(p.accuracy)]);
-        rows.push(vec![
-            name.replace(' ', "_"),
-            format!("{}", p.neurons),
-            format!("{:.4}", p.accuracy),
-        ]);
     }
-    write_results(
-        "fig14_coding.csv",
-        &csv(&["scheme", "neurons", "accuracy"], &rows),
-    );
+    write_results("fig14_coding.csv", &crate::csv_out::fig14_csv(&points));
     let best = |scheme: CodingScheme| {
         points
             .iter()

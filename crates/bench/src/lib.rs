@@ -9,20 +9,26 @@
 //! being regenerated, writes the plotted series as CSV into `results/`.
 //!
 //! Common conventions:
-//! * `--scale quick|standard|full` (default `standard`) selects the
-//!   experiment scale for accuracy experiments (hardware tables are
+//! * `--scale tiny|quick|standard|full` (default `standard`) selects
+//!   the experiment scale for accuracy experiments (hardware tables are
 //!   analytic and scale-free).
+//! * `--json <path>` additionally writes a machine-readable
+//!   [`BenchRecord`](nc_core::BenchRecord) (per-section wall-clock,
+//!   samples/sec, counters, training curves) to `<path>` — the artifact
+//!   CI uploads as `BENCH_<git-sha>.json`.
 //! * Results land in `results/<name>.csv` relative to the working
 //!   directory.
 
+pub mod csv_out;
 pub mod gen_extensions;
 pub mod gen_models;
 pub mod gen_tables;
 pub mod microbench;
 
 use nc_core::experiment::ExperimentScale;
-use nc_core::Engine;
+use nc_core::{BenchRecord, Engine, MemoryRecorder, Recorder, SectionRecord};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Parses the common `--scale` flag from `std::env::args`.
 ///
@@ -64,6 +70,24 @@ pub fn threads_from_args() -> Option<usize> {
     None
 }
 
+/// Parses the `--json <path>` flag: where to write the machine-readable
+/// bench record, or `None` to skip it (the default).
+pub fn json_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            match args.next() {
+                Some(path) => return Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--json expects a path, skipping bench record");
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Builds the shared experiment engine from `--scale` and `--threads`.
 pub fn engine_from_args() -> Engine {
     let mut builder = Engine::builder().scale(scale_from_args());
@@ -71,6 +95,100 @@ pub fn engine_from_args() -> Engine {
         builder = builder.threads(threads);
     }
     builder.build()
+}
+
+/// Short git SHA of the working tree, or `"unknown"` when git is
+/// unavailable (bench records must never fail on it).
+pub fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| String::from("unknown"))
+}
+
+/// The shared harness state of one bench binary: the engine plus the
+/// optional `--json` observability sink.
+///
+/// When `--json <path>` is given the engine gets a live
+/// [`MemoryRecorder`], so trainers emit per-epoch metrics and the
+/// simulators count cycles; [`BenchContext::finish`] then serializes
+/// everything as a [`BenchRecord`]. Without the flag the engine keeps
+/// the free no-op recorder.
+pub struct BenchContext {
+    /// The experiment engine, configured from the command line.
+    pub engine: Engine,
+    bin: String,
+    recorder: Option<Arc<MemoryRecorder>>,
+    json_path: Option<PathBuf>,
+}
+
+impl BenchContext {
+    /// Builds the context for the named binary from `std::env::args`.
+    pub fn from_args(bin: &str) -> Self {
+        let json_path = json_path_from_args();
+        let recorder = json_path.as_ref().map(|_| Arc::new(MemoryRecorder::new()));
+        let mut builder = Engine::builder().scale(scale_from_args());
+        if let Some(threads) = threads_from_args() {
+            builder = builder.threads(threads);
+        }
+        if let Some(rec) = &recorder {
+            builder = builder.recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+        }
+        BenchContext {
+            engine: builder.build(),
+            bin: bin.to_string(),
+            recorder,
+            json_path,
+        }
+    }
+
+    /// The bench record for everything run so far (sections = the
+    /// engine's job stats), regardless of whether `--json` was given.
+    pub fn record(&self) -> BenchRecord {
+        let sections = self
+            .engine
+            .stats()
+            .iter()
+            .map(|stat| SectionRecord {
+                name: stat.label.clone(),
+                wall_s: stat.wall.as_secs_f64(),
+                samples: stat.samples,
+            })
+            .collect();
+        BenchRecord {
+            git_sha: git_short_sha(),
+            bin: self.bin.clone(),
+            threads: self.engine.threads(),
+            scale: self.engine.scale().name().to_string(),
+            sections,
+            snapshot: self
+                .recorder
+                .as_ref()
+                .map(|rec| rec.snapshot())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Prints the engine summary (if any jobs ran) and writes the JSON
+    /// bench record when `--json` was given.
+    pub fn finish(self) {
+        if !self.engine.stats().is_empty() {
+            eprintln!("{}", self.engine.summary());
+        }
+        let Some(path) = self.json_path.clone() else {
+            return;
+        };
+        let record = self.record();
+        match std::fs::write(&path, record.to_json()) {
+            Ok(()) => eprintln!("[wrote {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Ensures `results/` exists and returns the path for a named CSV.
@@ -123,5 +241,37 @@ mod tests {
     fn results_path_is_under_results_dir() {
         let p = results_path("x.csv");
         assert!(p.to_string_lossy().contains("results"));
+    }
+
+    #[test]
+    fn json_flag_defaults_to_off() {
+        assert_eq!(json_path_from_args(), None);
+    }
+
+    #[test]
+    fn git_sha_is_short_hex_or_unknown() {
+        let sha = git_short_sha();
+        assert!(
+            sha == "unknown" || sha.chars().all(|c| c.is_ascii_hexdigit()),
+            "{sha}"
+        );
+        assert!(!sha.is_empty());
+    }
+
+    #[test]
+    fn context_record_captures_engine_runs() {
+        let ctx = BenchContext::from_args("selftest");
+        let jobs = vec![nc_core::Job::new("selftest/a", 10, 2u32)];
+        let out = ctx.engine.run_jobs(jobs, |x| x * 2);
+        assert_eq!(out, vec![4]);
+        let record = ctx.record();
+        assert_eq!(record.bin, "selftest");
+        assert_eq!(record.scale, "standard");
+        assert_eq!(record.sections.len(), 1);
+        assert_eq!(record.sections[0].name, "selftest/a");
+        assert_eq!(record.sections[0].samples, 10);
+        let json = record.to_json();
+        assert!(json.contains("\"schema_version\":1"), "{json}");
+        assert!(json.contains("\"bin\":\"selftest\""), "{json}");
     }
 }

@@ -1,0 +1,221 @@
+//! Golden-snapshot tests for the figure CSVs at a pinned tiny scale.
+//!
+//! Each test regenerates a series through the same serializers the
+//! regeneration binaries use ([`nc_bench::csv_out`]), runs it on a
+//! 1-thread and a 4-thread engine (the determinism contract says the
+//! bytes must match), and diffs against the committed snapshot under
+//! `tests/snapshots/`.
+//!
+//! To refresh after an intentional model change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p nc-bench --test golden_snapshots
+//! ```
+
+use nc_bench::csv_out;
+use nc_core::experiment::{ExperimentScale, Workload};
+use nc_core::robustness::RobustnessSweep;
+use nc_core::sweeps::{CodingSweep, NeuronSweep, SigmoidBridge};
+use nc_core::Engine;
+use nc_snn::coding::CodingScheme;
+use nc_snn::{SnnNetwork, SnnParams};
+use std::path::PathBuf;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name)
+}
+
+/// Diffs `actual` against the committed snapshot, or rewrites it when
+/// `UPDATE_SNAPSHOTS` is set.
+fn assert_snapshot(name: &str, actual: &str) {
+    let path = snapshot_path(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("create snapshots/");
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); generate it with UPDATE_SNAPSHOTS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its snapshot; if the change is intended rerun \
+         with UPDATE_SNAPSHOTS=1 and commit the diff"
+    );
+}
+
+/// Runs the generator on a sequential and a 4-thread engine, asserts
+/// the outputs are byte-identical (the engine's determinism contract),
+/// and returns the bytes.
+fn deterministic_csv(generate: impl Fn(&Engine) -> String) -> String {
+    let sequential = generate(&Engine::sequential(ExperimentScale::Tiny));
+    let parallel = generate(
+        &Engine::builder()
+            .threads(4)
+            .scale(ExperimentScale::Tiny)
+            .build(),
+    );
+    assert_eq!(
+        sequential, parallel,
+        "threads=4 must reproduce threads=1 bit for bit"
+    );
+    sequential
+}
+
+#[test]
+fn fig6_bridge_snapshot() {
+    let csv = deterministic_csv(|engine| {
+        let bridge = SigmoidBridge {
+            workload: Workload::Digits,
+            scale: Some(ExperimentScale::Tiny),
+            slopes: vec![1.0, 16.0],
+            hidden: 8,
+            seed: 0xF6,
+        };
+        csv_out::fig6_csv(&engine.run(&bridge).expect("bridge config is valid"))
+    });
+    assert_snapshot("fig6_bridge.csv", &csv);
+}
+
+#[test]
+fn fig8_neurons_snapshot() {
+    let csv = deterministic_csv(|engine| {
+        let sweep = NeuronSweep {
+            workload: Workload::Digits,
+            scale: Some(ExperimentScale::Tiny),
+            mlp_widths: vec![6, 12],
+            snn_sizes: vec![10, 20],
+            seed: 0xF168,
+        };
+        csv_out::fig8_csv(&engine.run(&sweep).expect("fig8 grid is valid"))
+    });
+    assert_snapshot("fig8_neurons.csv", &csv);
+}
+
+#[test]
+fn fig14_coding_snapshot() {
+    let csv = deterministic_csv(|engine| {
+        let sweep = CodingSweep {
+            workload: Workload::Digits,
+            scale: Some(ExperimentScale::Tiny),
+            schemes: vec![
+                CodingScheme::GaussianRate,
+                CodingScheme::RankOrder,
+                CodingScheme::TimeToFirstSpike,
+            ],
+            sizes: vec![12],
+            seed: 0xF14,
+        };
+        csv_out::fig14_csv(&engine.run(&sweep).expect("fig14 grid is valid"))
+    });
+    assert_snapshot("fig14_coding.csv", &csv);
+}
+
+#[test]
+fn robustness_noise_snapshot() {
+    let csv = deterministic_csv(|engine| {
+        let sweep = RobustnessSweep {
+            scale: Some(ExperimentScale::Tiny),
+            noise_levels: vec![0.0, 0.3],
+            mlp_hidden: 8,
+            snn_neurons: 12,
+            ..RobustnessSweep::standard(Workload::Digits)
+        };
+        csv_out::robustness_csv(&engine.run(&sweep).expect("robustness config is valid"))
+    });
+    assert_snapshot("robustness_noise.csv", &csv);
+}
+
+#[test]
+fn fig3_trace_snapshots() {
+    // The trace is engine-free; determinism is seeds alone. Keep the
+    // network tiny: 16 neurons, one STDP epoch over 100 images.
+    let trace = {
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        let data = engine.dataset(Workload::Digits);
+        let train = data.0.take(100);
+        let mut snn = SnnNetwork::new(
+            data.0.input_dim(),
+            data.0.num_classes(),
+            SnnParams::tuned(16),
+            0xF163,
+        );
+        snn.set_stdp_delta(4);
+        snn.train_stdp(&train, 1);
+        snn.present_traced(&train.samples()[0].pixels, 0x316)
+    };
+    assert_snapshot("fig3_raster.csv", &trace.raster_csv());
+    assert_snapshot(
+        "fig3_potentials.csv",
+        &thin_potentials(&trace.potentials_csv()),
+    );
+}
+
+/// The full potentials trace is ~half a megabyte; snapshot every 16th
+/// millisecond instead. The thinning is deterministic and covers the
+/// whole presentation window, so datapath drift still lands in kept rows.
+fn thin_potentials(csv: &str) -> String {
+    let mut out = String::new();
+    for (i, line) in csv.lines().enumerate() {
+        let keep = i == 0 || {
+            let t: u64 = line
+                .split(',')
+                .next()
+                .and_then(|t| t.parse().ok())
+                .expect("potentials rows start with t_ms");
+            t.is_multiple_of(16)
+        };
+        if keep {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn precision_snapshots() {
+    // Precision sweeps quantize already-trained networks, so the sweep
+    // itself is pure; train the subjects once at tiny scale.
+    let engine = Engine::sequential(ExperimentScale::Tiny);
+    let data = engine.dataset(Workload::Digits);
+    let (train, test) = (&data.0, &data.1);
+
+    let mut mlp = nc_mlp::Mlp::new(
+        &[train.input_dim(), 6, train.num_classes()],
+        nc_mlp::Activation::sigmoid(),
+        0xB175,
+    )
+    .expect("valid topology");
+    nc_mlp::Trainer::new(nc_mlp::TrainConfig {
+        epochs: 2,
+        ..nc_mlp::TrainConfig::default()
+    })
+    .fit(&mut mlp, train);
+    let mlp_points: Vec<(u32, f64)> = nc_mlp::explore::precision_sweep(&mlp, test, &[2, 4, 8])
+        .into_iter()
+        .map(|p| (p.bits, p.accuracy))
+        .collect();
+    assert_snapshot("precision_mlp.csv", &csv_out::precision_csv(&mlp_points));
+
+    let mut snn = SnnNetwork::new(
+        train.input_dim(),
+        train.num_classes(),
+        SnnParams::tuned(10),
+        0xB175,
+    );
+    snn.set_stdp_delta(8);
+    snn.train_stdp(train, 1);
+    snn.self_label(train);
+    let snn_points: Vec<(u32, f64)> =
+        nc_snn::explore::precision_sweep(&snn, train, test, &[2, 4, 8])
+            .into_iter()
+            .map(|p| (p.bits, p.accuracy))
+            .collect();
+    assert_snapshot("precision_snn.csv", &csv_out::precision_csv(&snn_points));
+}

@@ -40,6 +40,7 @@ use crate::experiment::{ExperimentScale, Workload};
 use nc_dataset::model::{FitBudget, Model};
 use nc_dataset::Dataset;
 use nc_mlp::{metrics, Activation, Mlp, MlpError, QuantizedMlp, TrainConfig, Trainer};
+use nc_obs::{NullRecorder, Recorder, Span};
 use nc_snn::bp_hybrid::BpSnn;
 use nc_snn::coding::CodingScheme;
 use nc_snn::{SnnNetwork, SnnParams, WotSnn};
@@ -151,10 +152,21 @@ impl DatasetCache {
 }
 
 /// Configures an [`Engine`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EngineBuilder {
     threads: Option<usize>,
     scale: ExperimentScale,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("threads", &self.threads)
+            .field("scale", &self.scale)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl EngineBuilder {
@@ -171,6 +183,13 @@ impl EngineBuilder {
         self
     }
 
+    /// The observability sink every job and trainer reports to. Defaults
+    /// to the disabled [`NullRecorder`], which costs nothing.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Engine {
         let threads = self
@@ -181,17 +200,29 @@ impl EngineBuilder {
             scale: self.scale,
             cache: DatasetCache::new(),
             stats: Mutex::new(Vec::new()),
+            recorder: self.recorder.unwrap_or_else(|| Arc::new(NullRecorder)),
         }
     }
 }
 
 /// The work-scheduling execution engine (see the module docs).
-#[derive(Debug)]
 pub struct Engine {
     threads: usize,
     scale: ExperimentScale,
     cache: DatasetCache,
     stats: Mutex<Vec<JobStat>>,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads)
+            .field("scale", &self.scale)
+            .field("cache", &self.cache)
+            .field("recorder_enabled", &self.recorder.enabled())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Engine {
@@ -201,6 +232,7 @@ impl Engine {
         EngineBuilder {
             threads: None,
             scale: ExperimentScale::Standard,
+            recorder: None,
         }
     }
 
@@ -218,6 +250,17 @@ impl Engine {
     /// The engine's default experiment scale.
     pub fn scale(&self) -> ExperimentScale {
         self.scale
+    }
+
+    /// The engine's observability sink ([`NullRecorder`] by default).
+    pub fn recorder(&self) -> &dyn Recorder {
+        self.recorder.as_ref()
+    }
+
+    /// The engine's observability sink as a cloneable handle, for
+    /// passing into jobs that outlive a borrow of `self`.
+    pub fn recorder_handle(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.recorder)
     }
 
     /// The `(train, test)` datasets for a workload at the engine's
@@ -284,6 +327,8 @@ impl Engine {
                 .expect("job slot poisoned")
                 .take()
                 .expect("job claimed twice");
+            let _span = Span::enter(self.recorder.as_ref(), &labels[index]);
+            self.recorder.add("engine.jobs", 1);
             let started = Instant::now();
             let output = work(payload);
             *walls[index].lock().expect("wall slot poisoned") = Some(started.elapsed());
@@ -345,10 +390,15 @@ impl Engine {
         jobs: Vec<Job<(ModelSpec, FitBudget)>>,
     ) -> Vec<Result<f64, Error>> {
         let data = Arc::clone(data);
+        let recorder = Arc::clone(&self.recorder);
         self.run_jobs(jobs, move |(spec, budget): (ModelSpec, FitBudget)| {
             let mut model = spec.build()?;
-            model.fit(&data.0, &budget)?;
-            Ok(model.evaluate(&data.1).accuracy())
+            model.fit_observed(&data.0, &budget, recorder.as_ref())?;
+            let accuracy = model.evaluate(&data.1).accuracy();
+            if recorder.enabled() {
+                recorder.observe("engine.accuracy", accuracy);
+            }
+            Ok(accuracy)
         })
     }
 
@@ -610,6 +660,15 @@ impl Model for StepDeployedMlp {
         train: &Dataset,
         budget: &FitBudget,
     ) -> Result<(), nc_dataset::model::ModelError> {
+        self.fit_observed(train, budget, nc_obs::null())
+    }
+
+    fn fit_observed(
+        &mut self,
+        train: &Dataset,
+        budget: &FitBudget,
+        recorder: &dyn Recorder,
+    ) -> Result<(), nc_dataset::model::ModelError> {
         nc_dataset::model::check_fit_inputs(train, self.mlp.sizes()[0])?;
         // Keep the effective step size constant across the slope family
         // (the surrogate gradient carries a slope factor, capped).
@@ -623,7 +682,7 @@ impl Model for StepDeployedMlp {
             learning_rate,
             ..TrainConfig::default()
         })
-        .fit(&mut self.mlp, train);
+        .fit_observed(&mut self.mlp, train, recorder);
         self.mlp.set_activation(Activation::Step);
         Ok(())
     }
@@ -703,6 +762,43 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let c = engine.dataset_at(Workload::Shapes, ExperimentScale::Tiny);
         assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn recorder_sees_spans_counters_and_epochs() {
+        let recorder = Arc::new(nc_obs::MemoryRecorder::new());
+        let engine = Engine::builder()
+            .threads(2)
+            .scale(ExperimentScale::Tiny)
+            .recorder(recorder.clone())
+            .build();
+        assert!(engine.recorder().enabled());
+        let data = engine.dataset(Workload::Digits);
+        let spec = ModelSpec::Mlp {
+            sizes: vec![784, 4, 10],
+            activation: Activation::sigmoid(),
+            seed: 3,
+        };
+        let budget = spec.budget(ExperimentScale::Tiny);
+        let jobs = vec![
+            Job::new("obs/a", 0, (spec.clone(), budget)),
+            Job::new("obs/b", 0, (spec, budget)),
+        ];
+        let out = engine.train_and_score(&data, jobs);
+        assert!(out.iter().all(Result::is_ok));
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counters.get("engine.jobs"), Some(&2));
+        assert!(snap.spans.contains_key("obs/a") && snap.spans.contains_key("obs/b"));
+        assert_eq!(snap.series["engine.accuracy"].count(), 2);
+        assert!(!snap.epochs.is_empty(), "trainer should emit epoch records");
+    }
+
+    #[test]
+    fn null_recorder_is_the_default_and_disabled() {
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        assert!(!engine.recorder().enabled());
+        let dbg = format!("{engine:?}");
+        assert!(dbg.contains("recorder_enabled: false"), "{dbg}");
     }
 
     #[test]

@@ -98,6 +98,17 @@ pub enum ExperimentScale {
 }
 
 impl ExperimentScale {
+    /// Stable lower-case name, as accepted by `--scale` and emitted in
+    /// bench records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentScale::Tiny => "tiny",
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Standard => "standard",
+            ExperimentScale::Full => "full",
+        }
+    }
+
     /// `(train, test)` sample counts.
     pub fn sizes(&self) -> (usize, usize) {
         match self {

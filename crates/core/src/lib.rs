@@ -51,6 +51,10 @@ pub use engine::{
 pub use error::Error;
 pub use experiment::{AccuracyComparison, AccuracyResults, ExperimentScale, Workload};
 pub use nc_dataset::{FitBudget, Model, ModelError};
+pub use nc_obs::{
+    BenchRecord, EpochMetrics, MemoryRecorder, NullRecorder, ObsSnapshot, Recorder, SectionRecord,
+    Span,
+};
 pub use robustness::{RobustnessPoint, RobustnessSweep};
 pub use sweeps::{
     BridgePoint, CodingPoint, CodingSweep, NeuronSweep, NeuronSweepPoint, NeuronSweepResults,

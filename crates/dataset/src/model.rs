@@ -14,6 +14,7 @@
 //! (`nc-mlp`, `nc-snn`) implement it without depending on each other.
 
 use crate::Dataset;
+use nc_obs::Recorder;
 use nc_substrate::stats::Confusion;
 
 /// How much training compute a [`Model::fit`] call may spend.
@@ -109,6 +110,24 @@ pub trait Model: Send {
     /// not match the model, or the instance is a deployment artifact
     /// that cannot be retrained.
     fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError>;
+
+    /// Like [`Model::fit`], reporting per-epoch training metrics (and
+    /// any family-specific counters) to `recorder`. The default ignores
+    /// the recorder, so implementing it is opt-in per model family; the
+    /// experiment engine always calls this variant.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Model::fit`].
+    fn fit_observed(
+        &mut self,
+        train: &Dataset,
+        budget: &FitBudget,
+        recorder: &dyn Recorder,
+    ) -> Result<(), ModelError> {
+        let _ = recorder;
+        self.fit(train, budget)
+    }
 
     /// Scores on `test`, producing the shared confusion matrix.
     fn evaluate(&mut self, test: &Dataset) -> Confusion;

@@ -10,6 +10,7 @@
 //! counters agree with the Table 7 formulas.
 
 use nc_mlp::quant::QuantizedMlp;
+use nc_obs::Recorder;
 use nc_snn::coding::wot_spike_count;
 use nc_snn::params::SnnParams;
 use nc_substrate::interp::PiecewiseLinear;
@@ -98,6 +99,27 @@ impl<'a> FoldedMlpSim<'a> {
             .unwrap_or(0);
         SimOutcome { winner, cycles }
     }
+
+    /// Like [`FoldedMlpSim::run`], counting runs and datapath cycles on
+    /// `recorder` under `hw.folded_mlp.*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len()` does not match the network input width.
+    pub fn run_observed(&self, pixels: &[u8], recorder: &dyn Recorder) -> SimOutcome {
+        let outcome = self.run(pixels);
+        record_sim(recorder, "hw.folded_mlp", &outcome);
+        outcome
+    }
+}
+
+/// Reports one simulated inference: `<prefix>.runs` and
+/// `<prefix>.cycles` counters.
+fn record_sim(recorder: &dyn Recorder, prefix: &str, outcome: &SimOutcome) {
+    if recorder.enabled() {
+        recorder.add(&format!("{prefix}.runs"), 1);
+        recorder.add(&format!("{prefix}.cycles"), outcome.cycles);
+    }
 }
 
 /// Cycle-level simulator of the folded SNNwot datapath (Figure 7):
@@ -175,6 +197,18 @@ impl<'a> WotDatapathSim<'a> {
             winner,
             cycles: chunks as u64 + SNNWOT_PIPELINE_LATENCY,
         }
+    }
+
+    /// Like [`WotDatapathSim::run`], counting runs and datapath cycles
+    /// on `recorder` under `hw.wot_datapath.*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len()` does not match the input width.
+    pub fn run_observed(&self, pixels: &[u8], recorder: &dyn Recorder) -> SimOutcome {
+        let outcome = self.run(pixels);
+        record_sim(recorder, "hw.wot_datapath", &outcome);
+        outcome
     }
 }
 
@@ -298,6 +332,18 @@ impl<'a> SnnWtSim<'a> {
             cycles: (self.inputs.div_ceil(self.ni) as u64 + SNNWOT_PIPELINE_LATENCY)
                 * u64::from(self.params.t_period),
         }
+    }
+
+    /// Like [`SnnWtSim::run`], counting runs and datapath cycles on
+    /// `recorder` under `hw.snnwt.*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len()` does not match the input width.
+    pub fn run_observed(&self, pixels: &[u8], seed: u64, recorder: &dyn Recorder) -> SimOutcome {
+        let outcome = self.run(pixels, seed);
+        record_sim(recorder, "hw.snnwt", &outcome);
+        outcome
     }
 }
 

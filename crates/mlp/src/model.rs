@@ -8,6 +8,7 @@ use crate::quant::QuantizedMlp;
 use crate::trainer::{TrainConfig, Trainer};
 use nc_dataset::model::{check_fit_inputs, FitBudget, Model, ModelError};
 use nc_dataset::Dataset;
+use nc_obs::Recorder;
 use nc_substrate::stats::Confusion;
 
 fn train_config(budget: &FitBudget) -> TrainConfig {
@@ -27,8 +28,17 @@ impl Model for Mlp {
     }
 
     fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        self.fit_observed(train, budget, nc_obs::null())
+    }
+
+    fn fit_observed(
+        &mut self,
+        train: &Dataset,
+        budget: &FitBudget,
+        recorder: &dyn Recorder,
+    ) -> Result<(), ModelError> {
         check_fit_inputs(train, self.sizes()[0])?;
-        Trainer::new(train_config(budget)).fit(self, train);
+        Trainer::new(train_config(budget)).fit_observed(self, train, recorder);
         Ok(())
     }
 
@@ -46,6 +56,15 @@ impl Model for QuantizedMlp {
     /// standalone [`Mlp`]) and re-quantizes, reproducing the paper's
     /// train-then-quantize pipeline bit for bit.
     fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        self.fit_observed(train, budget, nc_obs::null())
+    }
+
+    fn fit_observed(
+        &mut self,
+        train: &Dataset,
+        budget: &FitBudget,
+        recorder: &dyn Recorder,
+    ) -> Result<(), ModelError> {
         check_fit_inputs(train, self.sizes()[0])?;
         let seed = self.master_seed().ok_or(ModelError::NotTrainable {
             model: "MLP+BP (8-bit fixed point)",
@@ -53,8 +72,9 @@ impl Model for QuantizedMlp {
         })?;
         let mut master = Mlp::new(self.sizes(), self.activation(), seed)
             .expect("topology was validated by QuantizedMlp::untrained");
-        Trainer::new(train_config(budget)).fit(&mut master, train);
+        Trainer::new(train_config(budget)).fit_observed(&mut master, train, recorder);
         self.requantize_from(&master);
+        recorder.add("mlp.requantizations", 1);
         Ok(())
     }
 

@@ -11,6 +11,7 @@
 
 use crate::network::Mlp;
 use nc_dataset::Dataset;
+use nc_obs::{EpochMetrics, Recorder};
 use nc_substrate::rng::SplitMix64;
 
 /// Back-propagation hyper-parameters (paper Table 1: η = 0.3, 50 epochs
@@ -92,6 +93,23 @@ impl Trainer {
     /// Panics if the dataset geometry does not match the network (input
     /// width or class count).
     pub fn fit(&self, mlp: &mut Mlp, data: &Dataset) -> Vec<EpochStats> {
+        self.fit_observed(mlp, data, nc_obs::null())
+    }
+
+    /// Like [`Trainer::fit`], reporting each epoch's loss, on-line
+    /// accuracy and weight-update count to `recorder` under the `"mlp"`
+    /// context. With a disabled recorder this is exactly `fit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset geometry does not match the network (input
+    /// width or class count).
+    pub fn fit_observed(
+        &self,
+        mlp: &mut Mlp,
+        data: &Dataset,
+        recorder: &dyn Recorder,
+    ) -> Vec<EpochStats> {
         let sizes = mlp.sizes().to_vec();
         assert_eq!(
             data.input_dim(),
@@ -118,11 +136,27 @@ impl Trainer {
                 correct += usize::from(hit);
             }
             let n = data.len().max(1) as f64;
-            stats.push(EpochStats {
+            let epoch_stats = EpochStats {
                 epoch,
                 mse: sq_err / n,
                 train_accuracy: correct as f64 / n,
-            });
+            };
+            if recorder.enabled() {
+                // Per-sample SGD touches every weight once per sample.
+                let updates = (mlp.num_weights() * data.len()) as u64;
+                recorder.record_epoch(
+                    "mlp",
+                    &EpochMetrics {
+                        epoch,
+                        samples: data.len() as u64,
+                        loss: Some(epoch_stats.mse),
+                        train_accuracy: Some(epoch_stats.train_accuracy),
+                        weight_updates: updates,
+                        spikes: 0,
+                    },
+                );
+            }
+            stats.push(epoch_stats);
         }
         stats
     }

@@ -1,0 +1,148 @@
+//! The [`Recorder`] trait, its no-op default, and the [`Span`] guard.
+
+use std::time::{Duration, Instant};
+
+/// Per-epoch training telemetry, the unit every trainer reports.
+///
+/// Fields that do not apply to a model family stay at their defaults
+/// (`None` / `0`): an STDP epoch has no loss, a gradient epoch has no
+/// spikes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochMetrics {
+    /// Epoch index, from 0.
+    pub epoch: usize,
+    /// Training samples presented this epoch.
+    pub samples: u64,
+    /// Mean squared error over the epoch, for gradient learners.
+    pub loss: Option<f64>,
+    /// On-line training-set accuracy, where the trainer measures one.
+    pub train_accuracy: Option<f64>,
+    /// Synaptic weight updates applied this epoch.
+    pub weight_updates: u64,
+    /// Output spikes fired this epoch (spiking models only).
+    pub spikes: u64,
+}
+
+/// The observability sink. Every method has an empty default body so a
+/// recorder implements only what it aggregates; implementations must be
+/// thread-safe because engine jobs report concurrently.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder aggregates anything. Instrumented code uses
+    /// this to skip metric *computation* (not just reporting) — e.g.
+    /// [`Span`] never reads the clock when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one completed timing of the named region. Repeated names
+    /// aggregate.
+    fn record_span(&self, name: &str, wall: Duration) {
+        let _ = (name, wall);
+    }
+
+    /// Increments a named monotone counter.
+    fn add(&self, counter: &str, delta: u64) {
+        let _ = (counter, delta);
+    }
+
+    /// Feeds one value into a named observation series.
+    fn observe(&self, series: &str, value: f64) {
+        let _ = (series, value);
+    }
+
+    /// Records one epoch of training telemetry under a context label
+    /// (conventionally the job or model name).
+    fn record_epoch(&self, context: &str, metrics: &EpochMetrics) {
+        let _ = (context, metrics);
+    }
+}
+
+/// The disabled recorder: [`Recorder::enabled`] is `false` and every
+/// report is a no-op, so instrumented code costs nothing when nobody is
+/// listening.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// The shared disabled recorder — the default argument for every
+/// `*_observed` entry point's plain twin.
+pub fn null() -> &'static NullRecorder {
+    static NULL: NullRecorder = NullRecorder;
+    &NULL
+}
+
+/// RAII wall-clock timing of a named region: reports to
+/// [`Recorder::record_span`] on drop. Construction checks
+/// [`Recorder::enabled`] once; a disabled span never touches the clock.
+pub struct Span<'a> {
+    recorder: &'a dyn Recorder,
+    name: &'a str,
+    started: Option<Instant>,
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing `name` if the recorder is enabled.
+    pub fn enter(recorder: &'a dyn Recorder, name: &'a str) -> Self {
+        let started = recorder.enabled().then(Instant::now);
+        Span {
+            recorder,
+            name,
+            started,
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(started) = self.started.take() {
+            self.recorder.record_span(self.name, started.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_silent() {
+        let rec = NullRecorder;
+        assert!(!rec.enabled());
+        rec.add("x", 1);
+        rec.observe("y", 2.0);
+        rec.record_span("z", Duration::from_millis(1));
+        rec.record_epoch("m", &EpochMetrics::default());
+    }
+
+    #[test]
+    fn disabled_span_never_reads_the_clock() {
+        let span = Span::enter(null(), "region");
+        assert!(span.started.is_none());
+    }
+
+    #[test]
+    fn null_is_shared() {
+        assert!(std::ptr::eq(null(), null()));
+    }
+
+    #[test]
+    fn epoch_metrics_default_is_empty() {
+        let m = EpochMetrics::default();
+        assert_eq!(m.loss, None);
+        assert_eq!(m.weight_updates, 0);
+    }
+}

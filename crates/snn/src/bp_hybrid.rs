@@ -27,6 +27,7 @@
 use crate::coding::wot_spike_count;
 use crate::params::SnnParams;
 use nc_dataset::Dataset;
+use nc_obs::{EpochMetrics, Recorder};
 use nc_substrate::rng::SplitMix64;
 use nc_substrate::stats::Confusion;
 
@@ -186,11 +187,22 @@ impl BpSnn {
     ///
     /// Panics if the dataset geometry does not match.
     pub fn fit(&mut self, data: &Dataset, config: &BpSnnConfig) {
+        self.fit_observed(data, config, nc_obs::null());
+    }
+
+    /// Like [`BpSnn::fit`], reporting each epoch's weight-update count
+    /// to `recorder` under the `"snn.bp"` context. With a disabled
+    /// recorder this is exactly `fit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset geometry does not match the network.
+    pub fn fit_observed(&mut self, data: &Dataset, config: &BpSnnConfig, recorder: &dyn Recorder) {
         assert_eq!(data.input_dim(), self.inputs, "geometry mismatch");
         assert_eq!(data.num_classes(), self.classes, "class count mismatch");
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut rng = SplitMix64::new(config.seed);
-        for _ in 0..config.epochs {
+        for epoch in 0..config.epochs {
             for i in (1..order.len()).rev() {
                 let j = rng.next_below(i as u64 + 1) as usize;
                 order.swap(i, j);
@@ -198,6 +210,20 @@ impl BpSnn {
             for &idx in &order {
                 let s = &data.samples()[idx];
                 self.step(&s.pixels, s.label, config.learning_rate);
+            }
+            if recorder.enabled() {
+                // Each BP step updates every shadow weight once.
+                recorder.record_epoch(
+                    "snn.bp",
+                    &EpochMetrics {
+                        epoch,
+                        samples: data.len() as u64,
+                        loss: None,
+                        train_accuracy: None,
+                        weight_updates: (self.weights.len() * data.len()) as u64,
+                        spikes: 0,
+                    },
+                );
             }
         }
     }

@@ -8,6 +8,7 @@ use crate::network::SnnNetwork;
 use crate::wot::WotSnn;
 use nc_dataset::model::{check_fit_inputs, FitBudget, Model, ModelError};
 use nc_dataset::Dataset;
+use nc_obs::{Recorder, Span};
 use nc_substrate::stats::Confusion;
 
 impl Model for SnnNetwork {
@@ -16,9 +17,22 @@ impl Model for SnnNetwork {
     }
 
     fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        self.fit_observed(train, budget, nc_obs::null())
+    }
+
+    fn fit_observed(
+        &mut self,
+        train: &Dataset,
+        budget: &FitBudget,
+        recorder: &dyn Recorder,
+    ) -> Result<(), ModelError> {
         check_fit_inputs(train, self.inputs())?;
         self.set_stdp_delta(budget.stdp_delta);
-        self.train_stdp(train, budget.stdp_epochs);
+        {
+            let _span = Span::enter(recorder, "snn.train_stdp");
+            self.train_stdp_observed(train, budget.stdp_epochs, recorder);
+        }
+        let _span = Span::enter(recorder, "snn.self_label");
         self.self_label(train);
         Ok(())
     }
@@ -38,6 +52,15 @@ impl Model for WotSnn {
     /// engine, reproducing the paper's train-then-simplify pipeline bit
     /// for bit.
     fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        self.fit_observed(train, budget, nc_obs::null())
+    }
+
+    fn fit_observed(
+        &mut self,
+        train: &Dataset,
+        budget: &FitBudget,
+        recorder: &dyn Recorder,
+    ) -> Result<(), ModelError> {
         let spec = self.master_spec().ok_or(ModelError::NotTrainable {
             model: "SNN+STDP - Simplified (SNNwot)",
             reason: "built with from_network; use WotSnn::untrained for a trainable instance",
@@ -45,9 +68,10 @@ impl Model for WotSnn {
         check_fit_inputs(train, spec.inputs)?;
         let mut master = SnnNetwork::new(spec.inputs, spec.classes, spec.params, spec.seed);
         master.set_stdp_delta(budget.stdp_delta);
-        master.train_stdp(train, budget.stdp_epochs);
+        master.train_stdp_observed(train, budget.stdp_epochs, recorder);
         master.self_label(train);
         self.redeploy_from(&master);
+        recorder.add("snn.wot_redeployments", 1);
         Ok(())
     }
 
@@ -62,6 +86,15 @@ impl Model for BpSnn {
     }
 
     fn fit(&mut self, train: &Dataset, budget: &FitBudget) -> Result<(), ModelError> {
+        Model::fit_observed(self, train, budget, nc_obs::null())
+    }
+
+    fn fit_observed(
+        &mut self,
+        train: &Dataset,
+        budget: &FitBudget,
+        recorder: &dyn Recorder,
+    ) -> Result<(), ModelError> {
         check_fit_inputs(train, self.inputs())?;
         let mut config = BpSnnConfig {
             epochs: budget.epochs,
@@ -70,7 +103,7 @@ impl Model for BpSnn {
         if let Some(lr) = budget.learning_rate {
             config.learning_rate = lr;
         }
-        BpSnn::fit(self, train, &config);
+        BpSnn::fit_observed(self, train, &config, recorder);
         Ok(())
     }
 

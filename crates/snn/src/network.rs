@@ -26,6 +26,7 @@ use crate::coding::{CodingScheme, SpikeEvent};
 use crate::params::SnnParams;
 use crate::trace::PresentationTrace;
 use nc_dataset::Dataset;
+use nc_obs::{EpochMetrics, Recorder};
 use nc_substrate::rng::SplitMix64;
 use nc_substrate::stats::Confusion;
 
@@ -395,11 +396,43 @@ impl SnnNetwork {
     ///
     /// Panics if the dataset geometry does not match the network.
     pub fn train_stdp(&mut self, data: &Dataset, epochs: usize) {
+        self.train_stdp_observed(data, epochs, nc_obs::null());
+    }
+
+    /// Like [`SnnNetwork::train_stdp`], reporting each epoch's spike
+    /// count and STDP weight-update count to `recorder` under the
+    /// `"snn.stdp"` context. With a disabled recorder this is exactly
+    /// `train_stdp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset geometry does not match the network.
+    pub fn train_stdp_observed(&mut self, data: &Dataset, epochs: usize, recorder: &dyn Recorder) {
         assert_eq!(data.input_dim(), self.inputs, "geometry mismatch");
+        let observing = recorder.enabled();
         for epoch in 0..epochs {
+            let mut spikes = 0u64;
             for (i, s) in data.iter().enumerate() {
                 let pseed = (epoch as u64) << 32 | i as u64;
-                self.present_learn(&s.pixels, pseed);
+                let outcome = self.present_learn(&s.pixels, pseed);
+                if observing {
+                    spikes += outcome.fires.len() as u64;
+                }
+            }
+            if observing {
+                // Every output spike triggers one STDP pass over the
+                // neuron's full synapse row (LTP or LTD per synapse).
+                recorder.record_epoch(
+                    "snn.stdp",
+                    &EpochMetrics {
+                        epoch,
+                        samples: data.len() as u64,
+                        loss: None,
+                        train_accuracy: None,
+                        weight_updates: spikes * self.inputs as u64,
+                        spikes,
+                    },
+                );
             }
         }
     }

@@ -15,6 +15,8 @@
 //!   §4.2.1) and the exponential leak of the LIF neuron (paper §4.4).
 //! * [`stats`] — small statistics helpers used by tests and the experiment
 //!   harness (mean, variance, histogram).
+//! * [`check`] — the seeded-loop property-test harness the invariant
+//!   tests are written against (std-only, deterministic replay).
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@
 //! assert!((y - 0.5).abs() < 1e-2);
 //! ```
 
+pub mod check;
 pub mod fixed;
 pub mod interp;
 pub mod rng;

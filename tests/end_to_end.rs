@@ -1,7 +1,15 @@
 //! End-to-end integration tests: the paper's qualitative conclusions must
 //! reproduce across the whole stack (dataset → engine → models →
-//! evaluation) at the Tiny scale, on every workload — and the parallel
-//! schedule must be bit-identical to the sequential one.
+//! evaluation) — and the parallel schedule must be bit-identical to the
+//! sequential one.
+//!
+//! Two tiers (documented in the README):
+//!
+//! * **fast** — Tiny scale, reduced topologies; runs on every
+//!   `cargo test` and stays within seconds.
+//! * **full** — `#[ignore]`d tests at Quick scale with the paper's
+//!   topologies; run them with `cargo test -- --ignored` (CI does this
+//!   on a schedule, not on every push).
 
 use neurocmp::core::experiment::{AccuracyComparison, ExperimentScale, Workload};
 use neurocmp::core::Engine;
@@ -112,6 +120,54 @@ fn parallel_schedule_is_bit_identical_to_sequential() {
     assert_eq!(
         sequential, parallel,
         "thread count must not change any reported accuracy bit"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Full-scale tier (ignored by default; `cargo test -- --ignored`).
+// ---------------------------------------------------------------------
+
+#[test]
+#[ignore = "full-scale tier: paper topologies at Quick scale (~minutes); run with --ignored"]
+fn full_scale_table3_ordering_reproduces_on_digits() {
+    // The paper's topologies (MLP 784x100x10, SNN 784x300), untouched.
+    let r = Engine::builder()
+        .scale(ExperimentScale::Quick)
+        .build()
+        .run(&AccuracyComparison::on(Workload::Digits))
+        .unwrap();
+    assert!(
+        r.ordering_holds(),
+        "paper ordering must hold at full topology: MLP {:.2}, SNN+BP {:.2}, \
+         SNN+STDP {:.2}, SNNwot {:.2}",
+        r.mlp_bp,
+        r.snn_bp,
+        r.snn_stdp_lif,
+        r.snn_stdp_wot
+    );
+    assert!(r.mlp_bp > 0.8, "full MLP {:.2}", r.mlp_bp);
+    assert!(r.snn_stdp_lif > 0.5, "full SNN {:.2}", r.snn_stdp_lif);
+}
+
+#[test]
+#[ignore = "full-scale tier: paper topologies at Quick scale (~minutes); run with --ignored"]
+fn full_scale_parallel_schedule_is_bit_identical() {
+    let cmp = AccuracyComparison::on(Workload::Digits);
+    let sequential = Engine::builder()
+        .threads(1)
+        .scale(ExperimentScale::Quick)
+        .build()
+        .run(&cmp)
+        .unwrap();
+    let parallel = Engine::builder()
+        .threads(4)
+        .scale(ExperimentScale::Quick)
+        .build()
+        .run(&cmp)
+        .unwrap();
+    assert_eq!(
+        sequential, parallel,
+        "thread count must not change any reported accuracy bit at full scale"
     );
 }
 
