@@ -128,6 +128,7 @@ pub fn precision(engine: &Engine) -> String {
         Activation::sigmoid(),
         0xB175,
     )
+    // nc-lint: allow(R5, reason = "paper-constant MLP topology is nonempty by construction")
     .expect("valid topology");
     Trainer::new(TrainConfig {
         epochs: scale.mlp_epochs(),
@@ -287,6 +288,7 @@ pub fn robustness(engine: &Engine) -> String {
         seed: 0x20B5,
         ..RobustnessSweep::standard(Workload::Digits)
     };
+    // nc-lint: allow(R5, reason = "report generators run paper-constant configs; validated by tier-1 tests")
     let points = engine.run(&sweep).expect("robustness config is valid");
     let mut t = TextTable::new(&["test noise", "MLP", "SNN (LIF)", "SNNwot"]);
     for p in &points {

@@ -19,6 +19,7 @@ use nc_snn::{SnnNetwork, SnnParams};
 pub fn table3(engine: &Engine) -> String {
     let results = engine
         .run(&AccuracyComparison::on(Workload::Digits))
+        // nc-lint: allow(R5, reason = "report generators run paper-constant configs; validated by tier-1 tests")
         .expect("paper topology is valid");
     format!(
         "== Table 3 ==\n{}\nordering holds (MLP > SNN+BP > SNN+STDP, wot ~ wt): {}\n",
@@ -90,6 +91,7 @@ pub fn fig6(engine: &Engine) -> String {
         hidden: Workload::Digits.paper_topology().0.min(40),
         seed: 0xF6,
     };
+    // nc-lint: allow(R5, reason = "report generators run paper-constant configs; validated by tier-1 tests")
     let points = engine.run(&bridge).expect("bridge config is valid");
     let mut t = TextTable::new(&["activation", "error rate", "paper (MNIST)"]);
     for p in &points {
@@ -127,6 +129,7 @@ pub fn fig6(engine: &Engine) -> String {
 pub fn fig8(engine: &Engine) -> String {
     let results = engine
         .run(&NeuronSweep::fig8(Workload::Digits))
+        // nc-lint: allow(R5, reason = "report generators run paper-constant configs; validated by tier-1 tests")
         .expect("fig8 grid is valid");
     let mut t = TextTable::new(&["model", "#neurons", "accuracy"]);
     for p in &results.mlp {
@@ -171,6 +174,7 @@ pub fn fig14(engine: &Engine) -> String {
         sizes: vec![10, 50, 100, 300],
         seed: 0xF14,
     };
+    // nc-lint: allow(R5, reason = "report generators run paper-constant configs; validated by tier-1 tests")
     let points = engine.run(&sweep).expect("fig14 grid is valid");
     let mut t = TextTable::new(&["coding scheme", "#neurons", "accuracy"]);
     for p in &points {
@@ -216,6 +220,7 @@ pub fn workloads(engine: &Engine) -> String {
     ] {
         let results = engine
             .run(&AccuracyComparison::on(workload))
+            // nc-lint: allow(R5, reason = "report generators run paper-constant configs; validated by tier-1 tests")
             .expect("paper topology is valid");
         let (hidden, neurons) = workload.paper_topology();
         let data = engine.dataset_at(workload, ExperimentScale::Quick);
@@ -259,6 +264,7 @@ pub fn workloads(engine: &Engine) -> String {
 pub fn snnwot_accuracy(engine: &Engine) -> f64 {
     let results = engine
         .run(&AccuracyComparison::on(Workload::Digits))
+        // nc-lint: allow(R5, reason = "report generators run paper-constant configs; validated by tier-1 tests")
         .expect("paper topology is valid");
     results.snn_stdp_wot
 }

@@ -119,6 +119,7 @@ pub fn git_short_sha() -> String {
 /// simulators count cycles; [`BenchContext::finish`] then serializes
 /// everything as a [`BenchRecord`]. Without the flag the engine keeps
 /// the free no-op recorder.
+#[derive(Debug)]
 pub struct BenchContext {
     /// The experiment engine, configured from the command line.
     pub engine: Engine,

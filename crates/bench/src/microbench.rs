@@ -37,6 +37,7 @@ impl BenchResult {
 }
 
 /// A named group of benchmarks, printed as it runs.
+#[derive(Debug)]
 pub struct Group {
     name: String,
     results: Vec<BenchResult>,
@@ -71,7 +72,9 @@ impl Group {
                 iters * 8
             } else {
                 let per_iter = elapsed.as_secs_f64() / iters as f64;
-                ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(iters + 1)
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let target = (SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64;
+                target.max(iters + 1)
             };
         }
         let mut samples: Vec<Duration> = (0..SAMPLES)
@@ -80,7 +83,7 @@ impl Group {
                 for _ in 0..iters {
                     black_box(f());
                 }
-                t.elapsed() / iters as u32
+                t.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX)
             })
             .collect();
         samples.sort();

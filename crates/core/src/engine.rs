@@ -45,9 +45,10 @@ use nc_snn::bp_hybrid::BpSnn;
 use nc_snn::coding::CodingScheme;
 use nc_snn::{SnnNetwork, SnnParams, WotSnn};
 use nc_substrate::stats::Confusion;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+// nc-lint: allow(R3, reason = "per-job wall-clock is reported as observability metadata only; no result depends on it")
 use std::time::{Duration, Instant};
 
 /// A unit of schedulable work: a label and throughput hint for
@@ -99,6 +100,15 @@ impl JobStat {
     }
 }
 
+/// Acquires a mutex, recovering the inner value if a previous holder
+/// panicked. Every critical section in this module is a plain read or
+/// write of an `Option`/collection (no multi-step invariants), so a
+/// poisoned lock's contents are still consistent and recovery is
+/// strictly better than propagating the panic.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Caches generated datasets so each `(workload, scale)` pair is
 /// produced once per engine and shared between jobs via [`Arc`].
 ///
@@ -107,7 +117,7 @@ impl JobStat {
 /// time and memory.
 #[derive(Debug, Default)]
 pub struct DatasetCache {
-    map: Mutex<HashMap<(Workload, ExperimentScale), SharedData>>,
+    map: Mutex<BTreeMap<(Workload, ExperimentScale), SharedData>>,
 }
 
 /// A cached `(train, test)` pair, shared between jobs.
@@ -123,7 +133,7 @@ impl DatasetCache {
     /// first use. Repeated calls return the same [`Arc`].
     pub fn get(&self, workload: Workload, scale: ExperimentScale) -> Arc<(Dataset, Dataset)> {
         let key = (workload, scale);
-        if let Some(hit) = self.map.lock().expect("cache poisoned").get(&key) {
+        if let Some(hit) = lock_or_recover(&self.map).get(&key) {
             return Arc::clone(hit);
         }
         // Generate outside the lock so unrelated keys do not serialize;
@@ -131,18 +141,12 @@ impl DatasetCache {
         // the duplicate is dropped (generation is deterministic, so the
         // contents are identical either way).
         let fresh = Arc::new(workload.generate(scale));
-        Arc::clone(
-            self.map
-                .lock()
-                .expect("cache poisoned")
-                .entry(key)
-                .or_insert(fresh),
-        )
+        Arc::clone(lock_or_recover(&self.map).entry(key).or_insert(fresh))
     }
 
     /// Number of cached pairs.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        lock_or_recover(&self.map).len()
     }
 
     /// Whether the cache is empty.
@@ -322,17 +326,17 @@ impl Engine {
         let walls: Vec<Mutex<Option<Duration>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
         let run_one = |index: usize| {
-            let payload = inputs[index]
-                .lock()
-                .expect("job slot poisoned")
+            let payload = lock_or_recover(&inputs[index])
                 .take()
+                // nc-lint: allow(R5, reason = "run_one is called exactly once per index; an absent payload is an engine bug worth halting on")
                 .expect("job claimed twice");
             let _span = Span::enter(self.recorder.as_ref(), &labels[index]);
             self.recorder.add("engine.jobs", 1);
+            // nc-lint: allow(R3, reason = "wall-clock span feeds JobStat reporting only")
             let started = Instant::now();
             let output = work(payload);
-            *walls[index].lock().expect("wall slot poisoned") = Some(started.elapsed());
-            *results[index].lock().expect("result slot poisoned") = Some(output);
+            *lock_or_recover(&walls[index]) = Some(started.elapsed());
+            *lock_or_recover(&results[index]) = Some(output);
         };
 
         let workers = self.threads.min(n);
@@ -362,20 +366,19 @@ impl Engine {
             .zip(&walls)
             .map(|((label, &samples), wall)| JobStat {
                 label,
-                wall: wall
-                    .lock()
-                    .expect("wall slot poisoned")
-                    .expect("job completed"),
+                // nc-lint: allow(R5, reason = "every job writes its wall slot before the batch joins")
+                wall: lock_or_recover(wall).expect("job completed"),
                 samples,
             })
             .collect();
-        self.stats.lock().expect("stats poisoned").extend(batch);
+        lock_or_recover(&self.stats).extend(batch);
 
         results
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    // nc-lint: allow(R5, reason = "every job writes its result slot before the batch joins")
                     .expect("job completed")
             })
             .collect()
@@ -405,7 +408,7 @@ impl Engine {
     /// A snapshot of every job stat recorded so far, in completion-batch
     /// order (job order within each batch).
     pub fn stats(&self) -> Vec<JobStat> {
-        self.stats.lock().expect("stats poisoned").clone()
+        lock_or_recover(&self.stats).clone()
     }
 
     /// Renders the per-job wall-clock / throughput summary as a

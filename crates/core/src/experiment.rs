@@ -9,7 +9,7 @@ use nc_snn::SnnParams;
 
 /// The three benchmark families of the paper (§3.1, §4.5), realized by
 /// the synthetic generators of `nc-dataset`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Workload {
     /// MNIST stand-in: 28×28 digits (the driving example).
     Digits,
@@ -83,7 +83,7 @@ impl std::fmt::Display for Workload {
 /// [`ExperimentScale::Full`] matches that volume, the smaller scales
 /// trade a little accuracy for speed (the comparative structure is
 /// stable across scales — asserted by the integration tests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExperimentScale {
     /// Seconds, for tests and CI: 300 train / 100 test, few epochs.
     Tiny,
@@ -287,6 +287,7 @@ impl AccuracyComparison {
     pub fn run(&self) -> AccuracyResults {
         Engine::sequential(self.scale.unwrap_or(ExperimentScale::Standard))
             .run(self)
+            // nc-lint: allow(R5, reason = "paper-constant topologies; validated by the tier-1 accuracy tests")
             .expect("paper topologies are valid")
     }
 
@@ -366,6 +367,7 @@ impl Experiment for AccuracyComparison {
         let accuracies = engine.train_and_score(&data, jobs);
 
         let mut it = accuracies.into_iter();
+        // nc-lint: allow(R5, reason = "the batch above schedules exactly five jobs")
         let mut next = || it.next().expect("five jobs were scheduled");
         Ok(AccuracyResults {
             workload: workload_name,

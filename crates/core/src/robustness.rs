@@ -12,6 +12,7 @@ use crate::experiment::{ExperimentScale, Workload};
 use nc_dataset::{Dataset, Sample};
 use nc_mlp::{metrics, Activation, Mlp};
 use nc_snn::{SnnNetwork, SnnParams, WotSnn};
+use nc_substrate::fixed::sat_u8_trunc;
 use nc_substrate::rng::SplitMix64;
 use nc_substrate::stats::Confusion;
 use std::sync::Arc;
@@ -41,13 +42,14 @@ pub fn corrupt(data: &Dataset, noise: f64, seed: u64) -> Dataset {
                 .iter()
                 .map(|&p| {
                     let delta = rng.next_range(-noise, noise) * 255.0;
-                    (f64::from(p) + delta).clamp(0.0, 255.0) as u8
+                    sat_u8_trunc(f64::from(p) + delta)
                 })
                 .collect(),
             label: s.label,
         })
         .collect();
     Dataset::from_samples(data.width(), data.height(), data.num_classes(), samples)
+        // nc-lint: allow(R5, reason = "noise injection preserves the source dataset's geometry")
         .expect("same geometry")
 }
 
@@ -64,6 +66,7 @@ pub fn sweep(
     noise_levels
         .iter()
         .map(|&noise| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let noisy = corrupt(test, noise, (noise * 1e4) as u64);
             let mlp_accuracy = metrics::evaluate(mlp, &noisy).accuracy();
             let snn_accuracy = snn.evaluate(&noisy).accuracy();
@@ -131,7 +134,11 @@ impl Experiment for RobustnessSweep {
         let noisy: Vec<Arc<Dataset>> = self
             .noise_levels
             .iter()
-            .map(|&n| Arc::new(corrupt(test, n, (n * 1e4) as u64)))
+            .map(|&n| {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let seed = (n * 1e4) as u64;
+                Arc::new(corrupt(test, n, seed))
+            })
             .collect();
         let (inputs, classes) = (train.input_dim(), train.num_classes());
         let params = SnnParams::tuned(self.snn_neurons);
@@ -174,11 +181,10 @@ impl Experiment for RobustnessSweep {
             Ok(noisy.iter().map(|d| model.evaluate(d).accuracy()).collect())
         });
         let mut ladders = ladders.into_iter();
-        let (mlp, snn, wot) = (
-            ladders.next().unwrap()?,
-            ladders.next().unwrap()?,
-            ladders.next().unwrap()?,
-        );
+        let (mlp, snn, wot) = match (ladders.next(), ladders.next(), ladders.next()) {
+            (Some(mlp), Some(snn), Some(wot)) => (mlp?, snn?, wot?),
+            _ => unreachable!("exactly three ladder jobs were scheduled above"),
+        };
         Ok(self
             .noise_levels
             .iter()

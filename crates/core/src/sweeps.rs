@@ -123,6 +123,7 @@ pub fn mlp_neuron_sweep(
         .iter()
         .map(|&h| mlp_point_job(train, h, epochs, seed, format!("fig8/mlp/{h}")))
         .collect();
+    // nc-lint: allow(R5, reason = "sweep grids use paper-constant topologies; validated by tier-1 tests")
     let accuracies = collect(engine.train_and_score(&data, jobs)).expect("valid sweep topology");
     widths
         .iter()
@@ -147,6 +148,7 @@ pub fn snn_neuron_sweep(
         .iter()
         .map(|&n| snn_point_job(train, n, None, scale, seed, format!("fig8/snn/{n}")))
         .collect();
+    // nc-lint: allow(R5, reason = "sweep grids use paper-constant topologies; validated by tier-1 tests")
     let accuracies = collect(engine.train_and_score(&data, jobs)).expect("valid sweep topology");
     sizes
         .iter()
@@ -169,6 +171,7 @@ pub fn sigmoid_bridge_sweep(
     let engine = Engine::sequential(ExperimentScale::Tiny);
     let data = Arc::new((train.clone(), test.clone()));
     let jobs = bridge_jobs(train, slopes, hidden, epochs, seed);
+    // nc-lint: allow(R5, reason = "sweep grids use paper-constant topologies; validated by tier-1 tests")
     let accuracies = collect(engine.train_and_score(&data, jobs)).expect("valid sweep topology");
     bridge_points(slopes, accuracies)
 }
@@ -265,6 +268,7 @@ pub fn coding_sweep(
             )
         })
         .collect();
+    // nc-lint: allow(R5, reason = "sweep grids use paper-constant topologies; validated by tier-1 tests")
     let accuracies = collect(engine.train_and_score(&data, jobs)).expect("valid sweep topology");
     grid.iter()
         .zip(accuracies)

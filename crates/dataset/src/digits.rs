@@ -87,6 +87,7 @@ fn generate_split(n: usize, seed: u64, stream: u64, difficulty: Difficulty) -> D
         })
         .collect();
     Dataset::from_samples(SIDE, SIDE, CLASSES, samples)
+        // nc-lint: allow(R5, reason = "generator emits fixed SIDE*SIDE geometry by construction")
         .expect("generator emits consistent geometry")
 }
 
@@ -198,7 +199,7 @@ pub fn glyph(digit: usize) -> Vec<Vec<Point>> {
             s.push(pt(0.62, 0.95));
             s
         }],
-        _ => panic!("digit must be 0..=9"),
+        _ => unreachable!("callers mask digit labels to 0..=9"),
     }
 }
 
@@ -297,7 +298,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "digit must be 0..=9")]
+    #[should_panic(expected = "callers mask digit labels to 0..=9")]
     fn glyph_rejects_out_of_range() {
         let _ = glyph(10);
     }

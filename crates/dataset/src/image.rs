@@ -6,6 +6,7 @@
 //! n-bit values (8-bit values in our case for the pixel luminance)",
 //! paper §2.1).
 
+use nc_substrate::fixed::{sat_u8_round, sat_u8_trunc};
 use nc_substrate::rng::SplitMix64;
 
 /// A row-major 8-bit greyscale image.
@@ -89,7 +90,7 @@ impl GreyImage {
         }
         for p in &mut self.pixels {
             let delta = rng.next_range(-amp, amp) * 255.0;
-            *p = (f64::from(*p) + delta).clamp(0.0, 255.0) as u8;
+            *p = sat_u8_trunc(f64::from(*p) + delta);
         }
     }
 
@@ -103,19 +104,18 @@ impl GreyImage {
                 let mut n = 0u32;
                 for dy in -1i64..=1 {
                     for dx in -1i64..=1 {
-                        let nx = x as i64 + dx;
-                        let ny = y as i64 + dy;
-                        if nx >= 0
-                            && ny >= 0
-                            && (nx as usize) < self.width
-                            && (ny as usize) < self.height
-                        {
-                            sum += u32::from(self.pixels[ny as usize * self.width + nx as usize]);
+                        let neighbor = (
+                            usize::try_from(x as i64 + dx),
+                            usize::try_from(y as i64 + dy),
+                        );
+                        let (Ok(nx), Ok(ny)) = neighbor else { continue };
+                        if nx < self.width && ny < self.height {
+                            sum += u32::from(self.pixels[ny * self.width + nx]);
                             n += 1;
                         }
                     }
                 }
-                out[y * self.width + x] = (sum / n) as u8;
+                out[y * self.width + x] = u8::try_from(sum / n).unwrap_or(u8::MAX);
             }
         }
         self.pixels = out;
@@ -266,7 +266,7 @@ pub fn rasterize_strokes(
             } else {
                 0.0
             };
-            img.set(x, y, (lum * 255.0).round() as u8);
+            img.set(x, y, sat_u8_round(lum * 255.0));
         }
     }
     img
@@ -311,7 +311,7 @@ pub fn rasterize_polygon(
                     cover += 1;
                 }
             }
-            img.set(x, y, (cover * 255 / 4) as u8);
+            img.set(x, y, u8::try_from(cover * 255 / 4).unwrap_or(u8::MAX));
         }
     }
     img

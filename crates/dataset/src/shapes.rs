@@ -80,6 +80,7 @@ fn split(n: usize, seed: u64, stream: u64, difficulty: Difficulty) -> Dataset {
             }
         })
         .collect();
+    // nc-lint: allow(R5, reason = "generator emits fixed SIDE*SIDE geometry by construction")
     Dataset::from_samples(SIDE, SIDE, CLASSES, samples).expect("consistent geometry")
 }
 
@@ -199,7 +200,7 @@ pub fn polygon(class: usize) -> Vec<Point> {
             }
             v
         }
-        _ => panic!("class must be 0..=9"),
+        _ => unreachable!("callers mask class labels to 0..=9"),
     }
 }
 
@@ -250,7 +251,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "class must be 0..=9")]
+    #[should_panic(expected = "callers mask class labels to 0..=9")]
     fn polygon_rejects_out_of_range() {
         let _ = polygon(10);
     }

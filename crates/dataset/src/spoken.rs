@@ -15,6 +15,7 @@
 
 use crate::image::GreyImage;
 use crate::{Dataset, Difficulty, Sample};
+use nc_substrate::fixed::sat_u8_trunc;
 use nc_substrate::rng::SplitMix64;
 
 /// Time frames (columns) in the resampled utterance.
@@ -88,6 +89,7 @@ fn split(n: usize, seed: u64, stream: u64, difficulty: Difficulty) -> Dataset {
             }
         })
         .collect();
+    // nc-lint: allow(R5, reason = "generator emits fixed FRAMES*COEFFS geometry by construction")
     Dataset::from_samples(FRAMES, COEFFS, CLASSES, samples).expect("consistent geometry")
 }
 
@@ -143,7 +145,11 @@ pub fn render_utterance(class: usize, rng: &mut SplitMix64, difficulty: Difficul
                 let dc = (c - b.c) / b.sigma_c;
                 v += b.amp * (-0.5 * (dt * dt + dc * dc)).exp();
             }
-            img.set(col, row, ((v * amp_jitter).clamp(0.0, 1.0) * 255.0) as u8);
+            img.set(
+                col,
+                row,
+                sat_u8_trunc((v * amp_jitter).clamp(0.0, 1.0) * 255.0),
+            );
         }
     }
     img.add_noise(difficulty.noise * 1.5, rng);

@@ -13,6 +13,7 @@ use nc_mlp::quant::QuantizedMlp;
 use nc_obs::Recorder;
 use nc_snn::coding::wot_spike_count;
 use nc_snn::params::SnnParams;
+use nc_substrate::fixed::sat_u8_round;
 use nc_substrate::interp::PiecewiseLinear;
 use nc_substrate::rng::GaussianClt;
 
@@ -62,6 +63,7 @@ impl<'a> FoldedMlpSim<'a> {
             let fan_in = sizes[l];
             let fan_out = sizes[l + 1];
             let weights = self.mlp.layer_weights(l);
+            // nc-lint: allow(R1, reason = "dequantized sigmoid lookup mirrors the hardware interpolation unit; the accumulate above is exact integer")
             let scale = 2f64.powi(self.mlp.layer_scale_exp(l));
             // All hardware neurons of the layer run in lockstep; the
             // chunk loop is the cycle loop.
@@ -85,8 +87,10 @@ impl<'a> FoldedMlpSim<'a> {
             current = accs
                 .iter()
                 .map(|&acc| {
+                    // nc-lint: allow(R1, reason = "dequantized sigmoid lookup mirrors the hardware interpolation unit; the accumulate above is exact integer")
                     let s = acc as f64 / (scale * 255.0);
-                    (table.eval(s).clamp(0.0, 1.0) * 255.0).round() as u8
+                    // nc-lint: allow(R1, reason = "dequantized sigmoid lookup mirrors the hardware interpolation unit; the accumulate above is exact integer")
+                    sat_u8_round(table.eval(s).clamp(0.0, 1.0) * 255.0)
                 })
                 .collect();
             cycles += 1;
@@ -219,6 +223,7 @@ impl<'a> WotDatapathSim<'a> {
 #[derive(Debug, Clone)]
 pub struct SnnWtSim<'a> {
     weights: &'a [u8],
+    // nc-lint: allow(R1, reason = "LIF thresholds are float by design (paper SS4.3.2)")
     thresholds: &'a [f64],
     inputs: usize,
     neurons: usize,
@@ -234,6 +239,7 @@ impl<'a> SnnWtSim<'a> {
     /// Panics if shapes are inconsistent or `ni == 0`.
     pub fn new(
         weights: &'a [u8],
+        // nc-lint: allow(R1, reason = "LIF thresholds are float by design (paper SS4.3.2)")
         thresholds: &'a [f64],
         inputs: usize,
         neurons: usize,
@@ -273,17 +279,23 @@ impl<'a> SnnWtSim<'a> {
             .enumerate()
             .map(|(i, &p)| {
                 let rate = self.params.rate_per_ms(p);
+                // nc-lint: allow(R1, reason = "LIF potential/rate emulation is float by design (paper SS4.3.2); weights and spike counts stay integer")
                 if rate <= 0.0 {
                     None
                 } else {
+                    // nc-lint: allow(R1, reason = "LIF potential/rate emulation is float by design (paper SS4.3.2); weights and spike counts stay integer")
                     let mean = 1.0 / rate;
+                    // nc-lint: allow(R1, reason = "LIF potential/rate emulation is float by design (paper SS4.3.2); weights and spike counts stay integer")
                     Some(gens[i].sample_interval_ms(mean, mean / 3.0))
                 }
             })
             .collect();
         // The hardware's interpolated leak factor for a 1 ms step.
+        // nc-lint: allow(R1, reason = "LIF potential/rate emulation is float by design (paper SS4.3.2); weights and spike counts stay integer")
         let leak_table = PiecewiseLinear::exp_decay(16, self.params.t_leak, 64.0);
+        // nc-lint: allow(R1, reason = "LIF potential/rate emulation is float by design (paper SS4.3.2); weights and spike counts stay integer")
         let leak_1ms = leak_table.eval(1.0);
+        // nc-lint: allow(R1, reason = "LIF potential/rate emulation is float by design (paper SS4.3.2); weights and spike counts stay integer")
         let mut potentials = vec![0.0f64; self.neurons];
         let mut winner: Option<usize> = None;
         for _t in 0..self.params.t_period {
@@ -294,7 +306,9 @@ impl<'a> SnnWtSim<'a> {
                     if *remaining <= 1 {
                         spikes.push(i);
                         let rate = self.params.rate_per_ms(pixels[i]);
+                        // nc-lint: allow(R1, reason = "LIF potential/rate emulation is float by design (paper SS4.3.2); weights and spike counts stay integer")
                         let mean = 1.0 / rate;
+                        // nc-lint: allow(R1, reason = "LIF potential/rate emulation is float by design (paper SS4.3.2); weights and spike counts stay integer")
                         *c = Some(gens[i].sample_interval_ms(mean, mean / 3.0));
                     } else {
                         *remaining -= 1;
@@ -306,6 +320,7 @@ impl<'a> SnnWtSim<'a> {
             }
             for &i in &spikes {
                 for j in 0..self.neurons {
+                    // nc-lint: allow(R1, reason = "LIF potential/rate emulation is float by design (paper SS4.3.2); weights and spike counts stay integer")
                     potentials[j] += f64::from(self.weights[j * self.inputs + i]);
                 }
             }

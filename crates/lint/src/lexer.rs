@@ -1,0 +1,422 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The build is offline, so `nc-lint` cannot lean on `syn` or `proc-macro2`.
+//! Instead this module tokenizes Rust source just far enough for invariant
+//! checking: it must never mistake the contents of a string literal, char
+//! literal, or comment for code (otherwise `"HashMap"` in a log message
+//! would trip R4), and it must keep comments *with their line numbers* so
+//! suppression annotations can be attached to the code they cover.
+//!
+//! The lexer is intentionally lossy about things the rules never look at
+//! (precise number grammar, operator composition); it is exact about the
+//! boundaries that matter: string/char/comment extents, raw strings with
+//! arbitrary `#` fences, nested block comments, lifetimes vs char literals,
+//! and raw identifiers.
+
+/// One lexical token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is, with its text where the rules need it.
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// Token classification. Only the shapes the rule table inspects are
+/// distinguished; everything else is a `Punct`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`as`, `fn`, `HashMap`, `r#type`, ...).
+    /// Raw identifiers are stored without the `r#` prefix.
+    Ident(String),
+    /// A line (`//`) or block (`/* */`) comment, text included verbatim.
+    Comment(String),
+    /// Any string-like literal: `"…"`, `b"…"`, `r#"…"#`, `c"…"`.
+    StrLit,
+    /// A character or byte literal: `'a'`, `b'\n'`.
+    CharLit,
+    /// A numeric literal. `is_float` is true for tokens with a decimal
+    /// point, a decimal exponent, or an `f32`/`f64` suffix.
+    Number {
+        /// Whether the literal is floating-point.
+        is_float: bool,
+    },
+    /// A lifetime such as `'a` (distinguished from `CharLit`).
+    Lifetime,
+    /// A single punctuation character (`.`, `!`, `#`, `{`, ...).
+    Punct(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes `source`. The lexer never fails: malformed input (an
+/// unterminated string, say) produces a best-effort tail token and the
+/// stream simply ends, which is the right behaviour for a linter that
+/// runs before `rustc` has vetted the file.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'r' if self.raw_string_ahead() => self.raw_string(line, 1),
+                b'b' | b'c' if self.peek(1) == Some(b'"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.bump();
+                    self.bump();
+                    self.char_body(line);
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead_at(1) => {
+                    self.raw_string(line, 2)
+                }
+                b'r' if self.peek(1) == Some(b'#')
+                    && self.peek(2).is_some_and(is_ident_start)
+                    && self.peek(2) != Some(b'"') =>
+                {
+                    // Raw identifier r#type: skip the fence, lex the ident.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                _ if is_ident_start(b) => self.ident(line),
+                b'0'..=b'9' => self.number(line),
+                b'"' => self.string(line),
+                b'\'' => self.quote(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(char::from(b)), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Is `r"`, `r#"`, `r##"`... next (possibly with a `b` already seen)?
+    fn raw_string_ahead(&self) -> bool {
+        self.raw_string_ahead_at(0)
+    }
+
+    fn raw_string_ahead_at(&self, offset: usize) -> bool {
+        // bytes[pos+offset] is the 'r'; scan over `#`s to find a quote.
+        let mut i = offset + 1;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Comment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Comment(text), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident(text), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut is_float = false;
+        let hex =
+            self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'b'));
+        self.bump();
+        if hex {
+            self.bump();
+        }
+        loop {
+            match self.peek(0) {
+                Some(b) if b.is_ascii_digit() || b == b'_' => {
+                    self.bump();
+                }
+                // A decimal point only counts when followed by a digit:
+                // `0..10` and `1.max(2)` stay integers.
+                Some(b'.') if !hex && self.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    is_float = true;
+                    self.bump();
+                }
+                // Decimal exponent `1e9` / `1E-9`.
+                Some(b'e' | b'E')
+                    if !hex
+                        && self.peek(1).is_some_and(|d| {
+                            d.is_ascii_digit()
+                                || ((d == b'+' || d == b'-')
+                                    && self.peek(2).is_some_and(|e| e.is_ascii_digit()))
+                        }) =>
+                {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(0), Some(b'+' | b'-')) {
+                        self.bump();
+                    }
+                }
+                // Suffix (u8, i64, f32, usize, ...), or hex digits.
+                Some(b) if is_ident_continue(b) => {
+                    let suffix_start = self.pos;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    let suffix = &self.bytes[suffix_start..self.pos];
+                    if suffix == b"f32" || suffix == b"f64" {
+                        is_float = true;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.push(TokenKind::Number { is_float }, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::StrLit, line);
+    }
+
+    /// Raw (byte) string: `prefix_len` bytes of `r`/`br` already peeked.
+    fn raw_string(&mut self, line: u32, prefix_len: usize) {
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        let mut fence = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fence += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(b) = self.bump() {
+            if b == b'"' {
+                for i in 0..fence {
+                    if self.peek(i) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..fence {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::StrLit, line);
+    }
+
+    /// A `'`: either a char literal or a lifetime.
+    fn quote(&mut self, line: u32) {
+        // `'\...'` is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.bump();
+            self.char_body(line);
+            return;
+        }
+        // `'x` where the ident run is followed by another `'` is a char
+        // literal ('a'); otherwise it is a lifetime ('a, 'static, '_).
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut i = 2;
+            while self.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if self.peek(i) == Some(b'\'') {
+                self.bump();
+                self.char_body(line);
+            } else {
+                self.bump();
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, line);
+            }
+            return;
+        }
+        // `'('`-style single-char literal, or a stray quote.
+        self.bump();
+        self.char_body(line);
+    }
+
+    /// Consumes a char-literal body up to and including the closing `'`
+    /// (the opening quote has been consumed).
+    fn char_body(&mut self, line: u32) {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::CharLit, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let x = "HashMap::new()"; // HashMap in a comment
+            /* Instant::now() in /* a nested */ block */
+            let y = r#"panic!("no")"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|s| s == "HashMap" || s == "Instant" || s == "panic"));
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::CharLit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn float_literals_are_classified() {
+        let floats: Vec<bool> =
+            lex("let a = 1; let b = 1.5; let c = 2f64; let d = 1e9; let e = 0x1f; let f = 0..10;")
+                .into_iter()
+                .filter_map(|t| match t.kind {
+                    TokenKind::Number { is_float } => Some(is_float),
+                    _ => None,
+                })
+                .collect();
+        assert_eq!(floats, vec![false, true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn raw_idents_and_byte_strings() {
+        let ids = idents("let r#type = b\"f64\"; let r = 1;");
+        assert_eq!(ids, vec!["let", "type", "let", "r"]);
+    }
+
+    #[test]
+    fn comments_keep_line_numbers() {
+        let toks = lex("let a = 1;\n// nc-lint: allow(R4, reason = \"x\")\nlet b = 2;");
+        let comment = toks
+            .iter()
+            .find(|t| matches!(t.kind, TokenKind::Comment(_)))
+            .map(|t| t.line);
+        assert_eq!(comment, Some(2));
+    }
+}

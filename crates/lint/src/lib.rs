@@ -1,0 +1,73 @@
+//! `nc-lint` — the workspace invariant checker.
+//!
+//! The paper comparison this repository reproduces rests on bit-faithful
+//! narrow fixed-point datapaths and byte-reproducible experiment runs
+//! (`threads = 1` must equal `threads = 4` exactly). Those properties
+//! depend on source-level invariants that `rustc` does not enforce and
+//! that only fail *silently* — as accuracy drift or flaky golden
+//! snapshots. This crate enforces them mechanically:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | R1 | no `f32`/`f64` in fixed-point datapath modules |
+//! | R2 | no bare narrowing `as` casts outside the audited fixed-point module |
+//! | R3 | no wall-clock reads outside the observability crates |
+//! | R4 | no `HashMap`/`HashSet` (hash iteration order) anywhere |
+//! | R5 | no `unwrap`/`expect`/`panic!`/`todo!` in library code |
+//! | R6 | no thread creation outside the engine pool |
+//! | R7 | no entropy-sourced RNG construction |
+//!
+//! Violations that are intentional carry an inline, auditable waiver:
+//!
+//! ```text
+//! // nc-lint: allow(R3, reason = "job wall-clock feeds the stats table, never results")
+//! ```
+//!
+//! (`allow-file(...)` at any line waives a rule for the whole file.) A
+//! waiver without a non-empty `reason`, or one that stops matching
+//! anything, is itself a finding — the suppression set can only shrink
+//! unless someone writes down *why* it grew.
+//!
+//! The crate is std-only and dependency-free: a hand-rolled lexer
+//! ([`lexer`]) feeds a token-pattern rule table ([`rules`]); there is no
+//! `syn` because the build is offline. Run it as
+//! `cargo run -p nc-lint` (add `--json` for the machine-readable report).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::Report;
+pub use rules::{check_source, Finding, RuleId};
+
+use std::io;
+use std::path::Path;
+
+/// Lints every `.rs` file under `root` (skipping `target/`, hidden
+/// directories, and fixture corpora) and folds the results into one
+/// [`Report`].
+///
+/// # Errors
+///
+/// Returns an I/O error if the tree cannot be walked or a source file
+/// cannot be read.
+pub fn lint_tree(root: &Path) -> io::Result<Report> {
+    let files = walk::rust_files(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for path in &files {
+        let source = std::fs::read_to_string(path)?;
+        let key = walk::relative_key(root, path);
+        let (findings, stats) = rules::check_source(&key, &source);
+        report.findings.extend(findings);
+        report.suppressions_total += stats.suppressions_total;
+        report.suppressions_used += stats.suppressions_used;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,729 @@
+//! The invariant rule table and the per-file checking pass.
+//!
+//! Each rule has an ID (`R1`..`R7`), a path-based *scope* (which files it
+//! governs), and a token-pattern detector. The scopes encode the
+//! architecture DESIGN.md documents: wall-clock reads belong to the
+//! observability layer, hash-ordered containers never touch result paths,
+//! panics never cross a library boundary, and every narrowing cast outside
+//! the audited fixed-point module is either rewritten or carries an
+//! auditable justification.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of one invariant rule (or the meta-rule that audits the
+/// suppression comments themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No `f32`/`f64` types or float literals in fixed-point datapath modules.
+    R1,
+    /// No bare narrowing `as` casts outside the audited fixed-point module.
+    R2,
+    /// No wall-clock reads (`Instant`, `SystemTime`) outside nc-obs/nc-bench.
+    R3,
+    /// No `HashMap`/`HashSet` anywhere a deterministic output could observe.
+    R4,
+    /// No `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code.
+    R5,
+    /// No thread creation outside the engine's worker pool.
+    R6,
+    /// No entropy-sourced RNG construction; seeds flow in explicitly.
+    R7,
+    /// Suppression comments must parse and carry a non-empty reason.
+    Suppress,
+}
+
+impl RuleId {
+    /// Every enforced rule, in report order.
+    pub const ALL: [RuleId; 8] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+        RuleId::R7,
+        RuleId::Suppress,
+    ];
+
+    /// The rule's name as written in reports and suppression comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+            RuleId::R3 => "R3",
+            RuleId::R4 => "R4",
+            RuleId::R5 => "R5",
+            RuleId::R6 => "R6",
+            RuleId::R7 => "R7",
+            RuleId::Suppress => "SUPPRESS",
+        }
+    }
+
+    /// Parses a rule name from a suppression comment.
+    pub fn parse(name: &str) -> Option<RuleId> {
+        match name {
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
+            "R5" => Some(RuleId::R5),
+            "R6" => Some(RuleId::R6),
+            "R7" => Some(RuleId::R7),
+            _ => None,
+        }
+    }
+
+    /// One-line statement of the invariant, for reports and docs.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::R1 => "float type/literal in a fixed-point datapath module",
+            RuleId::R2 => "bare narrowing `as` cast outside the audited fixed-point module",
+            RuleId::R3 => "wall-clock read outside the observability crates",
+            RuleId::R4 => "hash-ordered collection on a deterministic-output path",
+            RuleId::R5 => "panic path in library code",
+            RuleId::R6 => "thread creation outside the engine pool",
+            RuleId::R7 => "entropy-sourced RNG construction",
+            RuleId::Suppress => "malformed or unused suppression",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation (or suppression audit failure) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// What kind of build target a file belongs to, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `src/` code built into a library.
+    Library,
+    /// `src/bin/`, `src/main.rs`: a binary entry point.
+    Binary,
+    /// `tests/`, `benches/`, `examples/`: never linked into a deliverable.
+    TestOrBench,
+}
+
+/// Path-derived facts the scopes key on.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Which target family the file builds into.
+    pub target: TargetKind,
+}
+
+impl FileContext {
+    /// Classifies a workspace-relative path (`crates/core/src/engine.rs`).
+    pub fn classify(path: &str) -> FileContext {
+        let normalized = path.replace('\\', "/");
+        let target = if normalized.contains("/tests/")
+            || normalized.starts_with("tests/")
+            || normalized.contains("/benches/")
+            || normalized.contains("/examples/")
+            || normalized.starts_with("examples/")
+        {
+            TargetKind::TestOrBench
+        } else if normalized.contains("/src/bin/") || normalized.ends_with("/src/main.rs") {
+            TargetKind::Binary
+        } else {
+            TargetKind::Library
+        };
+        FileContext {
+            path: normalized,
+            target,
+        }
+    }
+
+    fn in_crate(&self, name: &str) -> bool {
+        let prefix = format!("crates/{name}/");
+        self.path.starts_with(&prefix)
+    }
+}
+
+/// Files where R1 bans floats: the integer datapath modules whose whole
+/// point is bit-faithful narrow arithmetic (paper §4.2). Everything else
+/// may use floats freely — the software reference models are float by
+/// design.
+const R1_DATAPATH_FILES: [&str; 3] = [
+    "crates/hw/src/sim.rs",
+    "crates/hw/src/pipeline.rs",
+    "crates/snn/src/wot.rs",
+];
+
+/// The audited fixed-point module where bare narrowing casts are the
+/// implementation technique rather than a hazard.
+const R2_EXEMPT_FILE: &str = "crates/substrate/src/fixed.rs";
+
+/// The one file allowed to create threads: the engine's worker pool.
+const R6_POOL_FILE: &str = "crates/core/src/engine.rs";
+
+/// Cast targets R2 considers narrowing. Token-level linting cannot see
+/// the source type, so every cast *to* a ≤32-bit or pointer-width integer
+/// is flagged; lossless ones are rewritten to `From`/`try_from` (which
+/// also documents the intent) and lossy-by-design ones carry a reason.
+const NARROW_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Identifiers whose presence means an RNG is being seeded from ambient
+/// entropy rather than an explicit seed.
+const ENTROPY_IDENTS: [&str; 8] = [
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "StdRng",
+    "getrandom",
+    "RandomState",
+];
+
+/// Does `rule` govern `file` at all? (Test regions are handled separately.)
+fn rule_applies(rule: RuleId, file: &FileContext) -> bool {
+    if file.target == TargetKind::TestOrBench {
+        return false;
+    }
+    match rule {
+        RuleId::R1 => R1_DATAPATH_FILES.contains(&file.path.as_str()),
+        RuleId::R2 => file.path != R2_EXEMPT_FILE,
+        RuleId::R3 => !file.in_crate("obs") && !file.in_crate("bench"),
+        RuleId::R4 | RuleId::R7 => true,
+        RuleId::R5 => file.target == TargetKind::Library,
+        RuleId::R6 => file.path != R6_POOL_FILE,
+        RuleId::Suppress => true,
+    }
+}
+
+/// A parsed `// nc-lint: allow(...)` comment.
+#[derive(Debug)]
+struct Suppression {
+    line: u32,
+    rules: Vec<RuleId>,
+    file_wide: bool,
+    used: bool,
+}
+
+/// Result of parsing one suppression comment.
+enum ParsedSuppression {
+    Ok(Suppression),
+    Malformed { line: u32, message: String },
+}
+
+/// Parses an `allow(R4, ...)` / `allow-file(R1, ...)` waiver out of a
+/// comment, if present. Only plain `//` comments carry waivers: doc
+/// comments (`///`, `//!`) and block comments are documentation and may
+/// legitimately *mention* the directive syntax without enacting it.
+fn parse_suppression(text: &str, line: u32) -> Option<ParsedSuppression> {
+    let body = text.strip_prefix("//")?;
+    if body.starts_with('/') || body.starts_with('!') {
+        return None;
+    }
+    let marker = "nc-lint:";
+    let trimmed = body.trim_start();
+    // The directive must lead the comment; prose mentioning it does not count.
+    let rest = trimmed.strip_prefix(marker)?.trim_start();
+    let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Some(ParsedSuppression::Malformed {
+            line,
+            message: format!(
+                "unrecognized nc-lint directive (expected `allow(...)` or `allow-file(...)`): `{}`",
+                rest.trim()
+            ),
+        });
+    };
+    let rest = rest.trim_start();
+    let Some(inner) = rest
+        .strip_prefix('(')
+        .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+    else {
+        return Some(ParsedSuppression::Malformed {
+            line,
+            message: String::from("suppression is missing its `(...)` argument list"),
+        });
+    };
+    let mut rules = Vec::new();
+    let mut reason: Option<&str> = None;
+    for part in split_top_level_commas(inner) {
+        let part = part.trim();
+        if let Some(value) = part.strip_prefix("reason") {
+            let value = value.trim_start();
+            let value = value.strip_prefix('=').unwrap_or(value).trim();
+            let unquoted = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .unwrap_or(value);
+            reason = Some(unquoted);
+        } else if let Some(rule) = RuleId::parse(part) {
+            rules.push(rule);
+        } else {
+            return Some(ParsedSuppression::Malformed {
+                line,
+                message: format!("unknown rule `{part}` in suppression"),
+            });
+        }
+    }
+    if rules.is_empty() {
+        return Some(ParsedSuppression::Malformed {
+            line,
+            message: String::from("suppression names no rule"),
+        });
+    }
+    match reason {
+        Some(r) if !r.trim().is_empty() => Some(ParsedSuppression::Ok(Suppression {
+            line,
+            rules,
+            file_wide,
+            used: false,
+        })),
+        _ => Some(ParsedSuppression::Malformed {
+            line,
+            message: String::from(
+                "suppression must carry a non-empty `reason = \"...\"` justification",
+            ),
+        }),
+    }
+}
+
+/// Splits on commas that are not inside a quoted reason string.
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Per-file lint statistics, folded into the workspace report.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FileStats {
+    /// Suppression comments seen (well-formed ones).
+    pub suppressions_total: usize,
+    /// Suppressions that silenced at least one finding.
+    pub suppressions_used: usize,
+}
+
+/// Lints one file's source text. Pure: no filesystem access, so fixture
+/// tests can feed synthetic sources through the identical code path the
+/// CLI uses.
+pub fn check_source(path: &str, source: &str) -> (Vec<Finding>, FileStats) {
+    let file = FileContext::classify(path);
+    let tokens = lex(source);
+
+    // Separate code tokens from comments, remembering which lines hold
+    // any code at all (suppression comments attach across blank/comment
+    // lines to the next code line).
+    let mut code: Vec<&Token> = Vec::new();
+    let mut code_lines: BTreeSet<u32> = BTreeSet::new();
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for token in &tokens {
+        match &token.kind {
+            TokenKind::Comment(text) => match parse_suppression(text, token.line) {
+                Some(ParsedSuppression::Ok(s)) => suppressions.push(s),
+                Some(ParsedSuppression::Malformed { line, message }) => findings.push(Finding {
+                    file: file.path.clone(),
+                    line,
+                    rule: RuleId::Suppress,
+                    message,
+                }),
+                None => {}
+            },
+            _ => {
+                code.push(token);
+                code_lines.insert(token.line);
+            }
+        }
+    }
+
+    let test_regions = test_item_regions(&code);
+    let raw = scan_rules(&file, &code, &test_regions);
+
+    // Resolve suppressions. A line-level suppression covers the next code
+    // line at or below it (its own line if that line has code); file-wide
+    // ones cover everything.
+    let mut covered_line: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (index, s) in suppressions.iter().enumerate() {
+        if s.file_wide {
+            continue;
+        }
+        let target = code_lines.range(s.line..).next().copied();
+        if let Some(line) = target {
+            covered_line.entry(line).or_default().push(index);
+        }
+    }
+    for f in raw {
+        let mut suppressed = false;
+        for &index in covered_line.get(&f.line).into_iter().flatten() {
+            if suppressions[index].rules.contains(&f.rule) {
+                suppressions[index].used = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            for s in suppressions.iter_mut().filter(|s| s.file_wide) {
+                if s.rules.contains(&f.rule) {
+                    s.used = true;
+                    suppressed = true;
+                    break;
+                }
+            }
+        }
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+
+    // Unused suppressions are findings too: a stale allow is an invariant
+    // hole waiting to be widened silently.
+    for s in &suppressions {
+        if !s.used {
+            let names: Vec<&str> = s.rules.iter().map(|r| r.name()).collect();
+            findings.push(Finding {
+                file: file.path.clone(),
+                line: s.line,
+                rule: RuleId::Suppress,
+                message: format!(
+                    "unused suppression for {} (nothing on the covered line trips it)",
+                    names.join(", ")
+                ),
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    let stats = FileStats {
+        suppressions_total: suppressions.len(),
+        suppressions_used: suppressions.iter().filter(|s| s.used).count(),
+    };
+    (findings, stats)
+}
+
+/// Token-index ranges (over the comment-free stream) belonging to
+/// `#[test]` / `#[cfg(test)]` items — exempt from every rule.
+fn test_item_regions(code: &[&Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !is_punct(code, i, '#') {
+            i += 1;
+            continue;
+        }
+        // `#[...]` or `#![...]`: collect the attribute's identifiers.
+        let mut j = i + 1;
+        if is_punct(code, j, '!') {
+            j += 1;
+        }
+        if !is_punct(code, j, '[') {
+            i += 1;
+            continue;
+        }
+        let Some((attr_end, is_test_attr)) = scan_attribute(code, j) else {
+            break;
+        };
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then span the annotated item.
+        let mut k = attr_end + 1;
+        while is_punct(code, k, '#') {
+            let mut b = k + 1;
+            if is_punct(code, b, '!') {
+                b += 1;
+            }
+            match scan_attribute(code, b) {
+                Some((end, _)) if is_punct(code, b, '[') => k = end + 1,
+                _ => break,
+            }
+        }
+        let end = item_end(code, k);
+        regions.push((i, end));
+        i = end + 1;
+    }
+    regions
+}
+
+/// Scans a `[...]` group starting at `open` (which must be `[`); returns
+/// the index of the matching `]` and whether the attribute marks test-only
+/// code (`test` present without `not`, e.g. `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, ...))]` — but not `#[cfg(not(test))]`).
+fn scan_attribute(code: &[&Token], open: usize) -> Option<(usize, bool)> {
+    if !is_punct(code, open, '[') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut i = open;
+    while i < code.len() {
+        match &code[i].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((i, has_test && !has_not));
+                }
+            }
+            TokenKind::Ident(s) if s == "test" => has_test = true,
+            TokenKind::Ident(s) if s == "not" => has_not = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The token index where the item starting at `start` ends: at a
+/// top-level `;` (e.g. `use`/`static` items) or at the `}` matching the
+/// first `{` (fn bodies, mod blocks, impls).
+fn item_end(code: &[&Token], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < code.len() {
+        match &code[i].kind {
+            TokenKind::Punct(';') if depth == 0 => return i,
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+fn is_punct(code: &[&Token], i: usize, c: char) -> bool {
+    matches!(code.get(i), Some(t) if t.kind == TokenKind::Punct(c))
+}
+
+fn ident_at<'a>(code: &[&'a Token], i: usize) -> Option<&'a str> {
+    code.get(i).and_then(|t| t.kind.ident())
+}
+
+/// Runs every applicable rule's detector over the comment-free tokens.
+fn scan_rules(
+    file: &FileContext,
+    code: &[&Token],
+    test_regions: &[(usize, usize)],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let in_test = |i: usize| test_regions.iter().any(|&(s, e)| i >= s && i <= e);
+    let applies: Vec<RuleId> = RuleId::ALL
+        .iter()
+        .copied()
+        .filter(|&r| r != RuleId::Suppress && rule_applies(r, file))
+        .collect();
+    if applies.is_empty() {
+        return findings;
+    }
+    let mut push = |line: u32, rule: RuleId, message: String| {
+        findings.push(Finding {
+            file: file.path.clone(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (i, token) in code.iter().enumerate() {
+        if in_test(i) {
+            continue;
+        }
+        match &token.kind {
+            TokenKind::Number { is_float: true } if applies.contains(&RuleId::R1) => {
+                push(
+                    token.line,
+                    RuleId::R1,
+                    String::from("float literal in a fixed-point datapath module"),
+                );
+            }
+            TokenKind::Ident(name) => {
+                let name = name.as_str();
+                match name {
+                    "f32" | "f64" if applies.contains(&RuleId::R1) => push(
+                        token.line,
+                        RuleId::R1,
+                        format!("`{name}` in a fixed-point datapath module"),
+                    ),
+                    "as" if applies.contains(&RuleId::R2) => {
+                        if let Some(target) = ident_at(code, i + 1) {
+                            if NARROW_TARGETS.contains(&target) {
+                                push(
+                                    token.line,
+                                    RuleId::R2,
+                                    format!(
+                                        "bare `as {target}` cast; use `{target}::from`/`try_from` \
+                                         or a saturating fixed-point helper"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    "Instant" | "SystemTime" if applies.contains(&RuleId::R3) => push(
+                        token.line,
+                        RuleId::R3,
+                        format!("`{name}` wall-clock access outside nc-obs/nc-bench"),
+                    ),
+                    "HashMap" | "HashSet" if applies.contains(&RuleId::R4) => push(
+                        token.line,
+                        RuleId::R4,
+                        format!("`{name}` iterates in hash order; use the BTree equivalent"),
+                    ),
+                    "unwrap" | "expect"
+                        if applies.contains(&RuleId::R5)
+                            && is_punct(code, i.wrapping_sub(1), '.')
+                            && is_punct(code, i + 1, '(') =>
+                    {
+                        push(
+                            token.line,
+                            RuleId::R5,
+                            format!("`.{name}()` can panic in library code"),
+                        );
+                    }
+                    "panic" | "todo" | "unimplemented"
+                        if applies.contains(&RuleId::R5) && is_punct(code, i + 1, '!') =>
+                    {
+                        push(
+                            token.line,
+                            RuleId::R5,
+                            format!("`{name}!` in library code; return a typed error"),
+                        );
+                    }
+                    "spawn" if applies.contains(&RuleId::R6) => push(
+                        token.line,
+                        RuleId::R6,
+                        String::from("thread creation outside the engine pool"),
+                    ),
+                    _ if applies.contains(&RuleId::R7) && ENTROPY_IDENTS.contains(&name) => push(
+                        token.line,
+                        RuleId::R7,
+                        format!(
+                            "`{name}` draws ambient entropy; construct RNGs from explicit seeds"
+                        ),
+                    ),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<RuleId> {
+        check_source(path, src)
+            .0
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn classify_targets() {
+        let lib = FileContext::classify("crates/core/src/engine.rs");
+        assert_eq!(lib.target, TargetKind::Library);
+        let bin = FileContext::classify("crates/bench/src/bin/fig3.rs");
+        assert_eq!(bin.target, TargetKind::Binary);
+        let test = FileContext::classify("crates/core/tests/determinism.rs");
+        assert_eq!(test.target, TargetKind::TestOrBench);
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "
+            pub fn lib() -> u8 { 0 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+        ";
+        assert!(rules_hit("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "
+            #[cfg(not(test))]
+            pub fn lib() { Some(1).unwrap(); }
+        ";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), vec![RuleId::R5]);
+    }
+
+    #[test]
+    fn suppression_silences_and_is_counted() {
+        let src = "
+            // nc-lint: allow(R4, reason = \"bounded scratch map, drained before output\")
+            use std::collections::HashMap;
+        ";
+        let (findings, stats) = check_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(stats.suppressions_total, 1);
+        assert_eq!(stats.suppressions_used, 1);
+    }
+
+    #[test]
+    fn reasonless_suppression_is_a_finding() {
+        let src = "
+            // nc-lint: allow(R4)
+            use std::collections::HashMap;
+        ";
+        let rules = rules_hit("crates/core/src/x.rs", src);
+        assert!(rules.contains(&RuleId::Suppress), "{rules:?}");
+    }
+
+    #[test]
+    fn unused_suppression_is_a_finding() {
+        let src = "
+            // nc-lint: allow(R4, reason = \"nothing here\")
+            pub fn f() {}
+        ";
+        let rules = rules_hit("crates/core/src/x.rs", src);
+        assert_eq!(rules, vec![RuleId::Suppress]);
+    }
+
+    #[test]
+    fn trailing_same_line_suppression_works() {
+        let src = "use std::collections::HashMap; // nc-lint: allow(R4, reason = \"scratch\")\n";
+        let (findings, _) = check_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixture corpora driven through the exact code path the CLI uses.
+//!
+//! `tests/fixtures/violations/` mirrors the workspace layout with one
+//! deliberately violating file per rule plus a suppression-audit file;
+//! `tests/fixtures/clean/` holds the near-misses (casts in strings and
+//! comments, test-only floats, scoped exemptions, justified waivers)
+//! that must never produce a finding. The real `cargo run -p nc-lint`
+//! never sees either corpus: the walker skips `fixtures/` directories.
+
+use nc_lint::rules::RuleId;
+use nc_lint::Report;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str) -> Report {
+    nc_lint::lint_tree(&fixture(name)).expect("fixture tree is readable")
+}
+
+fn count(report: &Report, rule: RuleId) -> usize {
+    report.findings_for(rule).len()
+}
+
+#[test]
+fn violations_corpus_trips_every_rule() {
+    let report = lint("violations");
+    assert_eq!(count(&report, RuleId::R1), 2, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R2), 1, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R3), 3, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R4), 5, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R5), 2, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R6), 1, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R7), 1, "{report:#?}");
+    assert_eq!(count(&report, RuleId::Suppress), 3, "{report:#?}");
+    assert_eq!(report.findings.len(), 18);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn violations_land_on_the_expected_lines() {
+    let report = lint("violations");
+    let at = |rule: RuleId, file: &str, line: u32| {
+        assert!(
+            report
+                .findings_for(rule)
+                .iter()
+                .any(|f| f.file == file && f.line == line),
+            "missing {rule} at {file}:{line}: {report:#?}"
+        );
+    };
+    at(RuleId::R1, "crates/hw/src/sim.rs", 3);
+    at(RuleId::R1, "crates/hw/src/sim.rs", 4);
+    at(RuleId::R2, "crates/mlp/src/quant.rs", 4);
+    at(RuleId::R3, "crates/core/src/clock.rs", 6);
+    at(RuleId::R4, "crates/core/src/cache.rs", 3);
+    at(RuleId::R5, "crates/snn/src/panics.rs", 4);
+    at(RuleId::R5, "crates/snn/src/panics.rs", 8);
+    at(RuleId::R6, "crates/core/src/workers.rs", 4);
+    at(RuleId::R7, "crates/substrate/src/entropy.rs", 4);
+    // Suppression audit: reasonless waiver, unknown rule, stale waiver.
+    at(RuleId::Suppress, "crates/core/src/suppress.rs", 3);
+    at(RuleId::Suppress, "crates/core/src/suppress.rs", 6);
+    at(RuleId::Suppress, "crates/core/src/suppress.rs", 9);
+}
+
+#[test]
+fn malformed_suppressions_do_not_silence_the_line_below() {
+    let report = lint("violations");
+    // Both HashMap uses under the broken waivers in suppress.rs still fire.
+    let r4_in_suppress: Vec<u32> = report
+        .findings_for(RuleId::R4)
+        .iter()
+        .filter(|f| f.file == "crates/core/src/suppress.rs")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(r4_in_suppress, vec![4, 7], "{report:#?}");
+    // The only well-formed suppression in the corpus is the stale one.
+    assert_eq!(report.suppressions_total, 1);
+    assert_eq!(report.suppressions_used, 0);
+}
+
+#[test]
+fn findings_are_sorted_by_file_line_rule() {
+    let report = lint("violations");
+    let keys: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn clean_corpus_produces_no_findings() {
+    let report = lint("clean");
+    assert!(report.is_clean(), "{report:#?}");
+    assert_eq!(report.files_scanned, 10);
+    // Every waiver in the corpus is justified AND load-bearing.
+    assert_eq!(report.suppressions_total, 3);
+    assert_eq!(report.suppressions_used, 3);
+}
+
+#[test]
+fn json_report_round_trips_the_verdict() {
+    let bad = lint("violations").render_json();
+    assert!(bad.contains("\"version\": 1"), "{bad}");
+    assert!(bad.contains("\"clean\": false"), "{bad}");
+    assert!(bad.contains("\"rule\": \"R6\""), "{bad}");
+    assert!(bad.contains("\"rule\": \"SUPPRESS\""), "{bad}");
+    assert!(bad.contains("\"file\": \"crates/hw/src/sim.rs\""), "{bad}");
+
+    let good = lint("clean").render_json();
+    assert!(good.contains("\"clean\": true"), "{good}");
+    assert!(good.contains("\"findings\": []"), "{good}");
+    assert!(
+        good.contains("\"suppressions\": { \"total\": 3, \"used\": 3 }"),
+        "{good}"
+    );
+}
+
+#[test]
+fn cli_exit_codes_and_json_match_the_library() {
+    let exe = env!("CARGO_BIN_EXE_nc-lint");
+
+    let bad = Command::new(exe)
+        .args(["--json", "--root"])
+        .arg(fixture("violations"))
+        .output()
+        .expect("spawn nc-lint");
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+    let stdout = String::from_utf8(bad.stdout).expect("utf8 stdout");
+    assert!(stdout.contains("\"clean\": false"), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"R2\""), "{stdout}");
+
+    let good = Command::new(exe)
+        .arg("--root")
+        .arg(fixture("clean"))
+        .output()
+        .expect("spawn nc-lint");
+    assert_eq!(good.status.code(), Some(0), "{good:?}");
+    let stdout = String::from_utf8(good.stdout).expect("utf8 stdout");
+    assert!(
+        stdout.contains("0 finding(s) across 10 file(s); 3/3 suppression(s) in use"),
+        "{stdout}"
+    );
+
+    let usage = Command::new(exe)
+        .arg("--no-such-flag")
+        .output()
+        .expect("spawn nc-lint");
+    assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+}

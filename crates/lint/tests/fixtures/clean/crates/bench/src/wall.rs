@@ -1,0 +1,7 @@
+//! R3 scope: the bench crate may read the wall clock too.
+
+use std::time::SystemTime;
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}

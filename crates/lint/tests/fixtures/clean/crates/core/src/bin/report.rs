@@ -1,0 +1,6 @@
+//! Binaries may unwrap: a CLI panic is its error report.
+
+fn main() {
+    let arg = std::env::args().next().unwrap();
+    println!("{arg}");
+}

@@ -1,0 +1,7 @@
+//! R6 scope: the engine pool file may create worker threads.
+
+pub fn fan_out() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {});
+    });
+}

@@ -1,0 +1,10 @@
+use std::collections::HashMap;
+
+#[test]
+fn integration_tests_are_exempt_from_everything() {
+    let mut m = HashMap::new();
+    m.insert(1u8, 2u8);
+    assert_eq!(m[&1], 2);
+    let t = std::time::Instant::now();
+    let _ = t.elapsed();
+}

@@ -1,0 +1,30 @@
+//! Near-misses that must not trip R1/R2 in a datapath module.
+//! Doc prose may mention f64 or 0.5 freely.
+
+pub fn int_math(x: u64) -> u64 {
+    // a comment saying `x as u8` or f32 or 0.5 is not code
+    let s = "cast as u8, or f64 0.5";
+    let r#type = s.len() as u64;
+    let range = 0..10;
+    let m = 1i64.max(2);
+    let c = 'f';
+    let _ = (r#type, range, m, c);
+    x + 1
+}
+
+pub fn life<'a>(s: &'a str) -> &'a str {
+    s
+}
+
+// nc-lint: allow(R1, reason = "reporting ratio, never fed back into the datapath")
+pub fn half() -> f64 { 0.5 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_and_unwraps_are_fine_in_tests() {
+        let x: f64 = 0.5;
+        assert!(x.is_finite());
+        Some(1).unwrap();
+    }
+}

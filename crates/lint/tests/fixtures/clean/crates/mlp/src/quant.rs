@@ -1,0 +1,11 @@
+//! R2 near-misses: strings, comments, raw strings, widening casts.
+
+pub fn widen(x: u8) -> u64 {
+    // `x as u8` in prose does not count
+    let doc = r##"select cast(x as u16) from t"##;
+    let _ = doc;
+    x as u64
+}
+
+// nc-lint: allow(R2, reason = "lossy by design: keep only the low byte")
+pub fn low_byte(x: u64) -> u8 { x as u8 }

@@ -1,0 +1,7 @@
+//! R3 scope: the observability crate may read the wall clock.
+
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,5 @@
+//! The audited fixed-point module: bare casts are the technique here.
+
+pub fn sat_u8(x: i32) -> u8 {
+    x.clamp(0, 255) as u8
+}

@@ -1,0 +1,7 @@
+//! R4 fixture: hash-ordered container in a deterministic-output crate.
+
+use std::collections::HashMap;
+
+pub fn table() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,7 @@
+//! R3 fixture: wall-clock read outside the observability layer.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,10 @@
+//! SUPPRESS fixture: reasonless, unknown-rule, and unused waivers.
+
+// nc-lint: allow(R4)
+use std::collections::HashMap;
+
+// nc-lint: allow(R9, reason = "no such rule")
+pub type Scratch = HashMap<u8, u8>;
+
+// nc-lint: allow(R7, reason = "stale waiver, nothing below trips R7")
+pub fn quiet() {}

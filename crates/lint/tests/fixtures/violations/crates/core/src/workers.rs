@@ -1,0 +1,5 @@
+//! R6 fixture: thread creation outside the engine pool.
+
+pub fn go() {
+    std::thread::spawn(|| {});
+}

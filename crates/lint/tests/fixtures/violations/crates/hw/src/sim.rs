@@ -1,0 +1,5 @@
+//! R1 fixture: float types and literals in the datapath module.
+
+pub fn leak_factor() -> f64 {
+    0.5
+}

@@ -1,0 +1,5 @@
+//! R2 fixture: bare narrowing cast.
+
+pub fn quantize(x: u64) -> u8 {
+    x as u8
+}

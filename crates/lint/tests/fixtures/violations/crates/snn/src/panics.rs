@@ -1,0 +1,9 @@
+//! R5 fixture: panic paths in library code.
+
+pub fn first(xs: &[u8]) -> u8 {
+    *xs.first().expect("nonempty")
+}
+
+pub fn boom() {
+    panic!("unreachable by construction");
+}

@@ -1,0 +1,6 @@
+//! R7 fixture: RNG construction from ambient entropy.
+
+pub fn ambient() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

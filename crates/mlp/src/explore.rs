@@ -44,8 +44,7 @@ pub fn random_search(
     let mut rng = SplitMix64::new(seed);
     let mut results = Vec::with_capacity(budget);
     for _ in 0..budget {
-        let hidden =
-            hidden_range.0 + rng.next_below((hidden_range.1 - hidden_range.0 + 1) as u64) as usize;
+        let hidden = hidden_range.0 + rng.next_index(hidden_range.1 - hidden_range.0 + 1);
         // Log-uniform learning rate in [0.05, 1.0] (Table 1: 0.1–1).
         let learning_rate = 0.05 * (20.0f64).powf(rng.next_unit());
         let mut mlp = Mlp::new(
@@ -53,6 +52,7 @@ pub fn random_search(
             Activation::sigmoid(),
             rng.next_u64(),
         )
+        // nc-lint: allow(R5, reason = "topology is sampled from bounded nonzero ranges")
         .expect("valid topology");
         Trainer::new(TrainConfig {
             epochs,
@@ -66,7 +66,7 @@ pub fn random_search(
             accuracy: metrics::evaluate(&mlp, test).accuracy(),
         });
     }
-    results.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite"));
+    results.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy));
     results
 }
 

@@ -71,6 +71,7 @@ impl Model for QuantizedMlp {
             reason: "built with from_mlp; use QuantizedMlp::untrained for a trainable instance",
         })?;
         let mut master = Mlp::new(self.sizes(), self.activation(), seed)
+            // nc-lint: allow(R5, reason = "QuantizedMlp::untrained already validated this topology")
             .expect("topology was validated by QuantizedMlp::untrained");
         Trainer::new(train_config(budget)).fit_observed(&mut master, train, recorder);
         self.requantize_from(&master);

@@ -152,6 +152,7 @@ impl Mlp {
     ///
     /// Panics if `input.len()` does not match the input layer width.
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        // nc-lint: allow(R5, reason = "Mlp::new rejects empty topologies, so the trace is nonempty")
         self.forward_trace(input).pop().expect("at least one layer")
     }
 
@@ -185,6 +186,7 @@ impl Mlp {
                 out.push(self.activation.eval(s));
             }
             activations.push(out);
+            // nc-lint: allow(R5, reason = "the vector was pushed to on the previous line")
             current = activations.last().expect("just pushed");
         }
         activations

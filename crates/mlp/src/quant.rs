@@ -13,6 +13,7 @@
 
 use crate::activation::Activation;
 use crate::network::{argmax, Mlp, MlpError};
+use nc_substrate::fixed::{sat_i32_trunc, sat_i8_round, sat_u8_round};
 use nc_substrate::interp::PiecewiseLinear;
 
 /// Bit width of weights and activations in the hardware datapath.
@@ -82,11 +83,11 @@ impl QuantizedMlp {
             let max_abs = w.iter().fold(0.0f64, |m, &x| m.max(x.abs())).max(1e-12);
             // Choose e with max_raw · 2^-e >= max_abs, i.e. the finest
             // grid that still represents the largest weight.
-            let e = (max_raw / max_abs).log2().floor() as i32;
+            let e = sat_i32_trunc((max_raw / max_abs).log2().floor());
             let scale = 2f64.powi(e);
             layers.push(
                 w.iter()
-                    .map(|&x| (x * scale).round().clamp(-max_raw, max_raw) as i8)
+                    .map(|&x| sat_i8_round((x * scale).clamp(-max_raw, max_raw)))
                     .collect(),
             );
             scales.push(e);
@@ -187,7 +188,7 @@ impl QuantizedMlp {
                 // are y·255, weights are w·2^e.
                 let s = acc as f64 / (scale * 255.0);
                 let y = self.table.eval(s);
-                next.push((y.clamp(0.0, 1.0) * 255.0).round() as u8);
+                next.push(sat_u8_round(y.clamp(0.0, 1.0) * 255.0));
             }
             current = next;
         }

@@ -118,6 +118,7 @@ impl Trainer {
         );
         assert_eq!(
             data.num_classes(),
+            // nc-lint: allow(R5, reason = "Mlp::new rejects empty topologies")
             *sizes.last().expect("nonempty topology"),
             "dataset classes do not match output layer"
         );
@@ -167,6 +168,7 @@ impl Trainer {
         let activation = mlp.activation();
         let sizes = mlp.sizes().to_vec();
         let trace = mlp.forward_trace(input);
+        // nc-lint: allow(R5, reason = "Mlp::new rejects empty topologies, so the trace is nonempty")
         let output = trace.last().expect("at least one layer");
         let (off, on) = self.config.targets;
 
@@ -233,7 +235,7 @@ impl Trainer {
 
 fn shuffle(order: &mut [usize], rng: &mut SplitMix64) {
     for i in (1..order.len()).rev() {
-        let j = rng.next_below(i as u64 + 1) as usize;
+        let j = rng.next_index(i + 1);
         order.swap(i, j);
     }
 }

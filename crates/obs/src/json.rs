@@ -82,7 +82,9 @@ impl Json {
 /// JSON either way.
 fn format_number(n: f64) -> String {
     if n == n.trunc() && n.abs() < 1e15 {
-        format!("{}", n as i64)
+        #[allow(clippy::cast_possible_truncation)]
+        let int = n as i64;
+        format!("{int}")
     } else {
         format!("{n:?}")
     }
@@ -97,8 +99,8 @@ fn write_escaped(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
             }
             c => out.push(c),
         }

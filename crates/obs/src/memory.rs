@@ -3,8 +3,16 @@
 use crate::recorder::{EpochMetrics, Recorder};
 use nc_substrate::stats::Running;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Acquires the recorder mutex, recovering the inner value if a
+/// previous holder panicked. Every critical section here is a single
+/// map insert or read, so a poisoned lock still holds consistent data
+/// and observability should never take the process down.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Aggregated timings of one span name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,14 +84,12 @@ impl MemoryRecorder {
 
     /// Clones out everything aggregated so far.
     pub fn snapshot(&self) -> ObsSnapshot {
-        self.inner.lock().expect("recorder poisoned").clone()
+        lock_or_recover(&self.inner).clone()
     }
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner
-            .lock()
-            .expect("recorder poisoned")
+        lock_or_recover(&self.inner)
             .counters
             .get(name)
             .copied()
@@ -92,23 +98,18 @@ impl MemoryRecorder {
 
     /// Aggregated timings of a span name, if it was ever recorded.
     pub fn span(&self, name: &str) -> Option<SpanStats> {
-        self.inner
-            .lock()
-            .expect("recorder poisoned")
-            .spans
-            .get(name)
-            .copied()
+        lock_or_recover(&self.inner).spans.get(name).copied()
     }
 
     /// Number of epoch reports received.
     pub fn epoch_count(&self) -> usize {
-        self.inner.lock().expect("recorder poisoned").epochs.len()
+        lock_or_recover(&self.inner).epochs.len()
     }
 }
 
 impl Recorder for MemoryRecorder {
     fn record_span(&self, name: &str, wall: Duration) {
-        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         inner
             .spans
             .entry(name.to_string())
@@ -122,12 +123,12 @@ impl Recorder for MemoryRecorder {
     }
 
     fn add(&self, counter: &str, delta: u64) {
-        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         *inner.counters.entry(counter.to_string()).or_insert(0) += delta;
     }
 
     fn observe(&self, series: &str, value: f64) {
-        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         inner
             .series
             .entry(series.to_string())
@@ -136,7 +137,7 @@ impl Recorder for MemoryRecorder {
     }
 
     fn record_epoch(&self, context: &str, metrics: &EpochMetrics) {
-        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         inner.epochs.push(EpochRecord {
             context: context.to_string(),
             metrics: *metrics,

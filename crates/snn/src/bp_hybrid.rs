@@ -28,6 +28,7 @@ use crate::coding::wot_spike_count;
 use crate::params::SnnParams;
 use nc_dataset::Dataset;
 use nc_obs::{EpochMetrics, Recorder};
+use nc_substrate::fixed::sat_u8_round;
 use nc_substrate::rng::SplitMix64;
 use nc_substrate::stats::Confusion;
 
@@ -204,7 +205,7 @@ impl BpSnn {
         let mut rng = SplitMix64::new(config.seed);
         for epoch in 0..config.epochs {
             for i in (1..order.len()).rev() {
-                let j = rng.next_below(i as u64 + 1) as usize;
+                let j = rng.next_index(i + 1);
                 order.swap(i, j);
             }
             for &idx in &order {
@@ -277,7 +278,7 @@ impl BpSnn {
         for j in 0..self.neurons {
             for i in 0..self.inputs {
                 let w = self.weights[j * (self.inputs + 1) + i];
-                out.push(((w - lo) / span * 255.0).round() as u8);
+                out.push(sat_u8_round((w - lo) / span * 255.0));
             }
         }
         out

@@ -18,6 +18,7 @@
 //!   spikes once at a latency inversely related to luminance.
 
 use crate::params::SnnParams;
+use nc_substrate::fixed::sat_u32_trunc;
 use nc_substrate::rng::{GaussianClt, PoissonInterval, SplitMix64};
 
 /// One input spike: which input line fired and when (ms within the
@@ -104,7 +105,7 @@ fn poisson_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent>
         if rate <= 0.0 {
             continue;
         }
-        let mut gen = PoissonInterval::new(sm.next_u64() as u32);
+        let mut gen = PoissonInterval::new(sm.next_seed32());
         let mut t = 0.0f64;
         loop {
             let dt = gen.sample_interval(rate);
@@ -112,7 +113,10 @@ fn poisson_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent>
             if !t.is_finite() || t >= f64::from(params.t_period) {
                 break;
             }
-            events.push(SpikeEvent { t: t as u32, input });
+            events.push(SpikeEvent {
+                t: sat_u32_trunc(t),
+                input,
+            });
         }
     }
     events
@@ -139,7 +143,10 @@ fn gaussian_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent
             if t >= u64::from(params.t_period) {
                 break;
             }
-            events.push(SpikeEvent { t: t as u32, input });
+            events.push(SpikeEvent {
+                t: u32::try_from(t).unwrap_or(u32::MAX),
+                input,
+            });
         }
     }
     events
@@ -162,7 +169,7 @@ fn rank_order(pixels: &[u8], params: &SnnParams) -> Vec<SpikeEvent> {
         .map(|(rank, &(_, input))| SpikeEvent {
             // Spread ranks over the first half of the window so late
             // ranks still precede readout.
-            t: ((rank as f64 / n) * f64::from(params.t_period) * 0.5) as u32,
+            t: sat_u32_trunc((rank as f64 / n) * f64::from(params.t_period) * 0.5),
             input,
         })
         .collect()
@@ -176,7 +183,7 @@ fn time_to_first_spike(pixels: &[u8], params: &SnnParams) -> Vec<SpikeEvent> {
         .map(|(input, &p)| {
             let latency = (1.0 - f64::from(p) / 255.0) * f64::from(params.t_period - 1);
             SpikeEvent {
-                t: latency as u32,
+                t: sat_u32_trunc(latency),
                 input,
             }
         })
@@ -193,7 +200,7 @@ pub fn wot_spike_count(p: u8) -> u8 {
     // produce a non-uniform staircase in silicon; we use the uniform
     // staircase with the same endpoints (0→0, 255→10), which the encoder
     // (9→4) approximates.
-    ((u32::from(p) * 10 + 127) / 255) as u8
+    u8::try_from((u32::from(p) * 10 + 127) / 255).unwrap_or(u8::MAX)
 }
 
 #[cfg(test)]

@@ -82,16 +82,14 @@ pub fn random_search(
     let mut rng = SplitMix64::new(seed);
     let mut out = Vec::with_capacity(budget);
     for _ in 0..budget {
-        let neurons = space.neurons.0
-            + rng.next_below((space.neurons.1 - space.neurons.0 + 1) as u64) as usize;
+        let neurons = space.neurons.0 + rng.next_index(space.neurons.1 - space.neurons.0 + 1);
         let mut params = SnnParams::for_neurons(neurons);
         params.t_leak = rng.next_range(space.t_leak.0, space.t_leak.1);
-        params.t_ltp =
-            space.t_ltp.0 + rng.next_below(u64::from(space.t_ltp.1 - space.t_ltp.0 + 1)) as u32;
-        params.t_inhibit = space.t_inhibit.0
-            + rng.next_below(u64::from(space.t_inhibit.1 - space.t_inhibit.0 + 1)) as u32;
-        params.t_refrac = space.t_refrac.0
-            + rng.next_below(u64::from(space.t_refrac.1 - space.t_refrac.0 + 1)) as u32;
+        params.t_ltp = space.t_ltp.0 + rng.next_below_u32(space.t_ltp.1 - space.t_ltp.0 + 1);
+        params.t_inhibit =
+            space.t_inhibit.0 + rng.next_below_u32(space.t_inhibit.1 - space.t_inhibit.0 + 1);
+        params.t_refrac =
+            space.t_refrac.0 + rng.next_below_u32(space.t_refrac.1 - space.t_refrac.0 + 1);
         params.initial_threshold =
             255.0 * rng.next_range(space.threshold_wmax.0, space.threshold_wmax.1);
         params.homeo_rate = 0.10;
@@ -110,7 +108,7 @@ pub fn random_search(
             accuracy: snn.evaluate(test).accuracy(),
         });
     }
-    out.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite"));
+    out.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy));
     out
 }
 

@@ -137,7 +137,7 @@ impl SnnNetwork {
         let n = params.neurons;
         let mut rng = SplitMix64::new(seed);
         let weights = (0..n * inputs)
-            .map(|_| 100 + rng.next_below(101) as u8) // uniform 100..=200
+            .map(|_| 100 + u8::try_from(rng.next_below(101)).unwrap_or(u8::MAX)) // uniform 100..=200
             .collect();
         let threshold = coding.initial_threshold(&params);
         let decay_lut = (0..=params.t_period)
@@ -306,7 +306,7 @@ impl SnnNetwork {
                     continue;
                 }
                 // Analytic leak since this neuron's last update.
-                let dt = (t - last_update[j]) as usize;
+                let dt = usize::try_from(t - last_update[j]).unwrap_or(usize::MAX);
                 if dt > 0 {
                     potentials[j] *= self.decay_lut[dt.min(self.decay_lut.len() - 1)];
                 }

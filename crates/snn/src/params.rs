@@ -102,7 +102,7 @@ impl SnnParams {
     /// SNNwot can encode the count in 4 bits, paper §4.2.2).
     pub fn max_spikes_per_pixel(&self) -> u32 {
         let min_period_ms = 1000.0 / self.max_rate_hz;
-        (f64::from(self.t_period) / min_period_ms).floor() as u32
+        nc_substrate::fixed::sat_u32_trunc((f64::from(self.t_period) / min_period_ms).floor())
     }
 
     /// The Poisson rate (spikes per ms) for a pixel luminance `p`.

@@ -24,6 +24,7 @@
 //! multiplicative needs a multiplier, exponential needs the same
 //! piecewise-linear interpolation unit as the leak.
 
+use nc_substrate::fixed::{sat_u8_from_i32, sat_u8_round};
 use nc_substrate::interp::PiecewiseLinear;
 
 /// A pluggable STDP magnitude rule.
@@ -75,14 +76,14 @@ impl StdpRule {
     /// between the synapse's last input spike and the output spike.
     pub fn potentiate(&self, w: u8, dt_ms: u32) -> u8 {
         match *self {
-            StdpRule::Additive { delta } => (i32::from(w) + i32::from(delta)).clamp(0, 255) as u8,
+            StdpRule::Additive { delta } => sat_u8_from_i32(i32::from(w) + i32::from(delta)),
             StdpRule::Multiplicative { rate } => {
                 let headroom = 255.0 - f64::from(w);
-                (f64::from(w) + rate * headroom).round().clamp(0.0, 255.0) as u8
+                sat_u8_round(f64::from(w) + rate * headroom)
             }
             StdpRule::Exponential { delta, tau } => {
                 let dw = delta * (-f64::from(dt_ms) / tau).exp();
-                (f64::from(w) + dw).round().clamp(0.0, 255.0) as u8
+                sat_u8_round(f64::from(w) + dw)
             }
         }
     }
@@ -90,13 +91,9 @@ impl StdpRule {
     /// The depressed weight after an LTD event.
     pub fn depress(&self, w: u8) -> u8 {
         match *self {
-            StdpRule::Additive { delta } => (i32::from(w) - i32::from(delta)).clamp(0, 255) as u8,
-            StdpRule::Multiplicative { rate } => {
-                (f64::from(w) * (1.0 - rate)).round().clamp(0.0, 255.0) as u8
-            }
-            StdpRule::Exponential { delta, .. } => {
-                (f64::from(w) - delta).round().clamp(0.0, 255.0) as u8
-            }
+            StdpRule::Additive { delta } => sat_u8_from_i32(i32::from(w) - i32::from(delta)),
+            StdpRule::Multiplicative { rate } => sat_u8_round(f64::from(w) * (1.0 - rate)),
+            StdpRule::Exponential { delta, .. } => sat_u8_round(f64::from(w) - delta),
         }
     }
 

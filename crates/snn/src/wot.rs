@@ -28,6 +28,7 @@ use crate::coding::wot_spike_count;
 use crate::network::SnnNetwork;
 use crate::params::SnnParams;
 use nc_dataset::Dataset;
+use nc_substrate::fixed::sat_u8_round;
 use nc_substrate::stats::Confusion;
 
 /// Recipe for (re)building and training the temporal master network a
@@ -83,14 +84,18 @@ impl WotSnn {
             .thresholds()
             .iter()
             .copied()
+            // nc-lint: allow(R1, reason = "one-time threshold equalization at extraction time; deployed inference is integer-only")
             .fold(f64::INFINITY, f64::min)
+            // nc-lint: allow(R1, reason = "one-time threshold equalization at extraction time; deployed inference is integer-only")
             .max(1.0);
         let mut weights = Vec::with_capacity(neurons * inputs);
         for j in 0..neurons {
+            // nc-lint: allow(R1, reason = "one-time threshold equalization at extraction time; deployed inference is integer-only")
             let ratio = theta_min / snn.thresholds()[j].max(1.0);
             for i in 0..inputs {
+                // nc-lint: allow(R1, reason = "one-time threshold equalization at extraction time; deployed inference is integer-only")
                 let w = f64::from(snn.weight(j, i)) * ratio;
-                weights.push(w.round().clamp(0.0, 255.0) as u8);
+                weights.push(sat_u8_round(w));
             }
         }
         WotSnn {

@@ -95,7 +95,7 @@ impl PiecewiseLinear {
         let x = x.clamp(self.lo, self.hi);
         let n = self.slopes.len();
         let step = (self.hi - self.lo) / n as f64;
-        let idx = (((x - self.lo) / step) as usize).min(n - 1);
+        let idx = crate::fixed::sat_usize_trunc((x - self.lo) / step).min(n - 1);
         self.slopes[idx] * x + self.intercepts[idx]
     }
 

@@ -105,10 +105,10 @@ impl GaussianClt {
         let mut sm = SplitMix64::new(seed);
         GaussianClt {
             lfsrs: [
-                Lfsr31::new(sm.next_u64() as u32),
-                Lfsr31::new(sm.next_u64() as u32),
-                Lfsr31::new(sm.next_u64() as u32),
-                Lfsr31::new(sm.next_u64() as u32),
+                Lfsr31::new(sm.next_seed32()),
+                Lfsr31::new(sm.next_seed32()),
+                Lfsr31::new(sm.next_seed32()),
+                Lfsr31::new(sm.next_seed32()),
             ],
         }
     }
@@ -131,7 +131,7 @@ impl GaussianClt {
     /// what the per-pixel interval counters of SNNwt consume.
     pub fn sample_interval_ms(&mut self, mean: f64, std: f64) -> u32 {
         let raw = self.sample(mean, std).round();
-        raw.max(1.0) as u32
+        crate::fixed::sat_u32_trunc(raw.max(1.0))
     }
 }
 
@@ -173,7 +173,7 @@ impl PoissonInterval {
     pub fn sample_interval_ms(&mut self, rate_per_ms: f64) -> Option<u32> {
         let dt = self.sample_interval(rate_per_ms);
         if dt.is_finite() {
-            Some((dt.round() as u32).max(1))
+            Some(crate::fixed::sat_u32_trunc(dt.round()).max(1))
         } else {
             None
         }
@@ -222,6 +222,36 @@ impl SplitMix64 {
         assert!(n > 0, "next_below requires n > 0");
         // Multiply-shift bounded sampling; bias < 2^-64, negligible here.
         ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Returns the low 32 bits of the next word: the sanctioned way to
+    /// derive a 32-bit seed (e.g. for [`Lfsr31`]) from a SplitMix stream.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn next_seed32(&mut self) -> u32 {
+        // nc-lint: allow(R2, reason = "intentional truncation: folding a 64-bit stream word into the 32-bit LFSR seed space")
+        self.next_u64() as u32
+    }
+
+    /// Returns a uniform index in `[0, n)` for slice/loop indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn next_index(&mut self, n: usize) -> usize {
+        // nc-lint: allow(R2, reason = "next_below(n) < n, and n originated as a usize, so the cast is lossless")
+        self.next_below(n as u64) as usize
+    }
+
+    /// Returns a uniform `u32` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn next_below_u32(&mut self, n: u32) -> u32 {
+        // nc-lint: allow(R2, reason = "next_below(n) < n <= u32::MAX, so the cast is lossless")
+        self.next_below(u64::from(n)) as u32
     }
 }
 

@@ -212,7 +212,7 @@ impl Histogram {
     pub fn push(&mut self, x: f64) {
         let n = self.bins.len();
         let t = (x - self.lo) / (self.hi - self.lo);
-        let idx = ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        let idx = crate::fixed::sat_usize_trunc(t * n as f64).min(n - 1);
         self.bins[idx] += 1;
     }
 
