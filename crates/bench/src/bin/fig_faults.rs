@@ -1,0 +1,6 @@
+//! Hardware fault-injection sweep: accuracy vs fault rate.
+fn main() {
+    let ctx = nc_bench::BenchContext::from_args("fig_faults");
+    println!("{}", nc_bench::gen_extensions::faults(&ctx.engine));
+    ctx.finish();
+}

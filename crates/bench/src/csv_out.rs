@@ -5,6 +5,7 @@
 //! from sweep execution is what makes the snapshots byte-stable: the
 //! tests exercise exactly the bytes the binaries write.
 
+use nc_core::fault_sweep::FaultPoint;
 use nc_core::report::csv;
 use nc_core::robustness::RobustnessPoint;
 use nc_core::sweeps::{BridgePoint, CodingPoint, NeuronSweepResults};
@@ -83,6 +84,35 @@ pub fn robustness_csv(points: &[RobustnessPoint]) -> String {
     csv(&["noise", "mlp", "snn", "wot"], &rows)
 }
 
+/// Short CSV label for a model family's display name (fault-sweep row
+/// labels).
+pub fn family_slug(family: &str) -> &'static str {
+    match family {
+        "MLP+BP (8-bit fixed point)" => "mlp8",
+        "SNN+STDP - LIF (SNNwt)" => "snnwt",
+        "SNN+STDP - Simplified (SNNwot)" => "snnwot",
+        _ => "other",
+    }
+}
+
+/// The fault-injection series (`fig_faults.csv`). Columns: `family`
+/// (see [`family_slug`]), `fault` (the fault model's stable name),
+/// `rate` in `[0, 1]`, and post-injection test `accuracy`.
+pub fn faults_csv(points: &[FaultPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                family_slug(p.family).to_string(),
+                p.fault.name().to_string(),
+                format!("{:.3}", p.rate),
+                format!("{:.4}", p.accuracy),
+            ]
+        })
+        .collect();
+    csv(&["family", "fault", "rate", "accuracy"], &rows)
+}
+
 /// A `bits,accuracy` precision series (`precision_mlp.csv` /
 /// `precision_snn.csv`). Takes `(bits, accuracy)` pairs so the MLP and
 /// SNN sweeps (distinct point types) share one serializer.
@@ -140,6 +170,33 @@ mod tests {
             accuracy: 0.75,
         }]);
         assert!(out.contains("temporal_(rank_order),50,0.7500"), "{out}");
+    }
+
+    #[test]
+    fn faults_rows_use_slugs_and_stable_fault_names() {
+        use nc_core::FaultModel;
+        let out = faults_csv(&[
+            FaultPoint {
+                family: "MLP+BP (8-bit fixed point)",
+                fault: FaultModel::StuckAt0,
+                rate: 0.05,
+                accuracy: 0.875,
+            },
+            FaultPoint {
+                family: "SNN+STDP - LIF (SNNwt)",
+                fault: FaultModel::StuckLfsrTap,
+                rate: 1.0,
+                accuracy: 0.5,
+            },
+        ]);
+        assert_eq!(
+            out,
+            "family,fault,rate,accuracy\n\
+             mlp8,stuck_at_0,0.050,0.8750\n\
+             snnwt,stuck_lfsr_tap,1.000,0.5000\n"
+        );
+        assert_eq!(family_slug("SNN+STDP - Simplified (SNNwot)"), "snnwot");
+        assert_eq!(family_slug("unknown"), "other");
     }
 
     #[test]

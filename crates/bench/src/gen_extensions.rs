@@ -5,6 +5,7 @@
 
 use crate::write_results;
 use nc_core::experiment::Workload;
+use nc_core::fault_sweep::FaultSweep;
 use nc_core::report::{csv, pct, TextTable};
 use nc_core::robustness::{self, RobustnessSweep};
 use nc_core::Engine;
@@ -303,12 +304,41 @@ pub fn robustness(engine: &Engine) -> String {
         "robustness_noise.csv",
         &crate::csv_out::robustness_csv(&points),
     );
+    let deg =
+        |d: Option<f64>| d.map_or_else(|| String::from("n/a"), |d| format!("{:.1}%", d * 100.0));
     format!(
         "== Test-time noise robustness (no retraining) ==\n{}\
-         relative degradation at max noise: MLP {:.1}% vs SNN {:.1}%\n",
+         relative degradation at max noise: MLP {} vs SNN {}\n",
         t.render(),
-        robustness::degradation(&points, |p| p.mlp_accuracy) * 100.0,
-        robustness::degradation(&points, |p| p.snn_accuracy) * 100.0,
+        deg(robustness::degradation(&points, |p| p.mlp_accuracy)),
+        deg(robustness::degradation(&points, |p| p.snn_accuracy)),
+    )
+}
+
+/// Hardware fault injection: accuracy-vs-fault-rate ladders for the
+/// three deployed families (extension; see DESIGN.md "Fault model").
+pub fn faults(engine: &Engine) -> String {
+    let sweep = FaultSweep {
+        mlp_hidden: 40,
+        snn_neurons: 100,
+        ..FaultSweep::standard(Workload::Digits)
+    };
+    // nc-lint: allow(R5, reason = "report generators run paper-constant configs; validated by tier-1 tests")
+    let points = engine.run(&sweep).expect("fault sweep config is valid");
+    let mut t = TextTable::new(&["family", "fault", "rate", "accuracy"]);
+    for p in &points {
+        t.row_owned(vec![
+            crate::csv_out::family_slug(p.family).to_string(),
+            p.fault.to_string(),
+            format!("{:.3}", p.rate),
+            pct(p.accuracy),
+        ]);
+    }
+    write_results("fig_faults.csv", &crate::csv_out::faults_csv(&points));
+    format!(
+        "== Hardware fault injection (stuck bits, dead neurons, transient \
+         reads, stuck generator taps) ==\n{}",
+        t.render()
     )
 }
 

@@ -14,9 +14,10 @@
 
 use nc_bench::csv_out;
 use nc_core::experiment::{ExperimentScale, Workload};
+use nc_core::fault_sweep::FaultSweep;
 use nc_core::robustness::RobustnessSweep;
 use nc_core::sweeps::{CodingSweep, NeuronSweep, SigmoidBridge};
-use nc_core::Engine;
+use nc_core::{Engine, FaultModel};
 use nc_snn::coding::CodingScheme;
 use nc_snn::{SnnNetwork, SnnParams};
 use std::path::PathBuf;
@@ -129,6 +130,30 @@ fn robustness_noise_snapshot() {
         csv_out::robustness_csv(&engine.run(&sweep).expect("robustness config is valid"))
     });
     assert_snapshot("robustness_noise.csv", &csv);
+}
+
+#[test]
+fn fig_faults_snapshot() {
+    // This is also the CI-scale FaultSweep run the issue asks for: the
+    // full grid shape (every family, bit/neuron/read/generator faults)
+    // at Tiny scale, on 1 and 4 threads, byte-compared.
+    let csv = deterministic_csv(|engine| {
+        let sweep = FaultSweep {
+            scale: Some(ExperimentScale::Tiny),
+            models: vec![
+                FaultModel::StuckAt1,
+                FaultModel::DeadNeuron,
+                FaultModel::TransientRead,
+                FaultModel::StuckLfsrTap,
+            ],
+            rates: vec![0.0, 0.2],
+            mlp_hidden: 8,
+            snn_neurons: 12,
+            ..FaultSweep::standard(Workload::Digits)
+        };
+        csv_out::faults_csv(&engine.run(&sweep).expect("fault grid is valid"))
+    });
+    assert_snapshot("fig_faults.csv", &csv);
 }
 
 #[test]

@@ -109,6 +109,72 @@ fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Renders a panic payload as a message: the common `&str` / `String`
+/// payloads verbatim, anything else as a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// Per-job failure policy for [`Engine::run_jobs_supervised`].
+///
+/// Retries are *deterministic*: each attempt of each job gets a fresh
+/// seed derived purely from `(retry_seed, job index, attempt index)`,
+/// so a retried schedule is reproducible at any thread count and no
+/// wall clock is consulted anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Supervision {
+    /// Extra attempts after the first (0 = fail fast on first panic).
+    pub max_retries: u32,
+    /// Root seed the per-attempt seeds are derived from.
+    pub retry_seed: u64,
+    /// Maximum `Job::samples` a single job may declare; jobs over
+    /// budget are refused *before running* — a deterministic stand-in
+    /// for a wall-clock deadline, measured in work instead of time.
+    pub sample_budget: Option<u64>,
+}
+
+impl Supervision {
+    /// A policy with `max_retries` deterministic retries derived from
+    /// `retry_seed`, and no sample budget.
+    pub fn with_retries(max_retries: u32, retry_seed: u64) -> Self {
+        Supervision {
+            max_retries,
+            retry_seed,
+            sample_budget: None,
+        }
+    }
+
+    /// The seed for one attempt of one job — a pure function of the
+    /// policy and the `(job, attempt)` pair, so any schedule (and any
+    /// thread count) derives the same seed for the same retry.
+    pub fn attempt_seed(&self, job: usize, attempt: u32) -> u64 {
+        let job = u64::try_from(job).unwrap_or(u64::MAX);
+        let mut sm = nc_substrate::rng::SplitMix64::new(
+            self.retry_seed
+                .wrapping_add(job.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+        );
+        sm.next_u64()
+    }
+}
+
+/// One attempt of a supervised job, passed to the worker closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// 0 for the first try, 1.. for retries.
+    pub index: u32,
+    /// The attempt's derived seed (see [`Supervision::attempt_seed`]).
+    /// Workers that re-randomize per retry should mix this into their
+    /// job-owned seeds; workers that don't can ignore it.
+    pub seed: u64,
+}
+
 /// Caches generated datasets so each `(workload, scale)` pair is
 /// produced once per engine and shared between jobs via [`Arc`].
 ///
@@ -379,6 +445,138 @@ impl Engine {
                 slot.into_inner()
                     .unwrap_or_else(PoisonError::into_inner)
                     // nc-lint: allow(R5, reason = "every job writes its result slot before the batch joins")
+                    .expect("job completed")
+            })
+            .collect()
+    }
+
+    /// Like [`Engine::run_jobs`], but *supervised*: each job runs under
+    /// [`catch_unwind`], panics are contained to the job that raised
+    /// them, and the per-job [`Supervision`] policy governs bounded
+    /// deterministic retries and an optional sample budget. Returns one
+    /// `Result` per job, in job order — sibling jobs always complete
+    /// even when one fails every attempt.
+    ///
+    /// The worker takes the payload by reference (it may be consulted
+    /// again on retry) plus the [`Attempt`] descriptor carrying the
+    /// deterministically derived per-attempt seed. Panic and retry
+    /// counts are reported to the recorder as `engine.panics` /
+    /// `engine.retries`.
+    ///
+    /// [`catch_unwind`]: std::panic::catch_unwind
+    pub fn run_jobs_supervised<I, O>(
+        &self,
+        jobs: Vec<Job<I>>,
+        supervision: Supervision,
+        work: impl Fn(&I, Attempt) -> O + Sync,
+    ) -> Vec<Result<O, Error>>
+    where
+        I: Send + Sync,
+        O: Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut labels = Vec::with_capacity(n);
+        let mut sample_counts = Vec::with_capacity(n);
+        let inputs: Vec<I> = jobs
+            .into_iter()
+            .map(|job| {
+                labels.push(job.label);
+                sample_counts.push(job.samples);
+                job.payload
+            })
+            .collect();
+        let results: Vec<Mutex<Option<Result<O, Error>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let walls: Vec<Mutex<Duration>> = (0..n).map(|_| Mutex::new(Duration::ZERO)).collect();
+
+        let run_one = |index: usize| {
+            let _span = Span::enter(self.recorder.as_ref(), &labels[index]);
+            self.recorder.add("engine.jobs", 1);
+            // Deterministic pre-flight: a job over the sample budget is
+            // refused without running, at any thread count.
+            if let Some(budget) = supervision.sample_budget {
+                if sample_counts[index] > budget {
+                    *lock_or_recover(&results[index]) = Some(Err(Error::BudgetExceeded {
+                        job: labels[index].clone(),
+                        samples: sample_counts[index],
+                        budget,
+                    }));
+                    return;
+                }
+            }
+            // nc-lint: allow(R3, reason = "wall-clock span feeds JobStat reporting only")
+            let started = Instant::now();
+            let mut outcome = None;
+            for attempt in 0..=supervision.max_retries {
+                if attempt > 0 {
+                    self.recorder.add("engine.retries", 1);
+                }
+                let descriptor = Attempt {
+                    index: attempt,
+                    seed: supervision.attempt_seed(index, attempt),
+                };
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    work(&inputs[index], descriptor)
+                })) {
+                    Ok(output) => {
+                        outcome = Some(Ok(output));
+                        break;
+                    }
+                    Err(payload) => {
+                        self.recorder.add("engine.panics", 1);
+                        outcome = Some(Err(Error::JobPanicked {
+                            job: labels[index].clone(),
+                            payload: panic_message(payload.as_ref()),
+                        }));
+                    }
+                }
+            }
+            *lock_or_recover(&walls[index]) = started.elapsed();
+            // nc-lint: allow(R5, reason = "the attempt loop always runs at least once and writes the outcome")
+            *lock_or_recover(&results[index]) = Some(outcome.expect("at least one attempt ran"));
+        };
+
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for index in 0..n {
+                run_one(index);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        run_one(index);
+                    });
+                }
+            });
+        }
+
+        let batch: Vec<JobStat> = labels
+            .into_iter()
+            .zip(&sample_counts)
+            .zip(&walls)
+            .map(|((label, &samples), wall)| JobStat {
+                label,
+                wall: *lock_or_recover(wall),
+                samples,
+            })
+            .collect();
+        lock_or_recover(&self.stats).extend(batch);
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    // nc-lint: allow(R5, reason = "every supervised job writes its result slot before the batch joins")
                     .expect("job completed")
             })
             .collect()
@@ -882,5 +1080,142 @@ mod tests {
             seed: 1,
         };
         assert!(matches!(spec.build(), Err(Error::Topology(_))));
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_siblings_complete() {
+        let engine = Engine::builder()
+            .threads(4)
+            .scale(ExperimentScale::Tiny)
+            .build();
+        let jobs: Vec<Job<u64>> = (0..16).map(|i| Job::new(format!("s{i}"), 1, i)).collect();
+        let out = engine.run_jobs_supervised(jobs, Supervision::default(), |&i, _| {
+            assert_ne!(i, 5, "job five exploded");
+            i * 2
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                assert!(
+                    matches!(
+                        r,
+                        Err(Error::JobPanicked { job, payload })
+                            if job == "s5" && payload.contains("exploded")
+                    ),
+                    "{r:?}"
+                );
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64 * 2, "sibling {i}");
+            }
+        }
+        // The engine is still fully usable afterwards: no mutex stayed
+        // poisoned, stats were recorded, and new batches run fine.
+        assert_eq!(engine.stats().len(), 16);
+        let again = engine.run_jobs(vec![Job::new("after", 1, 7u64)], |x| x + 1);
+        assert_eq!(again, vec![8]);
+    }
+
+    #[test]
+    fn retry_seeds_are_deterministic_and_thread_count_invariant() {
+        let supervision = Supervision::with_retries(3, 0xDECAF);
+        let run = |threads| {
+            let engine = Engine::builder()
+                .threads(threads)
+                .scale(ExperimentScale::Tiny)
+                .build();
+            let jobs: Vec<Job<u64>> = (0..8).map(|i| Job::new(format!("r{i}"), 1, i)).collect();
+            engine.run_jobs_supervised(jobs, supervision, |_, attempt| {
+                assert!(attempt.index >= 2, "deterministically flaky");
+                attempt.seed
+            })
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential, parallel);
+        // Each job succeeded on attempt 2 with the seed any schedule
+        // derives from (retry_seed, job, attempt) alone.
+        for (job, r) in sequential.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), supervision.attempt_seed(job, 2));
+            assert_ne!(
+                supervision.attempt_seed(job, 2),
+                supervision.attempt_seed(job, 1),
+                "retries must re-derive, not reuse"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_panic_and_are_counted() {
+        let recorder = Arc::new(nc_obs::MemoryRecorder::new());
+        let engine = Engine::builder()
+            .threads(1)
+            .scale(ExperimentScale::Tiny)
+            .recorder(recorder.clone())
+            .build();
+        let jobs = vec![Job::new("doomed", 1, ())];
+        let out =
+            engine.run_jobs_supervised(jobs, Supervision::with_retries(2, 9), |(), _| -> u32 {
+                panic!("always fails")
+            });
+        assert!(matches!(
+            &out[0],
+            Err(Error::JobPanicked { job, payload }) if job == "doomed" && payload.contains("always fails")
+        ));
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counters.get("engine.panics"),
+            Some(&3),
+            "1 try + 2 retries"
+        );
+        assert_eq!(snap.counters.get("engine.retries"), Some(&2));
+    }
+
+    #[test]
+    fn over_budget_jobs_are_refused_before_running() {
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        let ran = AtomicUsize::new(0);
+        let supervision = Supervision {
+            sample_budget: Some(10),
+            ..Supervision::default()
+        };
+        let jobs = vec![Job::new("small", 5, 1u32), Job::new("huge", 50, 2u32)];
+        let out = engine.run_jobs_supervised(jobs, supervision, |&x, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(
+            out[1],
+            Err(Error::BudgetExceeded {
+                job: String::from("huge"),
+                samples: 50,
+                budget: 10,
+            })
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "refused job must not run");
+    }
+
+    #[test]
+    fn poisoned_mutexes_recover_with_consistent_contents() {
+        // Regression: a panic while a guard is held poisons the mutex;
+        // every engine critical section is a single read/write, so
+        // recovery must observe the pre-panic contents and keep working.
+        let mutex = Mutex::new(vec![1, 2, 3]);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock_or_recover(&mutex), vec![1, 2, 3]);
+        lock_or_recover(&mutex).push(4);
+        assert_eq!(*lock_or_recover(&mutex), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn supervised_empty_job_list_is_a_no_op() {
+        let engine = Engine::sequential(ExperimentScale::Tiny);
+        let out: Vec<Result<u32, Error>> =
+            engine.run_jobs_supervised(Vec::<Job<u32>>::new(), Supervision::default(), |&x, _| x);
+        assert!(out.is_empty());
     }
 }

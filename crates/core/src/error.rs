@@ -16,6 +16,25 @@ pub enum Error {
     /// An experiment was configured inconsistently (empty sweep grid,
     /// zero threads, …). The message says what and why.
     BadConfig(String),
+    /// A job panicked on every attempt a supervised run allowed it.
+    /// `payload` is the panic message when it was a string, or a
+    /// placeholder otherwise.
+    JobPanicked {
+        /// The failing job's label.
+        job: String,
+        /// The last attempt's panic message.
+        payload: String,
+    },
+    /// A supervised job declared more samples than its budget allows;
+    /// the job was refused deterministically, before running.
+    BudgetExceeded {
+        /// The refused job's label.
+        job: String,
+        /// Samples the job declared.
+        samples: u64,
+        /// The supervision policy's per-job sample budget.
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -25,6 +44,17 @@ impl std::fmt::Display for Error {
             Error::Model(e) => write!(f, "model error: {e}"),
             Error::EmptyDataset => write!(f, "dataset has no samples"),
             Error::BadConfig(msg) => write!(f, "bad experiment config: {msg}"),
+            Error::JobPanicked { job, payload } => {
+                write!(f, "job `{job}` panicked: {payload}")
+            }
+            Error::BudgetExceeded {
+                job,
+                samples,
+                budget,
+            } => write!(
+                f,
+                "job `{job}` declared {samples} samples, over the {budget}-sample budget"
+            ),
         }
     }
 }
@@ -81,6 +111,15 @@ mod tests {
             Error::Model(ModelError::EmptyDataset),
             Error::EmptyDataset,
             Error::BadConfig("x".into()),
+            Error::JobPanicked {
+                job: "j".into(),
+                payload: "boom".into(),
+            },
+            Error::BudgetExceeded {
+                job: "j".into(),
+                samples: 10,
+                budget: 5,
+            },
         ] {
             assert!(!e.to_string().is_empty());
             let _ = std::error::Error::source(&e);

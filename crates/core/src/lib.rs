@@ -18,6 +18,8 @@
 //! * [`reference`] — the paper's published numbers (Tables 2 and 3,
 //!   and the headline ratios) used for paper-vs-measured reporting.
 //! * [`robustness`] — test-time input-noise robustness sweep (extension).
+//! * [`fault_sweep`] — hardware fault injection: accuracy-vs-fault-rate
+//!   ladders over the deployed families (extension).
 //! * [`report`] — plain-text table and CSV formatting shared by the
 //!   `nc-bench` regeneration binaries.
 //!
@@ -40,17 +42,21 @@
 pub mod engine;
 pub mod error;
 pub mod experiment;
+pub mod fault_sweep;
 pub mod reference;
 pub mod report;
 pub mod robustness;
 pub mod sweeps;
 
 pub use engine::{
-    DatasetCache, Engine, EngineBuilder, Experiment, Job, JobStat, ModelSpec, StepDeployedMlp,
+    Attempt, DatasetCache, Engine, EngineBuilder, Experiment, Job, JobStat, ModelSpec,
+    StepDeployedMlp, Supervision,
 };
 pub use error::Error;
 pub use experiment::{AccuracyComparison, AccuracyResults, ExperimentScale, Workload};
+pub use fault_sweep::{FaultPoint, FaultSweep};
 pub use nc_dataset::{FitBudget, Model, ModelError};
+pub use nc_faults::{FaultModel, FaultPlan};
 pub use nc_obs::{
     BenchRecord, EpochMetrics, MemoryRecorder, NullRecorder, ObsSnapshot, Recorder, SectionRecord,
     Span,

@@ -9,11 +9,11 @@
 use crate::engine::{Engine, Experiment, Job, ModelSpec};
 use crate::error::Error;
 use crate::experiment::{ExperimentScale, Workload};
-use nc_dataset::{Dataset, Sample};
+use nc_dataset::Dataset;
 use nc_mlp::{metrics, Activation, Mlp};
 use nc_snn::{SnnNetwork, SnnParams, WotSnn};
 use nc_substrate::fixed::sat_u8_trunc;
-use nc_substrate::rng::SplitMix64;
+use nc_substrate::rng::{noise_seed, SplitMix64};
 use nc_substrate::stats::Confusion;
 use std::sync::Arc;
 
@@ -31,26 +31,16 @@ pub struct RobustnessPoint {
 }
 
 /// Applies test-time uniform noise to every pixel of a dataset, with
-/// deterministic seeding.
+/// deterministic seeding. Infallible: [`Dataset::map_pixels`] preserves
+/// the source geometry by construction.
 pub fn corrupt(data: &Dataset, noise: f64, seed: u64) -> Dataset {
     let mut rng = SplitMix64::new(seed ^ 0x2015_CE50);
-    let samples: Vec<Sample> = data
-        .iter()
-        .map(|s| Sample {
-            pixels: s
-                .pixels
-                .iter()
-                .map(|&p| {
-                    let delta = rng.next_range(-noise, noise) * 255.0;
-                    sat_u8_trunc(f64::from(p) + delta)
-                })
-                .collect(),
-            label: s.label,
-        })
-        .collect();
-    Dataset::from_samples(data.width(), data.height(), data.num_classes(), samples)
-        // nc-lint: allow(R5, reason = "noise injection preserves the source dataset's geometry")
-        .expect("same geometry")
+    data.map_pixels(|_, pixels| {
+        for p in pixels.iter_mut() {
+            let delta = rng.next_range(-noise, noise) * 255.0;
+            *p = sat_u8_trunc(f64::from(*p) + delta);
+        }
+    })
 }
 
 /// Evaluates pre-trained models under each noise level. The SNN is
@@ -66,8 +56,7 @@ pub fn sweep(
     noise_levels
         .iter()
         .map(|&noise| {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let noisy = corrupt(test, noise, (noise * 1e4) as u64);
+            let noisy = corrupt(test, noise, noise_seed(noise));
             let mlp_accuracy = metrics::evaluate(mlp, &noisy).accuracy();
             let snn_accuracy = snn.evaluate(&noisy).accuracy();
             let wot_accuracy = wot.evaluate(&noisy).accuracy();
@@ -134,11 +123,7 @@ impl Experiment for RobustnessSweep {
         let noisy: Vec<Arc<Dataset>> = self
             .noise_levels
             .iter()
-            .map(|&n| {
-                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                let seed = (n * 1e4) as u64;
-                Arc::new(corrupt(test, n, seed))
-            })
+            .map(|&n| Arc::new(corrupt(test, n, noise_seed(n))))
             .collect();
         let (inputs, classes) = (train.input_dim(), train.num_classes());
         let params = SnnParams::tuned(self.snn_neurons);
@@ -200,11 +185,18 @@ impl Experiment for RobustnessSweep {
 }
 
 /// Relative degradation of an accuracy series: `1 - acc(last)/acc(first)`
-/// (0 = fully robust). Returns 0 for degenerate series.
-pub fn degradation(points: &[RobustnessPoint], extract: impl Fn(&RobustnessPoint) -> f64) -> f64 {
+/// (0 = fully robust). Returns `None` for degenerate series — an empty
+/// ladder or a zero starting accuracy has no meaningful ratio, and the
+/// old silent `0.0` made a model that never worked look fully robust.
+pub fn degradation(
+    points: &[RobustnessPoint],
+    extract: impl Fn(&RobustnessPoint) -> f64,
+) -> Option<f64> {
     match (points.first(), points.last()) {
-        (Some(first), Some(last)) if extract(first) > 0.0 => 1.0 - extract(last) / extract(first),
-        _ => 0.0,
+        (Some(first), Some(last)) if extract(first) > 0.0 => {
+            Some(1.0 - extract(last) / extract(first))
+        }
+        _ => None,
     }
 }
 
@@ -269,7 +261,7 @@ mod tests {
             points[1].mlp_accuracy <= points[0].mlp_accuracy + 0.05,
             "{points:?}"
         );
-        let deg = degradation(&points, |p| p.mlp_accuracy);
+        let deg = degradation(&points, |p| p.mlp_accuracy).unwrap();
         assert!((-0.1..=1.0).contains(&deg));
     }
 
@@ -281,8 +273,25 @@ mod tests {
     }
 
     #[test]
-    fn degradation_of_empty_series_is_zero() {
-        assert_eq!(degradation(&[], |p| p.mlp_accuracy), 0.0);
+    fn degradation_of_degenerate_series_is_none() {
+        assert_eq!(degradation(&[], |p| p.mlp_accuracy), None);
+        // A model that never worked is not "fully robust".
+        let dead = [
+            RobustnessPoint {
+                noise: 0.0,
+                mlp_accuracy: 0.0,
+                snn_accuracy: 0.5,
+                wot_accuracy: 0.5,
+            },
+            RobustnessPoint {
+                noise: 0.5,
+                mlp_accuracy: 0.0,
+                snn_accuracy: 0.25,
+                wot_accuracy: 0.25,
+            },
+        ];
+        assert_eq!(degradation(&dead, |p| p.mlp_accuracy), None);
+        assert_eq!(degradation(&dead, |p| p.snn_accuracy), Some(0.5));
     }
 
     #[test]

@@ -219,6 +219,24 @@ impl Dataset {
         self.samples.iter()
     }
 
+    /// Returns a new dataset with each sample's pixel buffer transformed
+    /// in place by `f` (called with the sample index). The closure
+    /// receives a fixed-size `&mut [u8]`, so it can corrupt luminances
+    /// but cannot change the pixel count, label, or geometry — the
+    /// result is valid by construction and no re-validation is needed.
+    pub fn map_pixels(&self, mut f: impl FnMut(usize, &mut [u8])) -> Dataset {
+        let mut samples = self.samples.clone();
+        for (index, sample) in samples.iter_mut().enumerate() {
+            f(index, &mut sample.pixels);
+        }
+        Dataset {
+            width: self.width,
+            height: self.height,
+            num_classes: self.num_classes,
+            samples,
+        }
+    }
+
     /// Returns the first `n` samples as a new dataset (all of them if
     /// `n >= len`), used to scale experiments down for fast tests.
     pub fn take(&self, n: usize) -> Dataset {
@@ -397,5 +415,39 @@ mod tests {
     fn error_display_is_nonempty() {
         let e = DatasetError::EmptyGeometry;
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn map_pixels_preserves_geometry_and_labels() {
+        let ds = Dataset::from_samples(
+            2,
+            2,
+            3,
+            vec![
+                Sample {
+                    pixels: vec![10; 4],
+                    label: 2,
+                },
+                Sample {
+                    pixels: vec![20; 4],
+                    label: 1,
+                },
+            ],
+        )
+        .unwrap();
+        let mapped = ds.map_pixels(|index, pixels| {
+            for p in pixels.iter_mut() {
+                *p = p.saturating_add(u8::try_from(index).unwrap_or(u8::MAX));
+            }
+        });
+        assert_eq!(mapped.width(), 2);
+        assert_eq!(mapped.height(), 2);
+        assert_eq!(mapped.num_classes(), 3);
+        assert_eq!(mapped.samples()[0].pixels, vec![10; 4]);
+        assert_eq!(mapped.samples()[1].pixels, vec![21; 4]);
+        assert_eq!(mapped.samples()[0].label, 2);
+        assert_eq!(mapped.samples()[1].label, 1);
+        // Source is untouched.
+        assert_eq!(ds.samples()[1].pixels, vec![20; 4]);
     }
 }

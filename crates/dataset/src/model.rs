@@ -14,6 +14,7 @@
 //! (`nc-mlp`, `nc-snn`) implement it without depending on each other.
 
 use crate::Dataset;
+use nc_faults::{FaultError, FaultPlan};
 use nc_obs::Recorder;
 use nc_substrate::stats::Confusion;
 
@@ -74,6 +75,27 @@ pub enum ModelError {
         /// Human-readable explanation.
         reason: &'static str,
     },
+    /// The model has no physical substrate for this fault kind — e.g. a
+    /// stuck LFSR tap on the float MLP, which has no spike generators.
+    FaultUnsupported {
+        /// The model's display name.
+        model: &'static str,
+        /// The unsupported fault's stable name.
+        fault: &'static str,
+    },
+    /// The fault plan itself was malformed (e.g. rate outside `[0, 1]`).
+    InvalidFaultPlan {
+        /// Explanation from the fault layer.
+        reason: String,
+    },
+}
+
+impl From<FaultError> for ModelError {
+    fn from(err: FaultError) -> Self {
+        ModelError::InvalidFaultPlan {
+            reason: err.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for ModelError {
@@ -85,6 +107,12 @@ impl std::fmt::Display for ModelError {
             ModelError::EmptyDataset => write!(f, "training set is empty"),
             ModelError::NotTrainable { model, reason } => {
                 write!(f, "{model} cannot be trained: {reason}")
+            }
+            ModelError::FaultUnsupported { model, fault } => {
+                write!(f, "{model} has no substrate for fault model {fault}")
+            }
+            ModelError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
         }
     }
@@ -131,6 +159,28 @@ pub trait Model: Send {
 
     /// Scores on `test`, producing the shared confusion matrix.
     fn evaluate(&mut self, test: &Dataset) -> Confusion;
+
+    /// Injects a hardware fault into the model's deployed state
+    /// (typically after [`Model::fit`], before [`Model::evaluate`]).
+    /// Injection is deterministic: the same plan on the same trained
+    /// state yields the same faulty model on any thread count.
+    ///
+    /// The default rejects every fault — models opt in per fault kind,
+    /// because each fault targets a specific physical substrate (weight
+    /// SRAM, neuron circuits, read ports, spike generators).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidFaultPlan`] when the plan's rate is outside
+    /// `[0, 1]`, [`ModelError::FaultUnsupported`] when the model has no
+    /// substrate for the plan's fault kind.
+    fn inject(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        plan.validate()?;
+        Err(ModelError::FaultUnsupported {
+            model: self.name(),
+            fault: plan.model.name(),
+        })
+    }
 }
 
 /// Validates the common preconditions shared by every `fit`
@@ -205,8 +255,56 @@ mod tests {
                 model: "x",
                 reason: "y",
             },
+            ModelError::FaultUnsupported {
+                model: "x",
+                fault: "stuck_at_0",
+            },
+            ModelError::InvalidFaultPlan {
+                reason: "rate".to_string(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn fault_errors_convert_into_model_errors() {
+        let err: ModelError = nc_faults::FaultError::BadRate(2.0).into();
+        assert!(matches!(err, ModelError::InvalidFaultPlan { .. }));
+        assert!(err.to_string().contains("invalid fault plan"));
+    }
+
+    #[test]
+    fn default_inject_rejects_every_fault() {
+        struct Stub;
+        impl Model for Stub {
+            fn name(&self) -> &'static str {
+                "stub"
+            }
+            fn fit(&mut self, _: &Dataset, _: &FitBudget) -> Result<(), ModelError> {
+                Ok(())
+            }
+            fn evaluate(&mut self, _: &Dataset) -> Confusion {
+                Confusion::new(1)
+            }
+        }
+        let mut stub = Stub;
+        let plan = FaultPlan::new(nc_faults::FaultModel::StuckAt0, 0.5, 1).expect("valid plan");
+        assert_eq!(
+            stub.inject(&plan),
+            Err(ModelError::FaultUnsupported {
+                model: "stub",
+                fault: "stuck_at_0",
+            })
+        );
+        let bad = FaultPlan {
+            model: nc_faults::FaultModel::StuckAt0,
+            rate: 7.0,
+            seed: 0,
+        };
+        assert!(matches!(
+            stub.inject(&bad),
+            Err(ModelError::InvalidFaultPlan { .. })
+        ));
     }
 }

@@ -1,0 +1,7 @@
+//! Near-miss: explicitly seeded fault streams are fine, and entropy
+//! names in comments (thread_rng, OsRng) or strings must not fire.
+
+pub fn derived(seed: u64, site: u64) -> u64 {
+    let label = "from_entropy is banned outside this string";
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ site ^ label.len() as u64
+}

@@ -1,0 +1,6 @@
+//! R7 fixture: fault plans derive their seeds; ambient entropy is banned.
+
+pub fn ambient_fault_seed() -> u64 {
+    let seed = getrandom();
+    seed
+}

@@ -8,6 +8,7 @@ use crate::quant::QuantizedMlp;
 use crate::trainer::{TrainConfig, Trainer};
 use nc_dataset::model::{check_fit_inputs, FitBudget, Model, ModelError};
 use nc_dataset::Dataset;
+use nc_faults::{dead_unit_mask, FaultModel, FaultPlan};
 use nc_obs::Recorder;
 use nc_substrate::stats::Confusion;
 
@@ -45,6 +46,38 @@ impl Model for Mlp {
     fn evaluate(&mut self, test: &Dataset) -> Confusion {
         metrics::evaluate(self, test)
     }
+
+    /// The float reference has no 8-bit SRAM, read port, or spike
+    /// generators, so only `DeadNeuron` (zeroed hidden units) applies.
+    /// The dead-unit selection matches [`QuantizedMlp`]'s for the same
+    /// plan and topology, so float-vs-quantized fault ladders compare
+    /// identical defect patterns.
+    fn inject(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        plan.validate()?;
+        match plan.model {
+            FaultModel::DeadNeuron => {
+                let sizes = self.sizes().to_vec();
+                for l in 1..sizes.len() - 1 {
+                    let salt = u64::try_from(l).unwrap_or(u64::MAX);
+                    let dead = dead_unit_mask(sizes[l], &plan.for_site(salt));
+                    let (fan_in, fan_out) = (sizes[l], sizes[l + 1]);
+                    let next = self.layer_weights_mut(l);
+                    for (unit, &is_dead) in dead.iter().enumerate() {
+                        if is_dead {
+                            for j in 0..fan_out {
+                                next[j * (fan_in + 1) + unit] = 0.0;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(ModelError::FaultUnsupported {
+                model: "MLP+BP",
+                fault: plan.model.name(),
+            }),
+        }
+    }
 }
 
 impl Model for QuantizedMlp {
@@ -81,6 +114,10 @@ impl Model for QuantizedMlp {
 
     fn evaluate(&mut self, test: &Dataset) -> Confusion {
         metrics::evaluate_quantized(self, test)
+    }
+
+    fn inject(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        self.apply_fault(plan)
     }
 }
 
@@ -152,6 +189,52 @@ mod tests {
             Model::fit(&mut q, &train, &budget()),
             Err(ModelError::NotTrainable { .. })
         ));
+    }
+
+    #[test]
+    fn float_and_quantized_dead_neurons_match() {
+        let (train, test) = data();
+        let mut mlp = Mlp::new(&[784, 8, 10], Activation::sigmoid(), 3).unwrap();
+        Model::fit(&mut mlp, &train, &budget()).unwrap();
+        let mut q = QuantizedMlp::from_mlp(&mlp);
+        let plan = FaultPlan::new(FaultModel::DeadNeuron, 0.5, 11).unwrap();
+        Model::inject(&mut mlp, &plan).unwrap();
+        Model::inject(&mut q, &plan).unwrap();
+        // Same plan kills the same hidden units in both deployments:
+        // a unit whose float outgoing column is zero must also have a
+        // zero quantized outgoing column.
+        let fan_in = 8;
+        for unit in 0..fan_in {
+            let float_dead = (0..10).all(|j| mlp.layer_weights(1)[j * (fan_in + 1) + unit] == 0.0);
+            let quant_dead = (0..10).all(|j| q.layer_weights(1)[j * (fan_in + 1) + unit] == 0);
+            assert_eq!(float_dead, quant_dead, "unit {unit}");
+        }
+        // Both still evaluate end to end.
+        assert_eq!(Model::evaluate(&mut mlp, &test).total(), 30);
+        assert_eq!(Model::evaluate(&mut q, &test).total(), 30);
+    }
+
+    #[test]
+    fn float_mlp_rejects_bit_level_faults() {
+        let mut mlp = Mlp::new(&[784, 8, 10], Activation::sigmoid(), 3).unwrap();
+        for fault in [
+            FaultModel::StuckAt0,
+            FaultModel::StuckAt1,
+            FaultModel::TransientRead,
+            FaultModel::StuckLfsrTap,
+        ] {
+            let plan = FaultPlan::new(fault, 0.1, 0).unwrap();
+            assert!(
+                matches!(
+                    Model::inject(&mut mlp, &plan),
+                    Err(ModelError::FaultUnsupported {
+                        model: "MLP+BP",
+                        ..
+                    })
+                ),
+                "{fault}"
+            );
+        }
     }
 
     #[test]

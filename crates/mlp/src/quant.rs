@@ -13,6 +13,8 @@
 
 use crate::activation::Activation;
 use crate::network::{argmax, Mlp, MlpError};
+use nc_dataset::ModelError;
+use nc_faults::{dead_unit_mask, stuck_bits_i8, FaultModel, FaultPlan, TransientReads};
 use nc_substrate::fixed::{sat_i32_trunc, sat_i8_round, sat_u8_round};
 use nc_substrate::interp::PiecewiseLinear;
 
@@ -52,6 +54,9 @@ pub struct QuantizedMlp {
     /// trained through the unified `Model` interface; `None` for
     /// deployment artifacts built with [`QuantizedMlp::from_mlp`].
     master_seed: Option<u64>,
+    /// Transient-read fault port over the weight SRAM; disabled unless a
+    /// `TransientRead` plan was injected.
+    faults: TransientReads,
 }
 
 impl QuantizedMlp {
@@ -99,6 +104,7 @@ impl QuantizedMlp {
             table: mlp.activation().hardware_table(),
             activation: mlp.activation(),
             master_seed: None,
+            faults: TransientReads::disabled(),
         }
     }
 
@@ -180,10 +186,21 @@ impl QuantizedMlp {
                 let row = &weights[j * (fan_in + 1)..(j + 1) * (fan_in + 1)];
                 // Integer MAC: i64 accumulator = the wide adder-tree
                 // register (784 · 127 · 255 fits easily).
-                let mut acc: i64 = i64::from(row[fan_in]) * 255; // bias input = 1.0 ≡ 255
-                for i in 0..fan_in {
-                    acc += i64::from(row[i]) * i64::from(current[i]);
-                }
+                let acc: i64 = if self.faults.is_active() {
+                    // Every weight word passes through the faulty SRAM
+                    // read port, bias included.
+                    let mut acc = i64::from(self.faults.read_i8(row[fan_in])) * 255;
+                    for i in 0..fan_in {
+                        acc += i64::from(self.faults.read_i8(row[i])) * i64::from(current[i]);
+                    }
+                    acc
+                } else {
+                    let mut acc: i64 = i64::from(row[fan_in]) * 255; // bias input = 1.0 ≡ 255
+                    for i in 0..fan_in {
+                        acc += i64::from(row[i]) * i64::from(current[i]);
+                    }
+                    acc
+                };
                 // Rescale to the activation's input domain: activations
                 // are y·255, weights are w·2^e.
                 let s = acc as f64 / (scale * 255.0);
@@ -209,6 +226,61 @@ impl QuantizedMlp {
     /// The shared activation this datapath approximates.
     pub fn activation(&self) -> Activation {
         self.activation
+    }
+
+    /// Injects a hardware fault into the deployed 8-bit state (the
+    /// [`nc_dataset::Model::inject`] substrate for this family):
+    ///
+    /// * stuck-at bits corrupt the weight SRAM words layer by layer;
+    /// * dead neurons zero a hidden unit's *outgoing* weight column, so
+    ///   its contribution reads as a stuck-at-reset output register;
+    /// * transient reads arm the SRAM read-port fault stream used by
+    ///   [`QuantizedMlp::forward_u8`];
+    /// * stuck LFSR taps are rejected — this datapath has no spike
+    ///   generators.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidFaultPlan`] for rates outside `[0, 1]`,
+    /// [`ModelError::FaultUnsupported`] for `StuckLfsrTap`.
+    pub fn apply_fault(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        plan.validate()?;
+        match plan.model {
+            FaultModel::StuckAt0 | FaultModel::StuckAt1 => {
+                for (salt, layer) in (0u64..).zip(self.layers.iter_mut()) {
+                    stuck_bits_i8(layer, &plan.for_site(salt));
+                }
+                Ok(())
+            }
+            FaultModel::DeadNeuron => {
+                // Hidden layers only: killing output units would change
+                // the readout's class set rather than model a defect the
+                // readout must survive.
+                for l in 1..self.sizes.len() - 1 {
+                    let salt = u64::try_from(l).unwrap_or(u64::MAX);
+                    let dead = dead_unit_mask(self.sizes[l], &plan.for_site(salt));
+                    let fan_in = self.sizes[l];
+                    let next = &mut self.layers[l];
+                    let fan_out = self.sizes[l + 1];
+                    for (unit, &is_dead) in dead.iter().enumerate() {
+                        if is_dead {
+                            for j in 0..fan_out {
+                                next[j * (fan_in + 1) + unit] = 0;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            FaultModel::TransientRead => {
+                self.faults = TransientReads::from_plan(plan);
+                Ok(())
+            }
+            FaultModel::StuckLfsrTap => Err(ModelError::FaultUnsupported {
+                model: "MLP+BP (8-bit fixed point)",
+                fault: plan.model.name(),
+            }),
+        }
     }
 }
 
@@ -297,5 +369,117 @@ mod tests {
         let mlp = Mlp::new(&[4, 2], Activation::sigmoid(), 0).unwrap();
         let q = QuantizedMlp::from_mlp(&mlp);
         let _ = q.forward_u8(&[0; 3]);
+    }
+
+    fn faulty(model: FaultModel, rate: f64) -> FaultPlan {
+        FaultPlan::new(model, rate, 42).unwrap()
+    }
+
+    #[test]
+    fn stuck_bits_corrupt_weights_deterministically() {
+        let mlp = Mlp::new(&[10, 6, 3], Activation::sigmoid(), 4).unwrap();
+        let mut a = QuantizedMlp::from_mlp(&mlp);
+        let mut b = QuantizedMlp::from_mlp(&mlp);
+        let plan = faulty(FaultModel::StuckAt1, 0.2);
+        a.apply_fault(&plan).unwrap();
+        b.apply_fault(&plan).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(
+            a.layer_weights(0),
+            QuantizedMlp::from_mlp(&mlp).layer_weights(0)
+        );
+        // Layers get independent defect patterns: a single-layer slice of
+        // the pattern must not repeat across layers of equal length.
+        let clean = QuantizedMlp::from_mlp(&mlp);
+        let delta0: Vec<u8> = a
+            .layer_weights(0)
+            .iter()
+            .zip(clean.layer_weights(0))
+            .map(|(f, c)| (f.to_ne_bytes()[0]) ^ (c.to_ne_bytes()[0]))
+            .collect();
+        assert!(delta0.iter().any(|&d| d != 0));
+    }
+
+    #[test]
+    fn full_stuck_at_zero_clears_every_weight() {
+        let mlp = Mlp::new(&[6, 4, 2], Activation::sigmoid(), 1).unwrap();
+        let mut q = QuantizedMlp::from_mlp(&mlp);
+        q.apply_fault(&faulty(FaultModel::StuckAt0, 1.0)).unwrap();
+        for l in 0..2 {
+            assert!(q.layer_weights(l).iter().all(|&w| w == 0));
+        }
+    }
+
+    #[test]
+    fn dead_neurons_zero_outgoing_columns() {
+        let mlp = Mlp::new(&[5, 4, 3], Activation::sigmoid(), 2).unwrap();
+        let mut q = QuantizedMlp::from_mlp(&mlp);
+        q.apply_fault(&faulty(FaultModel::DeadNeuron, 1.0)).unwrap();
+        // Every hidden unit dead => every non-bias weight of layer 1 is 0.
+        let fan_in = 4;
+        let out = q.layer_weights(1);
+        for j in 0..3 {
+            for i in 0..fan_in {
+                assert_eq!(out[j * (fan_in + 1) + i], 0, "row {j} col {i}");
+            }
+        }
+        // Input-side weights (layer 0) are untouched.
+        assert_eq!(
+            q.layer_weights(0),
+            QuantizedMlp::from_mlp(&mlp).layer_weights(0)
+        );
+    }
+
+    #[test]
+    fn transient_reads_perturb_inference_but_not_storage() {
+        let mlp = Mlp::new(&[8, 6, 4], Activation::sigmoid(), 3).unwrap();
+        let clean = QuantizedMlp::from_mlp(&mlp);
+        let mut q = QuantizedMlp::from_mlp(&mlp);
+        q.apply_fault(&faulty(FaultModel::TransientRead, 0.5))
+            .unwrap();
+        for l in 0..2 {
+            assert_eq!(q.layer_weights(l), clean.layer_weights(l));
+        }
+        let input = [200u8; 8];
+        let outs: Vec<Vec<u8>> = (0..32).map(|_| q.forward_u8(&input)).collect();
+        assert!(
+            outs.iter().any(|o| *o != clean.forward_u8(&input)),
+            "a 50% read-fault rate must disturb at least one of 32 passes"
+        );
+    }
+
+    #[test]
+    fn zero_rate_faults_are_no_ops() {
+        let mlp = Mlp::new(&[6, 5, 3], Activation::sigmoid(), 9).unwrap();
+        let clean = QuantizedMlp::from_mlp(&mlp);
+        for model in [
+            FaultModel::StuckAt0,
+            FaultModel::StuckAt1,
+            FaultModel::DeadNeuron,
+            FaultModel::TransientRead,
+        ] {
+            let mut q = QuantizedMlp::from_mlp(&mlp);
+            q.apply_fault(&faulty(model, 0.0)).unwrap();
+            let input = [77u8; 6];
+            assert_eq!(q.forward_u8(&input), clean.forward_u8(&input), "{model}");
+        }
+    }
+
+    #[test]
+    fn lfsr_faults_are_rejected() {
+        let mlp = Mlp::new(&[4, 3, 2], Activation::sigmoid(), 0).unwrap();
+        let mut q = QuantizedMlp::from_mlp(&mlp);
+        assert!(matches!(
+            q.apply_fault(&faulty(FaultModel::StuckLfsrTap, 0.5)),
+            Err(ModelError::FaultUnsupported { .. })
+        ));
+        assert!(matches!(
+            q.apply_fault(&FaultPlan {
+                model: FaultModel::StuckAt0,
+                rate: -1.0,
+                seed: 0
+            }),
+            Err(ModelError::InvalidFaultPlan { .. })
+        ));
     }
 }

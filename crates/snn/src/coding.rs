@@ -18,6 +18,7 @@
 //!   spikes once at a latency inversely related to luminance.
 
 use crate::params::SnnParams;
+use nc_faults::{stuck_tap_for, FaultPlan};
 use nc_substrate::fixed::sat_u32_trunc;
 use nc_substrate::rng::{GaussianClt, PoissonInterval, SplitMix64};
 
@@ -58,9 +59,27 @@ impl CodingScheme {
     /// `seed` individualizes the stochastic generators per presentation;
     /// temporal codes are deterministic and ignore it.
     pub fn encode(&self, pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent> {
+        self.encode_faulty(pixels, params, seed, None)
+    }
+
+    /// Like [`CodingScheme::encode`], but with an optional `StuckLfsrTap`
+    /// fault plan over the per-pixel interval generators: each faulty
+    /// pixel's generator is built with its `x^3` tap stuck
+    /// ([`nc_substrate::rng::Lfsr31::with_stuck_tap`]). Which generators
+    /// are faulty is a per-pixel property of the plan, not of the
+    /// presentation, so a defective chip stays defective across images.
+    /// Healthy pixels draw exactly the seeds they would without the plan,
+    /// and temporal codes (no generators) ignore it entirely.
+    pub fn encode_faulty(
+        &self,
+        pixels: &[u8],
+        params: &SnnParams,
+        seed: u64,
+        gen_fault: Option<&FaultPlan>,
+    ) -> Vec<SpikeEvent> {
         let mut events = match self {
-            CodingScheme::PoissonRate => poisson_rate(pixels, params, seed),
-            CodingScheme::GaussianRate => gaussian_rate(pixels, params, seed),
+            CodingScheme::PoissonRate => poisson_rate(pixels, params, seed, gen_fault),
+            CodingScheme::GaussianRate => gaussian_rate(pixels, params, seed, gen_fault),
             CodingScheme::RankOrder => rank_order(pixels, params),
             CodingScheme::TimeToFirstSpike => time_to_first_spike(pixels, params),
         };
@@ -97,7 +116,12 @@ impl CodingScheme {
 /// Pixels below this luminance are silent under the temporal codes.
 pub const ACTIVE_THRESHOLD: u8 = 32;
 
-fn poisson_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent> {
+fn poisson_rate(
+    pixels: &[u8],
+    params: &SnnParams,
+    seed: u64,
+    gen_fault: Option<&FaultPlan>,
+) -> Vec<SpikeEvent> {
     let mut sm = SplitMix64::new(seed);
     let mut events = Vec::new();
     for (input, &p) in pixels.iter().enumerate() {
@@ -105,7 +129,12 @@ fn poisson_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent>
         if rate <= 0.0 {
             continue;
         }
-        let mut gen = PoissonInterval::new(sm.next_seed32());
+        let gen_seed = sm.next_seed32();
+        let pixel = u64::try_from(input).unwrap_or(u64::MAX);
+        let mut gen = match gen_fault.and_then(|plan| stuck_tap_for(plan, pixel)) {
+            Some(stuck) => PoissonInterval::with_stuck_tap(gen_seed, stuck),
+            None => PoissonInterval::new(gen_seed),
+        };
         let mut t = 0.0f64;
         loop {
             let dt = gen.sample_interval(rate);
@@ -122,7 +151,12 @@ fn poisson_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent>
     events
 }
 
-fn gaussian_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent> {
+fn gaussian_rate(
+    pixels: &[u8],
+    params: &SnnParams,
+    seed: u64,
+    gen_fault: Option<&FaultPlan>,
+) -> Vec<SpikeEvent> {
     let mut sm = SplitMix64::new(seed ^ 0x6A05_5150);
     let mut events = Vec::new();
     for (input, &p) in pixels.iter().enumerate() {
@@ -135,7 +169,12 @@ fn gaussian_rate(pixels: &[u8], params: &SnnParams, seed: u64) -> Vec<SpikeEvent
         // positive within the generator's bounded support.
         let mean = 1.0 / rate;
         let std = mean / 3.0;
-        let mut gen = GaussianClt::new(sm.next_u64());
+        let gen_seed = sm.next_u64();
+        let pixel = u64::try_from(input).unwrap_or(u64::MAX);
+        let mut gen = match gen_fault.and_then(|plan| stuck_tap_for(plan, pixel)) {
+            Some(stuck) => GaussianClt::with_stuck_tap(gen_seed, stuck),
+            None => GaussianClt::new(gen_seed),
+        };
         let mut t = 0u64;
         loop {
             let dt = gen.sample_interval_ms(mean, std);

@@ -8,6 +8,7 @@ use crate::network::SnnNetwork;
 use crate::wot::WotSnn;
 use nc_dataset::model::{check_fit_inputs, FitBudget, Model, ModelError};
 use nc_dataset::Dataset;
+use nc_faults::FaultPlan;
 use nc_obs::{Recorder, Span};
 use nc_substrate::stats::Confusion;
 
@@ -39,6 +40,10 @@ impl Model for SnnNetwork {
 
     fn evaluate(&mut self, test: &Dataset) -> Confusion {
         SnnNetwork::evaluate(self, test)
+    }
+
+    fn inject(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        self.apply_fault(plan)
     }
 }
 
@@ -77,6 +82,10 @@ impl Model for WotSnn {
 
     fn evaluate(&mut self, test: &Dataset) -> Confusion {
         WotSnn::evaluate(self, test)
+    }
+
+    fn inject(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        self.apply_fault(plan)
     }
 }
 
@@ -193,6 +202,94 @@ mod tests {
             Err(ModelError::GeometryMismatch {
                 expected: 169,
                 got: 784
+            })
+        ));
+    }
+
+    // WotSnn's fault tests live here rather than in `wot.rs` because the
+    // plans carry float rates and `wot.rs` is an R1 datapath file.
+
+    #[test]
+    fn wot_stuck_at_zero_full_rate_clears_the_sram() {
+        use nc_faults::FaultModel;
+        let master = SnnNetwork::new(16, 2, SnnParams::for_neurons(4), 1);
+        let mut wot = WotSnn::from_network(&master);
+        Model::inject(
+            &mut wot,
+            &FaultPlan::new(FaultModel::StuckAt0, 1.0, 0).unwrap(),
+        )
+        .unwrap();
+        assert!(wot.weights().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn wot_dead_neurons_zero_whole_rows() {
+        use nc_faults::FaultModel;
+        let master = SnnNetwork::new(16, 2, SnnParams::for_neurons(6), 1);
+        let mut wot = WotSnn::from_network(&master);
+        let before = wot.weights().to_vec();
+        Model::inject(
+            &mut wot,
+            &FaultPlan::new(FaultModel::DeadNeuron, 0.5, 21).unwrap(),
+        )
+        .unwrap();
+        let inputs = wot.inputs();
+        let mut dead_rows = 0;
+        for j in 0..wot.neurons() {
+            let row = &wot.weights()[j * inputs..(j + 1) * inputs];
+            if row.iter().all(|&w| w == 0) {
+                dead_rows += 1;
+            } else {
+                assert_eq!(row, &before[j * inputs..(j + 1) * inputs], "row {j}");
+            }
+        }
+        assert!(dead_rows > 0, "a 50% plan over 6 neurons should kill some");
+        assert!(dead_rows < 6, "and spare some");
+    }
+
+    #[test]
+    fn wot_transient_reads_perturb_potentials_but_not_storage() {
+        use nc_faults::FaultModel;
+        let master = SnnNetwork::new(16, 2, SnnParams::for_neurons(4), 1);
+        let mut wot = WotSnn::from_network(&master);
+        let healthy_weights = wot.weights().to_vec();
+        let healthy = wot.potentials(&[200u8; 16]);
+        Model::inject(
+            &mut wot,
+            &FaultPlan::new(FaultModel::TransientRead, 1.0, 5).unwrap(),
+        )
+        .unwrap();
+        let faulty = wot.potentials(&[200u8; 16]);
+        assert_eq!(wot.weights(), healthy_weights);
+        assert_ne!(healthy, faulty);
+    }
+
+    #[test]
+    fn wot_rejects_generator_faults() {
+        use nc_faults::FaultModel;
+        let master = SnnNetwork::new(16, 2, SnnParams::for_neurons(4), 1);
+        let mut wot = WotSnn::from_network(&master);
+        assert!(matches!(
+            Model::inject(
+                &mut wot,
+                &FaultPlan::new(FaultModel::StuckLfsrTap, 0.5, 0).unwrap()
+            ),
+            Err(ModelError::FaultUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn bp_hybrid_inherits_the_default_rejection() {
+        use nc_faults::FaultModel;
+        let mut bp = BpSnn::new(16, 2, SnnParams::for_neurons(4), 1);
+        assert!(matches!(
+            Model::inject(
+                &mut bp,
+                &FaultPlan::new(FaultModel::StuckAt0, 0.1, 0).unwrap()
+            ),
+            Err(ModelError::FaultUnsupported {
+                model: "SNN+BP",
+                ..
             })
         ));
     }

@@ -25,7 +25,9 @@
 use crate::coding::{CodingScheme, SpikeEvent};
 use crate::params::SnnParams;
 use crate::trace::PresentationTrace;
+use nc_dataset::model::ModelError;
 use nc_dataset::Dataset;
+use nc_faults::{dead_unit_mask, stuck_bits_u8, FaultModel, FaultPlan, TransientReads};
 use nc_obs::{EpochMetrics, Recorder};
 use nc_substrate::rng::SplitMix64;
 use nc_substrate::stats::Confusion;
@@ -103,6 +105,13 @@ pub struct SnnNetwork {
     stdp_rule: crate::stdp_rules::StdpRule,
     presentation_counter: u64,
     seed: u64,
+    /// Transient SRAM read faults on the synapse array (disabled unless a
+    /// `TransientRead` plan was injected). Stored weights stay pristine;
+    /// only reads during simulation are perturbed.
+    faults: TransientReads,
+    /// A `StuckLfsrTap` plan over the spike-interval generators, if one
+    /// was injected (rate codes only).
+    gen_fault: Option<FaultPlan>,
 }
 
 impl SnnNetwork {
@@ -159,6 +168,59 @@ impl SnnNetwork {
             stdp_rule: crate::stdp_rules::StdpRule::default(),
             presentation_counter: 0,
             seed,
+            faults: TransientReads::disabled(),
+            gen_fault: None,
+        }
+    }
+
+    /// Applies a hardware fault plan to the deployed network (DESIGN.md
+    /// "Fault model"). Stuck-at faults corrupt the stored 8-bit synapses
+    /// once; dead neurons zero whole synapse rows (a LIF stuck at reset
+    /// never crosses threshold); transient reads perturb every weight
+    /// fetch during simulation; a stuck LFSR tap degrades the per-pixel
+    /// spike-interval generators and therefore requires a rate code.
+    ///
+    /// Injection models a *deployed* chip: training after injection will
+    /// overwrite stuck bits, so inject after `train_stdp`/`self_label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFaultPlan`] for an out-of-range rate
+    /// and [`ModelError::FaultUnsupported`] for `StuckLfsrTap` under a
+    /// temporal (generator-free) coding scheme.
+    pub fn apply_fault(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        plan.validate()?;
+        match plan.model {
+            FaultModel::StuckAt0 | FaultModel::StuckAt1 => {
+                stuck_bits_u8(&mut self.weights, plan);
+                Ok(())
+            }
+            FaultModel::DeadNeuron => {
+                let dead = dead_unit_mask(self.params.neurons, plan);
+                for (j, &is_dead) in dead.iter().enumerate() {
+                    if is_dead {
+                        for w in &mut self.weights[j * self.inputs..(j + 1) * self.inputs] {
+                            *w = 0;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            FaultModel::TransientRead => {
+                self.faults = TransientReads::from_plan(plan);
+                Ok(())
+            }
+            FaultModel::StuckLfsrTap => {
+                if self.coding.is_rate_code() {
+                    self.gen_fault = Some(*plan);
+                    Ok(())
+                } else {
+                    Err(ModelError::FaultUnsupported {
+                        model: "SNN+STDP - LIF (SNNwt)",
+                        fault: plan.model.name(),
+                    })
+                }
+            }
         }
     }
 
@@ -284,7 +346,9 @@ impl SnnNetwork {
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(presentation_seed);
-        let events = self.coding.encode(pixels, &self.params, seed);
+        let events = self
+            .coding
+            .encode_faulty(pixels, &self.params, seed, self.gen_fault.as_ref());
         if let Some(t) = trace.as_deref_mut() {
             t.record_inputs(&events);
         }
@@ -311,7 +375,8 @@ impl SnnNetwork {
                     potentials[j] *= self.decay_lut[dt.min(self.decay_lut.len() - 1)];
                 }
                 last_update[j] = t;
-                potentials[j] += f64::from(self.weights[j * self.inputs + input]);
+                potentials[j] +=
+                    f64::from(self.faults.read_u8(self.weights[j * self.inputs + input]));
                 if let Some(tr) = trace.as_deref_mut() {
                     tr.record_potential(j, t, potentials[j]);
                 }
@@ -676,5 +741,88 @@ mod tests {
     fn rejects_wrong_pixel_count() {
         let mut snn = SnnNetwork::new(4, 2, tiny_params(2), 0);
         let _ = snn.present(&[0u8; 5], 0);
+    }
+
+    #[test]
+    fn stuck_at_faults_corrupt_synapses_deterministically() {
+        let mk = || SnnNetwork::new(16, 2, tiny_params(4), 9);
+        let plan = FaultPlan::new(FaultModel::StuckAt1, 0.3, 77).unwrap();
+        let mut a = mk();
+        let mut b = mk();
+        a.apply_fault(&plan).unwrap();
+        b.apply_fault(&plan).unwrap();
+        assert_eq!(a.weights(), b.weights());
+        assert_ne!(a.weights(), mk().weights(), "a 30% plan must flip bits");
+        // StuckAt1 can only set bits: every weight is >= the healthy one.
+        for (faulty, healthy) in a.weights().iter().zip(mk().weights()) {
+            assert_eq!(faulty & healthy, *healthy);
+        }
+    }
+
+    #[test]
+    fn full_dead_neuron_plan_silences_the_network() {
+        let mut snn = SnnNetwork::new(8, 2, tiny_params(4), 1);
+        snn.apply_fault(&FaultPlan::new(FaultModel::DeadNeuron, 1.0, 3).unwrap())
+            .unwrap();
+        assert!(snn.weights().iter().all(|&w| w == 0));
+        let outcome = snn.present(&[255u8; 8], 0);
+        assert!(outcome.winner.is_none(), "dead network must never fire");
+    }
+
+    #[test]
+    fn transient_reads_perturb_presentations_but_not_storage() {
+        let mut snn = SnnNetwork::new(16, 2, tiny_params(4), 9);
+        let healthy_weights = snn.weights().to_vec();
+        let healthy = snn.clone().present(&[180u8; 16], 42);
+        snn.apply_fault(&FaultPlan::new(FaultModel::TransientRead, 1.0, 5).unwrap())
+            .unwrap();
+        let faulty = snn.present(&[180u8; 16], 42);
+        assert_eq!(snn.weights(), healthy_weights, "storage must stay pristine");
+        assert_ne!(
+            healthy.potentials, faulty.potentials,
+            "per-read flips at rate 1.0 must change the dynamics"
+        );
+    }
+
+    #[test]
+    fn stuck_tap_faults_change_rate_coded_presentations() {
+        let plan = FaultPlan::new(FaultModel::StuckLfsrTap, 1.0, 4).unwrap();
+        let mut snn = SnnNetwork::new(16, 2, tiny_params(4), 9);
+        let healthy = snn.present(&[180u8; 16], 7);
+        snn.apply_fault(&plan).unwrap();
+        let faulty = snn.present(&[180u8; 16], 7);
+        assert_ne!(healthy, faulty, "stuck taps must alter the spike trains");
+        // Determinism: re-injecting into a fresh clone reproduces it.
+        let mut again = SnnNetwork::new(16, 2, tiny_params(4), 9);
+        let _ = again.present(&[180u8; 16], 7);
+        again.apply_fault(&plan).unwrap();
+        assert_eq!(again.present(&[180u8; 16], 7), faulty);
+    }
+
+    #[test]
+    fn stuck_tap_faults_are_rejected_for_temporal_codes() {
+        let mut snn = SnnNetwork::with_coding(16, 2, tiny_params(4), CodingScheme::RankOrder, 9);
+        let plan = FaultPlan::new(FaultModel::StuckLfsrTap, 0.5, 4).unwrap();
+        assert!(matches!(
+            snn.apply_fault(&plan),
+            Err(ModelError::FaultUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_rate_fault_plans_are_no_ops() {
+        let mut snn = SnnNetwork::new(16, 2, tiny_params(4), 9);
+        let healthy = snn.clone().present(&[180u8; 16], 42);
+        for model in [
+            FaultModel::StuckAt0,
+            FaultModel::StuckAt1,
+            FaultModel::DeadNeuron,
+            FaultModel::TransientRead,
+            FaultModel::StuckLfsrTap,
+        ] {
+            snn.apply_fault(&FaultPlan::new(model, 0.0, 1).unwrap())
+                .unwrap();
+        }
+        assert_eq!(snn.present(&[180u8; 16], 42), healthy);
     }
 }

@@ -27,7 +27,9 @@
 use crate::coding::wot_spike_count;
 use crate::network::SnnNetwork;
 use crate::params::SnnParams;
+use nc_dataset::model::ModelError;
 use nc_dataset::Dataset;
+use nc_faults::{dead_unit_mask, stuck_bits_u8, FaultModel, FaultPlan, TransientReads};
 use nc_substrate::fixed::sat_u8_round;
 use nc_substrate::stats::Confusion;
 
@@ -71,6 +73,9 @@ pub struct WotSnn {
     /// Master recipe when built with [`WotSnn::untrained`]; `None` for
     /// deployment artifacts extracted with [`WotSnn::from_network`].
     master: Option<WotMasterSpec>,
+    /// Transient SRAM read faults on the weight array (disabled unless a
+    /// `TransientRead` plan was injected). Stored weights stay pristine.
+    faults: TransientReads,
 }
 
 impl WotSnn {
@@ -112,6 +117,47 @@ impl WotSnn {
             weights,
             labels: snn.labels().to_vec(),
             master: None,
+            faults: TransientReads::disabled(),
+        }
+    }
+
+    /// Applies a hardware fault plan to the deployed weight SRAM (see
+    /// DESIGN.md "Fault model"). Stuck-at faults corrupt the stored
+    /// 8-bit words once; dead neurons zero whole rows (a dead unit can
+    /// never win the max tree); transient reads perturb every weight
+    /// fetch inside [`WotSnn::potentials`]. The timing-free path has no
+    /// spike-interval generators, so `StuckLfsrTap` is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFaultPlan`] for an out-of-range rate
+    /// and [`ModelError::FaultUnsupported`] for `StuckLfsrTap`.
+    pub fn apply_fault(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        plan.validate()?;
+        match plan.model {
+            FaultModel::StuckAt0 | FaultModel::StuckAt1 => {
+                stuck_bits_u8(&mut self.weights, plan);
+                Ok(())
+            }
+            FaultModel::DeadNeuron => {
+                let dead = dead_unit_mask(self.neurons, plan);
+                for (j, &is_dead) in dead.iter().enumerate() {
+                    if is_dead {
+                        for w in &mut self.weights[j * self.inputs..(j + 1) * self.inputs] {
+                            *w = 0;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            FaultModel::TransientRead => {
+                self.faults = TransientReads::from_plan(plan);
+                Ok(())
+            }
+            FaultModel::StuckLfsrTap => Err(ModelError::FaultUnsupported {
+                model: "SNN+STDP - Simplified (SNNwot)",
+                fault: plan.model.name(),
+            }),
         }
     }
 
@@ -180,10 +226,17 @@ impl WotSnn {
         (0..self.neurons)
             .map(|j| {
                 let row = &self.weights[j * self.inputs..(j + 1) * self.inputs];
-                row.iter()
-                    .zip(&counts)
-                    .map(|(&w, &n)| u64::from(w) * n)
-                    .sum()
+                if self.faults.is_active() {
+                    row.iter()
+                        .zip(&counts)
+                        .map(|(&w, &n)| u64::from(self.faults.read_u8(w)) * n)
+                        .sum()
+                } else {
+                    row.iter()
+                        .zip(&counts)
+                        .map(|(&w, &n)| u64::from(w) * n)
+                        .sum()
+                }
             })
             .collect()
     }

@@ -316,6 +316,13 @@ pub fn sat_usize_trunc(x: f64) -> usize {
     x as usize
 }
 
+/// Saturating `f64 → u64` with truncation toward zero (negatives and
+/// NaN map to 0), for seeds derived from scaled reals.
+#[inline]
+pub fn sat_u64_trunc(x: f64) -> u64 {
+    x as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +418,10 @@ mod tests {
         assert_eq!(sat_u32_trunc(7.99), 7);
         assert_eq!(sat_usize_trunc(-0.1), 0);
         assert_eq!(sat_usize_trunc(41.9), 41);
+        assert_eq!(sat_u64_trunc(-2.0), 0);
+        assert_eq!(sat_u64_trunc(1234.9), 1234);
+        assert_eq!(sat_u64_trunc(f64::NAN), 0);
+        assert_eq!(sat_u64_trunc(1e300), u64::MAX);
     }
 
     #[test]

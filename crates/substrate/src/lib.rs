@@ -47,4 +47,4 @@ pub mod stats;
 
 pub use fixed::{QFixed, Q8};
 pub use interp::PiecewiseLinear;
-pub use rng::{GaussianClt, Lfsr31, PoissonInterval, SplitMix64};
+pub use rng::{noise_seed, GaussianClt, Lfsr31, PoissonInterval, SplitMix64};

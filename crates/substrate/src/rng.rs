@@ -28,6 +28,7 @@
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Lfsr31 {
     state: u32,
+    stuck_tap: Option<bool>,
 }
 
 impl Lfsr31 {
@@ -42,14 +43,33 @@ impl Lfsr31 {
         let state = seed & 0x7FFF_FFFF;
         Lfsr31 {
             state: if state == 0 { 1 } else { state },
+            stuck_tap: None,
         }
     }
 
+    /// Creates a generator whose `x^3` feedback tap is stuck at a
+    /// constant level — the silicon defect model for the spike-interval
+    /// generators. With the tap stuck the polynomial degenerates and the
+    /// register becomes a (near-)rotation, so the output is strongly
+    /// autocorrelated; the register still never locks at the all-zero
+    /// state (stuck-at-0 makes it a pure rotation of a nonzero word,
+    /// stuck-at-1 escapes zero on the next step).
+    pub fn with_stuck_tap(seed: u32, stuck_high: bool) -> Self {
+        let mut lfsr = Lfsr31::new(seed);
+        lfsr.stuck_tap = Some(stuck_high);
+        lfsr
+    }
+
     /// Advances the register one bit: feedback taps at positions 31 and 3
-    /// (1-indexed), i.e. `x^31 + x^3 + 1`.
+    /// (1-indexed), i.e. `x^31 + x^3 + 1`. A stuck tap replaces the `x^3`
+    /// contribution with its constant level.
     #[inline]
     pub fn step(&mut self) -> u32 {
-        let bit = ((self.state >> 30) ^ (self.state >> 2)) & 1;
+        let tap = match self.stuck_tap {
+            Some(stuck) => u32::from(stuck),
+            None => (self.state >> 2) & 1,
+        };
+        let bit = ((self.state >> 30) ^ tap) & 1;
         self.state = ((self.state << 1) | bit) & 0x7FFF_FFFF;
         bit
     }
@@ -113,6 +133,17 @@ impl GaussianClt {
         }
     }
 
+    /// Creates the generator with the `x^3` tap of the first register
+    /// stuck at a constant level ([`Lfsr31::with_stuck_tap`]): one of the
+    /// four uniform sources degrades while the other three stay healthy,
+    /// which skews and correlates the CLT sum.
+    pub fn with_stuck_tap(seed: u64, stuck_high: bool) -> Self {
+        let mut g = GaussianClt::new(seed);
+        let seed0 = g.lfsrs[0].state();
+        g.lfsrs[0] = Lfsr31::with_stuck_tap(seed0, stuck_high);
+        g
+    }
+
     /// Draws one approximately-normal variate with unit variance and zero
     /// mean (range limited to ±2·sqrt(3) by construction).
     pub fn sample_unit(&mut self) -> f64 {
@@ -153,6 +184,15 @@ impl PoissonInterval {
     pub fn new(seed: u32) -> Self {
         PoissonInterval {
             lfsr: Lfsr31::new(seed),
+        }
+    }
+
+    /// Creates a sampler whose uniform source has a stuck `x^3` feedback
+    /// tap ([`Lfsr31::with_stuck_tap`]), the defective-generator model
+    /// for the software rate code.
+    pub fn with_stuck_tap(seed: u32, stuck_high: bool) -> Self {
+        PoissonInterval {
+            lfsr: Lfsr31::with_stuck_tap(seed, stuck_high),
         }
     }
 
@@ -253,6 +293,16 @@ impl SplitMix64 {
         // nc-lint: allow(R2, reason = "next_below(n) < n <= u32::MAX, so the cast is lossless")
         self.next_below(u64::from(n)) as u32
     }
+}
+
+/// Derives the deterministic RNG seed for a noise or fault level: the
+/// level is scaled by `1e4` (four decimal digits of resolution, enough to
+/// tell any two sweep points apart) and truncated onto `u64` via
+/// [`crate::fixed::sat_u64_trunc`]. Every sweep that seeds per-level
+/// corruption must use this helper so identical levels corrupt
+/// identically across experiments.
+pub fn noise_seed(noise: f64) -> u64 {
+    crate::fixed::sat_u64_trunc(noise * 1e4)
 }
 
 #[cfg(test)]
@@ -360,5 +410,70 @@ mod tests {
         for _ in 0..10_000 {
             assert!(s.next_below(10) < 10);
         }
+    }
+
+    #[test]
+    fn noise_seed_is_deterministic_and_resolves_sweep_points() {
+        assert_eq!(noise_seed(0.0), 0);
+        assert_eq!(noise_seed(0.05), 500);
+        assert_eq!(noise_seed(0.1), noise_seed(0.1));
+        assert_ne!(noise_seed(0.1), noise_seed(0.1001));
+        assert_eq!(noise_seed(-1.0), 0); // degenerate inputs saturate
+    }
+
+    #[test]
+    fn stuck_tap_changes_the_sequence_but_never_locks() {
+        let mut healthy = Lfsr31::new(42);
+        let mut stuck0 = Lfsr31::with_stuck_tap(42, false);
+        let mut stuck1 = Lfsr31::with_stuck_tap(42, true);
+        let a: Vec<u32> = (0..64).map(|_| healthy.next_u31()).collect();
+        let b: Vec<u32> = (0..64).map(|_| stuck0.next_u31()).collect();
+        let c: Vec<u32> = (0..64).map(|_| stuck1.next_u31()).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        for _ in 0..10_000 {
+            stuck0.step();
+            stuck1.step();
+            assert_ne!(stuck0.state(), 0);
+            assert_ne!(stuck1.state(), 0);
+        }
+    }
+
+    #[test]
+    fn stuck_tap_is_deterministic() {
+        let mut a = Lfsr31::with_stuck_tap(7, true);
+        let mut b = Lfsr31::with_stuck_tap(7, true);
+        for _ in 0..1000 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn stuck_tap_gaussian_skews_but_stays_finite() {
+        let mut g = GaussianClt::with_stuck_tap(2024, true);
+        for _ in 0..1000 {
+            assert!(g.sample_unit().is_finite());
+            assert!(g.sample_interval_ms(10.0, 3.0) >= 1);
+        }
+        // The degraded source must actually diverge from the healthy one.
+        let mut healthy = GaussianClt::new(2024);
+        let mut stuck = GaussianClt::with_stuck_tap(2024, true);
+        let h: Vec<u32> = (0..64)
+            .map(|_| healthy.sample_interval_ms(50.0, 10.0))
+            .collect();
+        let s: Vec<u32> = (0..64)
+            .map(|_| stuck.sample_interval_ms(50.0, 10.0))
+            .collect();
+        assert_ne!(h, s);
+    }
+
+    #[test]
+    fn stuck_tap_poisson_stays_usable() {
+        let mut p = PoissonInterval::with_stuck_tap(9, false);
+        for _ in 0..1000 {
+            assert!(p.sample_interval(0.02).is_finite());
+        }
+        assert_eq!(p.sample_interval_ms(0.0), None);
     }
 }
