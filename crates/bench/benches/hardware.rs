@@ -54,7 +54,7 @@ fn bench_datapaths() {
 
     let mut group = Group::new("datapath_sim");
     for ni in [1usize, 16] {
-        let sim = FoldedMlpSim::new(&q, ni);
+        let mut sim = FoldedMlpSim::new(&q, ni);
         group.bench(&format!("folded_mlp_ni{ni}"), || sim.run(pixels));
         let sim = WotDatapathSim::new(&weights, 784, 300, ni);
         group.bench(&format!("snnwot_ni{ni}"), || sim.run(pixels));

@@ -1,0 +1,176 @@
+//! Hot-path kernel and end-to-end presentations/sec micro-benchmarks.
+//!
+//! These track the two loops the paper's cost argument rests on: the
+//! 8-bit MAC/adder-tree datapath of the MLP accelerator (§4.1–§4.3) and
+//! the event-driven LIF presentation of the SNN accelerator (§4.4). The
+//! `e2e/fig3_present_784_50` section is the canonical throughput number:
+//! one presentation of a digit to the Figure-3 network configuration
+//! (784 inputs, 50 neurons, tuned parameters).
+//!
+//! Run with: `cargo bench -p nc-bench --features bench-harness --bench kernels`
+//!
+//! * `--json <path>` writes the results as a `BenchRecord` (one section
+//!   per benchmark, `samples_per_sec` = iterations/sec at the median).
+//! * `--baseline <path>` compares `e2e/fig3_present_784_50` against a
+//!   previously committed record and exits non-zero on a >20% regression.
+//! * `NC_BENCH_SMOKE=1` shrinks sample counts for CI smoke runs.
+
+use nc_bench::microbench::{BenchResult, Group};
+use nc_bench::{git_short_sha, json_path_from_args};
+use nc_core::{BenchRecord, SectionRecord};
+use nc_dataset::{digits::DigitsSpec, Difficulty};
+use nc_mlp::{Activation, Mlp, QuantizedMlp};
+use nc_snn::{SnnNetwork, SnnParams};
+
+fn data() -> (nc_dataset::Dataset, nc_dataset::Dataset) {
+    DigitsSpec {
+        train: 120,
+        test: 50,
+        seed: 42,
+        difficulty: Difficulty::default(),
+    }
+    .generate()
+}
+
+/// The Figure-3 network configuration (matches `gen_models::fig3`),
+/// trained just enough that the synapse rows are specialized.
+fn fig3_network(train: &nc_dataset::Dataset) -> SnnNetwork {
+    let mut snn = SnnNetwork::new(784, 10, SnnParams::tuned(50), 0xF163);
+    snn.set_stdp_delta(4);
+    snn.train_stdp(train, 1);
+    snn
+}
+
+fn bench_all() -> Vec<BenchResult> {
+    let (train, test) = data();
+    let pixels = &test.samples()[0].pixels;
+    let mut results = Vec::new();
+
+    {
+        let mut group = Group::new("kernels");
+        let mlp = Mlp::new(&[784, 100, 10], Activation::sigmoid(), 1).unwrap();
+        let mut q = QuantizedMlp::from_mlp(&mlp);
+        // Sum the borrowed output so the closure returns an owned value.
+        group.bench("quantized_forward_784_100_10", || {
+            q.forward_u8(pixels)
+                .iter()
+                .map(|&v| u32::from(v))
+                .sum::<u32>()
+        });
+        results.extend(group.results().iter().cloned());
+    }
+
+    {
+        let mut group = Group::new("e2e");
+        let mlp = Mlp::new(&[784, 100, 10], Activation::sigmoid(), 1).unwrap();
+        let mut q = QuantizedMlp::from_mlp(&mlp);
+        let samples = test.samples();
+        group.bench("mlp8_predict_50imgs", || {
+            samples
+                .iter()
+                .map(|s| q.predict_u8(&s.pixels))
+                .sum::<usize>()
+        });
+
+        let mut snn = fig3_network(&train);
+        let mut seed = 0u64;
+        group.bench("fig3_present_784_50", || {
+            seed += 1;
+            snn.present(pixels, seed)
+        });
+
+        let mut eval_snn = fig3_network(&train);
+        eval_snn.self_label(&train);
+        group.bench("fig3_evaluate_50imgs", || eval_snn.evaluate(&test));
+        results.extend(group.results().iter().cloned());
+    }
+
+    results
+}
+
+fn to_record(results: &[BenchResult]) -> BenchRecord {
+    BenchRecord {
+        git_sha: git_short_sha(),
+        bin: "kernels".to_string(),
+        threads: 1,
+        scale: "bench".to_string(),
+        sections: results
+            .iter()
+            .map(|r| SectionRecord {
+                name: r.name.clone(),
+                wall_s: r.median.as_secs_f64(),
+                samples: 1,
+            })
+            .collect(),
+        snapshot: nc_core::ObsSnapshot::default(),
+    }
+}
+
+/// Parses `--baseline <path>` from the command line.
+fn baseline_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--baseline" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// The section this harness gates regressions on.
+const GATE: &str = "e2e/fig3_present_784_50";
+
+/// Extracts `samples_per_sec` for `section` from a `BenchRecord` JSON
+/// document by scanning the flat `"name": ... "samples_per_sec":` layout
+/// `SectionRecord::to_json` emits (no general JSON parser in-tree).
+fn baseline_per_sec(json: &str, section: &str) -> Option<f64> {
+    let needle = format!("\"name\":\"{section}\"");
+    let at = json.find(&needle)?;
+    let rest = &json[at..];
+    let key = "\"samples_per_sec\":";
+    let val = &rest[rest.find(key)? + key.len()..];
+    let end = val
+        .find(|c: char| c == ',' || c == '}')
+        .unwrap_or(val.len());
+    val[..end].trim().parse().ok()
+}
+
+fn main() {
+    let results = bench_all();
+
+    if let Some(path) = json_path_from_args() {
+        let record = to_record(&results);
+        match std::fs::write(&path, record.to_json()) {
+            Ok(()) => eprintln!("[wrote {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    if let Some(path) = baseline_from_args() {
+        let json = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read baseline {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let Some(base) = baseline_per_sec(&json, GATE) else {
+            eprintln!("error: baseline {} has no section {GATE}", path.display());
+            std::process::exit(1);
+        };
+        let Some(now) = results
+            .iter()
+            .find(|r| r.name == GATE)
+            .map(BenchResult::per_sec)
+        else {
+            eprintln!("error: this run produced no section {GATE}");
+            std::process::exit(1);
+        };
+        let ratio = now / base;
+        eprintln!("{GATE}: {now:.1}/s vs baseline {base:.1}/s ({ratio:.2}x)");
+        if ratio < 0.8 {
+            eprintln!("error: presentations/sec regressed more than 20% vs baseline");
+            std::process::exit(1);
+        }
+    }
+}

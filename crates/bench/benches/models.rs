@@ -35,9 +35,15 @@ fn bench_mlp() {
     let trainer = Trainer::new(TrainConfig::default());
     group.bench("bp_step_784_100_10", || trainer.step(&mut mlp, &input, 3));
 
-    let q = QuantizedMlp::from_mlp(&mlp);
+    let mut q = QuantizedMlp::from_mlp(&mlp);
     let pixels = &test.samples()[0].pixels;
-    group.bench("quantized_forward_784_100_10", || q.forward_u8(pixels));
+    // Sum the borrowed output so the closure returns an owned value.
+    group.bench("quantized_forward_784_100_10", || {
+        q.forward_u8(pixels)
+            .iter()
+            .map(|&v| u32::from(v))
+            .sum::<u32>()
+    });
 
     group.bench("train_epoch_784_20_10_200imgs", || {
         let mut m = Mlp::new(&[784, 20, 10], Activation::sigmoid(), 1).unwrap();

@@ -13,6 +13,36 @@ use std::time::{Duration, Instant};
 const SAMPLE_TARGET: Duration = Duration::from_millis(40);
 /// Number of measured samples (median is reported).
 const SAMPLES: usize = 9;
+/// Smoke-mode sample target (`NC_BENCH_SMOKE=1`). Kept long enough that
+/// each sample still amortizes warm-up — short samples read tens of
+/// percent slow and would false-trip CI's regression gate — while the
+/// reduced sample count keeps the whole run to a few seconds.
+const SMOKE_SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Smoke-mode sample count.
+const SMOKE_SAMPLES: usize = 3;
+
+/// Whether smoke mode is requested via the environment. Smoke numbers
+/// are gate-quality but below baseline quality; committed baseline
+/// records should come from full-mode runs.
+fn smoke_mode() -> bool {
+    std::env::var_os("NC_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn sample_target() -> Duration {
+    if smoke_mode() {
+        SMOKE_SAMPLE_TARGET
+    } else {
+        SAMPLE_TARGET
+    }
+}
+
+fn sample_count() -> usize {
+    if smoke_mode() {
+        SMOKE_SAMPLES
+    } else {
+        SAMPLES
+    }
+}
 
 /// One benchmark result.
 #[derive(Debug, Clone)]
@@ -54,8 +84,10 @@ impl Group {
     }
 
     /// Times `f`, auto-scaling the iteration count so each sample takes
-    /// roughly [`SAMPLE_TARGET`], and prints the median per-iteration time.
+    /// roughly [`SAMPLE_TARGET`] ([`SMOKE_SAMPLE_TARGET`] under
+    /// `NC_BENCH_SMOKE=1`), and prints the median per-iteration time.
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &mut Self {
+        let target = sample_target();
         // Calibrate: double iters until one sample is long enough.
         let mut iters: u64 = 1;
         loop {
@@ -64,7 +96,7 @@ impl Group {
                 black_box(f());
             }
             let elapsed = t.elapsed();
-            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+            if elapsed >= target || iters >= 1 << 24 {
                 break;
             }
             // Aim directly at the target once we have a usable estimate.
@@ -73,11 +105,11 @@ impl Group {
             } else {
                 let per_iter = elapsed.as_secs_f64() / iters as f64;
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                let target = (SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64;
+                let target = (target.as_secs_f64() / per_iter).ceil() as u64;
                 target.max(iters + 1)
             };
         }
-        let mut samples: Vec<Duration> = (0..SAMPLES)
+        let mut samples: Vec<Duration> = (0..sample_count())
             .map(|_| {
                 let t = Instant::now();
                 for _ in 0..iters {

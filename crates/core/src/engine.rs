@@ -595,7 +595,7 @@ impl Engine {
         self.run_jobs(jobs, move |(spec, budget): (ModelSpec, FitBudget)| {
             let mut model = spec.build()?;
             model.fit_observed(&data.0, &budget, recorder.as_ref())?;
-            let accuracy = model.evaluate(&data.1).accuracy();
+            let accuracy = model.evaluate_batch(&data.1).accuracy();
             if recorder.enabled() {
                 recorder.observe("engine.accuracy", accuracy);
             }
@@ -890,6 +890,11 @@ impl Model for StepDeployedMlp {
 
     fn evaluate(&mut self, test: &Dataset) -> Confusion {
         metrics::evaluate(&self.mlp, test)
+    }
+
+    fn predict(&mut self, pixels: &[u8], _presentation_seed: u64) -> usize {
+        let unit: Vec<f64> = pixels.iter().map(|&p| f64::from(p) / 255.0).collect();
+        self.mlp.predict(&unit)
     }
 }
 

@@ -193,7 +193,7 @@ impl Experiment for FaultSweep {
                     model.fit(&shared.0, budget)?;
                     model.inject(plan)?;
                     recorder.add("engine.fault_injections", 1);
-                    Ok(model.evaluate(&shared.1).accuracy())
+                    Ok(model.evaluate_batch(&shared.1).accuracy())
                 };
                 run()
             },

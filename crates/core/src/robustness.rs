@@ -163,7 +163,10 @@ impl Experiment for RobustnessSweep {
         let ladders: Vec<Result<Vec<f64>, Error>> = engine.run_jobs(jobs, |(spec, budget)| {
             let mut model = spec.build()?;
             model.fit(train, &budget)?;
-            Ok(noisy.iter().map(|d| model.evaluate(d).accuracy()).collect())
+            Ok(noisy
+                .iter()
+                .map(|d| model.evaluate_batch(d).accuracy())
+                .collect())
         });
         let mut ladders = ladders.into_iter();
         let (mlp, snn, wot) = match (ladders.next(), ladders.next(), ladders.next()) {

@@ -120,12 +120,21 @@ impl std::fmt::Display for ModelError {
 
 impl std::error::Error for ModelError {}
 
+/// Presentation-seed base shared by every batch evaluation path: sample
+/// `i` of a test set is presented with seed
+/// `EVAL_PRESENTATION_SEED_BASE | i`, so single-sample
+/// [`Model::predict`] calls can reproduce exactly what
+/// [`Model::evaluate_batch`] (and the stochastic models' own `evaluate`
+/// loops) saw.
+pub const EVAL_PRESENTATION_SEED_BASE: u64 = 0xE7A1_0000;
+
 /// A classifier that can be trained on a [`Dataset`] and scored on
 /// another — the unit of work the experiment engine schedules.
 ///
-/// `evaluate` takes `&mut self` because the temporal SNN advances its
-/// presentation RNG while classifying; pure feed-forward models simply
-/// ignore the mutability.
+/// `evaluate` and `predict` take `&mut self` because the temporal SNN
+/// advances its presentation RNG while classifying and the hardware-path
+/// models reuse internal scratch buffers; pure feed-forward models
+/// simply ignore the mutability.
 pub trait Model: Send {
     /// Display name, matching the paper's Table 3 row labels.
     fn name(&self) -> &'static str;
@@ -159,6 +168,47 @@ pub trait Model: Send {
 
     /// Scores on `test`, producing the shared confusion matrix.
     fn evaluate(&mut self, test: &Dataset) -> Confusion;
+
+    /// Classifies one image. `presentation_seed` drives any
+    /// per-presentation stochasticity (the temporal SNN's spike trains
+    /// and readout tie-breaks); deterministic feed-forward models ignore
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `pixels.len()` does not match the
+    /// model's input width.
+    fn predict(&mut self, pixels: &[u8], presentation_seed: u64) -> usize;
+
+    /// Classifies every sample of `test` in dataset order into `out`
+    /// (cleared first, so a reused buffer allocates nothing once grown).
+    /// Sample `i` is presented with seed
+    /// [`EVAL_PRESENTATION_SEED_BASE`]` | i`, the same stream
+    /// [`Model::evaluate_batch`] scores.
+    fn predict_batch(&mut self, test: &Dataset, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(test.len());
+        for (i, s) in test.iter().enumerate() {
+            out.push(self.predict(&s.pixels, EVAL_PRESENTATION_SEED_BASE | i as u64));
+        }
+    }
+
+    /// Scores on `test` through the batched prediction path. The
+    /// default drives [`Model::predict`] one sample at a time under the
+    /// shared seed convention, so models whose `predict` reuses scratch
+    /// buffers (the quantized MLP, the event-driven SNN) evaluate a
+    /// whole batch with no per-sample heap allocation; the experiment
+    /// engine always scores through this entry point.
+    fn evaluate_batch(&mut self, test: &Dataset) -> Confusion {
+        let mut confusion = Confusion::new(test.num_classes());
+        for (i, s) in test.iter().enumerate() {
+            confusion.record(
+                s.label,
+                self.predict(&s.pixels, EVAL_PRESENTATION_SEED_BASE | i as u64),
+            );
+        }
+        confusion
+    }
 
     /// Injects a hardware fault into the model's deployed state
     /// (typically after [`Model::fit`], before [`Model::evaluate`]).
@@ -268,6 +318,59 @@ mod tests {
     }
 
     #[test]
+    fn batch_defaults_follow_the_shared_seed_convention() {
+        struct SeedEcho {
+            seen: Vec<u64>,
+        }
+        impl Model for SeedEcho {
+            fn name(&self) -> &'static str {
+                "seed-echo"
+            }
+            fn fit(&mut self, _: &Dataset, _: &FitBudget) -> Result<(), ModelError> {
+                Ok(())
+            }
+            fn evaluate(&mut self, test: &Dataset) -> Confusion {
+                self.evaluate_batch(test)
+            }
+            fn predict(&mut self, _: &[u8], presentation_seed: u64) -> usize {
+                self.seen.push(presentation_seed);
+                0
+            }
+        }
+        let ds = Dataset::from_samples(
+            2,
+            2,
+            2,
+            vec![
+                Sample {
+                    pixels: vec![0; 4],
+                    label: 1,
+                },
+                Sample {
+                    pixels: vec![255; 4],
+                    label: 0,
+                },
+            ],
+        )
+        .unwrap();
+        let mut model = SeedEcho { seen: Vec::new() };
+        let mut out = Vec::new();
+        model.predict_batch(&ds, &mut out);
+        assert_eq!(out, vec![0, 0]);
+        let confusion = model.evaluate_batch(&ds);
+        assert_eq!(confusion.total(), 2);
+        assert_eq!(
+            model.seen,
+            vec![
+                EVAL_PRESENTATION_SEED_BASE,
+                EVAL_PRESENTATION_SEED_BASE | 1,
+                EVAL_PRESENTATION_SEED_BASE,
+                EVAL_PRESENTATION_SEED_BASE | 1,
+            ]
+        );
+    }
+
+    #[test]
     fn fault_errors_convert_into_model_errors() {
         let err: ModelError = nc_faults::FaultError::BadRate(2.0).into();
         assert!(matches!(err, ModelError::InvalidFaultPlan { .. }));
@@ -286,6 +389,9 @@ mod tests {
             }
             fn evaluate(&mut self, _: &Dataset) -> Confusion {
                 Confusion::new(1)
+            }
+            fn predict(&mut self, _: &[u8], _: u64) -> usize {
+                0
             }
         }
         let mut stub = Stub;

@@ -13,8 +13,8 @@ use nc_mlp::quant::QuantizedMlp;
 use nc_obs::Recorder;
 use nc_snn::coding::wot_spike_count;
 use nc_snn::params::SnnParams;
-use nc_substrate::fixed::sat_u8_round;
 use nc_substrate::interp::PiecewiseLinear;
+use nc_substrate::kernel::Scratch;
 use nc_substrate::rng::GaussianClt;
 
 use crate::folded::SNNWOT_PIPELINE_LATENCY;
@@ -31,11 +31,17 @@ pub struct SimOutcome {
 /// Cycle-level simulator of the folded MLP datapath (Figures 10/11):
 /// per layer, every hardware neuron consumes `ni` inputs per cycle from
 /// its SRAM-backed weight row and accumulates into a wide register; one
-/// extra cycle applies the piecewise-linear sigmoid.
-#[derive(Debug, Clone, PartialEq)]
+/// extra cycle applies the piecewise-linear sigmoid through the same
+/// fixed-point interpolation unit as the model-level datapath
+/// ([`nc_substrate::kernel::FixedActLut`]), so sim and model agree
+/// bit for bit with no float rescale in between.
+#[derive(Debug, Clone)]
 pub struct FoldedMlpSim<'a> {
     mlp: &'a QuantizedMlp,
     ni: usize,
+    /// Reused activation/accumulator buffers: repeated runs are
+    /// allocation-free once warm.
+    scratch: Scratch,
 }
 
 impl<'a> FoldedMlpSim<'a> {
@@ -46,56 +52,63 @@ impl<'a> FoldedMlpSim<'a> {
     /// Panics if `ni == 0`.
     pub fn new(mlp: &'a QuantizedMlp, ni: usize) -> Self {
         assert!(ni > 0, "ni must be positive");
-        FoldedMlpSim { mlp, ni }
+        FoldedMlpSim {
+            mlp,
+            ni,
+            scratch: Scratch::default(),
+        }
     }
 
-    /// Runs one image through the chunked datapath.
+    /// Runs one image through the chunked datapath. `&mut self` because
+    /// the simulator reuses its scratch buffers between runs; the
+    /// network itself is untouched.
     ///
     /// # Panics
     ///
     /// Panics if `pixels.len()` does not match the network input width.
-    pub fn run(&self, pixels: &[u8]) -> SimOutcome {
-        let sizes = self.mlp.sizes().to_vec();
+    pub fn run(&mut self, pixels: &[u8]) -> SimOutcome {
+        let mlp = self.mlp;
+        let ni = self.ni;
+        let sizes = mlp.sizes();
         assert_eq!(pixels.len(), sizes[0], "input width mismatch");
+        let max_width = sizes.iter().copied().max().unwrap_or(0);
+        self.scratch.ensure(max_width);
+        self.scratch.front[..pixels.len()].copy_from_slice(pixels);
         let mut cycles = 0u64;
-        let mut current: Vec<u8> = pixels.to_vec();
         for l in 0..sizes.len() - 1 {
             let fan_in = sizes[l];
             let fan_out = sizes[l + 1];
-            let weights = self.mlp.layer_weights(l);
-            // nc-lint: allow(R1, reason = "dequantized sigmoid lookup mirrors the hardware interpolation unit; the accumulate above is exact integer")
-            let scale = 2f64.powi(self.mlp.layer_scale_exp(l));
+            let weights = mlp.layer_weights(l);
+            let lut = mlp.act_lut(l);
+            let scratch = &mut self.scratch;
             // All hardware neurons of the layer run in lockstep; the
             // chunk loop is the cycle loop.
-            let chunks = fan_in.div_ceil(self.ni);
-            let mut accs: Vec<i64> = (0..fan_out)
-                .map(|j| i64::from(weights[j * (fan_in + 1) + fan_in]) * 255)
-                .collect();
+            let chunks = fan_in.div_ceil(ni);
+            for (j, acc) in scratch.acc[..fan_out].iter_mut().enumerate() {
+                *acc = i64::from(weights[j * (fan_in + 1) + fan_in]) * 255;
+            }
             for chunk in 0..chunks {
-                let lo = chunk * self.ni;
-                let hi = ((chunk + 1) * self.ni).min(fan_in);
-                for (j, acc) in accs.iter_mut().enumerate() {
+                let lo = chunk * ni;
+                let hi = ((chunk + 1) * ni).min(fan_in);
+                for (j, acc) in scratch.acc[..fan_out].iter_mut().enumerate() {
                     let row = &weights[j * (fan_in + 1)..(j + 1) * (fan_in + 1)];
-                    for i in lo..hi {
-                        *acc += i64::from(row[i]) * i64::from(current[i]);
+                    for (&w, &x) in row[lo..hi].iter().zip(&scratch.front[lo..hi]) {
+                        *acc += i64::from(w) * i64::from(x);
                     }
                 }
                 cycles += 1;
             }
-            // Activation cycle: the sigmoid interpolation unit.
-            let table = self.mlp.activation().hardware_table();
-            current = accs
-                .iter()
-                .map(|&acc| {
-                    // nc-lint: allow(R1, reason = "dequantized sigmoid lookup mirrors the hardware interpolation unit; the accumulate above is exact integer")
-                    let s = acc as f64 / (scale * 255.0);
-                    // nc-lint: allow(R1, reason = "dequantized sigmoid lookup mirrors the hardware interpolation unit; the accumulate above is exact integer")
-                    sat_u8_round(table.eval(s).clamp(0.0, 1.0) * 255.0)
-                })
-                .collect();
+            // Activation cycle: the fixed-point sigmoid interpolation
+            // unit. Integer accumulation is associative, so the chunked
+            // accumulator equals the model's blocked one exactly.
+            for (out, &acc) in scratch.back[..fan_out].iter_mut().zip(&scratch.acc) {
+                *out = lut.eval(acc);
+            }
+            std::mem::swap(&mut scratch.front, &mut scratch.back);
             cycles += 1;
         }
-        let winner = current
+        let out_width = sizes[sizes.len() - 1];
+        let winner = self.scratch.front[..out_width]
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
@@ -110,7 +123,7 @@ impl<'a> FoldedMlpSim<'a> {
     /// # Panics
     ///
     /// Panics if `pixels.len()` does not match the network input width.
-    pub fn run_observed(&self, pixels: &[u8], recorder: &dyn Recorder) -> SimOutcome {
+    pub fn run_observed(&mut self, pixels: &[u8], recorder: &dyn Recorder) -> SimOutcome {
         let outcome = self.run(pixels);
         record_sim(recorder, "hw.folded_mlp", &outcome);
         outcome
@@ -385,15 +398,17 @@ mod tests {
             ..TrainConfig::default()
         })
         .fit(&mut mlp, &train);
-        let q = QuantizedMlp::from_mlp(&mlp);
+        let mut q = QuantizedMlp::from_mlp(&mlp);
         for ni in [1usize, 4, 8, 16] {
-            let sim = FoldedMlpSim::new(&q, ni);
-            for s in test.iter() {
-                assert_eq!(
-                    sim.run(&s.pixels).winner,
-                    q.predict_u8(&s.pixels),
-                    "ni={ni}"
-                );
+            let mut winners = Vec::new();
+            {
+                let mut sim = FoldedMlpSim::new(&q, ni);
+                for s in test.iter() {
+                    winners.push(sim.run(&s.pixels).winner);
+                }
+            }
+            for (s, winner) in test.iter().zip(winners) {
+                assert_eq!(winner, q.predict_u8(&s.pixels), "ni={ni}");
             }
         }
     }

@@ -86,10 +86,10 @@ pub fn precision_sweep(mlp: &Mlp, test: &Dataset, bit_widths: &[u32]) -> Vec<Pre
     bit_widths
         .iter()
         .map(|&bits| {
-            let q = QuantizedMlp::from_mlp_with_bits(mlp, bits);
+            let mut q = QuantizedMlp::from_mlp_with_bits(mlp, bits);
             PrecisionPoint {
                 bits,
-                accuracy: metrics::evaluate_quantized(&q, test).accuracy(),
+                accuracy: metrics::evaluate_quantized(&mut q, test).accuracy(),
             }
         })
         .collect()

@@ -34,12 +34,14 @@ pub fn evaluate(mlp: &Mlp, data: &Dataset) -> Confusion {
     confusion
 }
 
-/// Evaluates the quantized (hardware-datapath) MLP on a dataset.
+/// Evaluates the quantized (hardware-datapath) MLP on a dataset. The
+/// network is `&mut` because inference reuses its scratch buffers (the
+/// zero-allocation steady state); stored weights are untouched.
 ///
 /// # Panics
 ///
 /// Panics if the dataset geometry does not match the network.
-pub fn evaluate_quantized(q: &QuantizedMlp, data: &Dataset) -> Confusion {
+pub fn evaluate_quantized(q: &mut QuantizedMlp, data: &Dataset) -> Confusion {
     assert_eq!(data.input_dim(), q.sizes()[0], "geometry mismatch");
     let mut confusion = Confusion::new(data.num_classes());
     for s in data.iter() {
@@ -84,8 +86,8 @@ mod tests {
         }
         .generate();
         let mlp = Mlp::new(&[784, 8, 10], Activation::sigmoid(), 3).unwrap();
-        let q = QuantizedMlp::from_mlp(&mlp);
-        assert_eq!(evaluate_quantized(&q, &test).total(), 30);
+        let mut q = QuantizedMlp::from_mlp(&mlp);
+        assert_eq!(evaluate_quantized(&mut q, &test).total(), 30);
     }
 
     #[test]

@@ -47,6 +47,11 @@ impl Model for Mlp {
         metrics::evaluate(self, test)
     }
 
+    fn predict(&mut self, pixels: &[u8], _presentation_seed: u64) -> usize {
+        let unit: Vec<f64> = pixels.iter().map(|&p| f64::from(p) / 255.0).collect();
+        Mlp::predict(self, &unit)
+    }
+
     /// The float reference has no 8-bit SRAM, read port, or spike
     /// generators, so only `DeadNeuron` (zeroed hidden units) applies.
     /// The dead-unit selection matches [`QuantizedMlp`]'s for the same
@@ -116,6 +121,10 @@ impl Model for QuantizedMlp {
         metrics::evaluate_quantized(self, test)
     }
 
+    fn predict(&mut self, pixels: &[u8], _presentation_seed: u64) -> usize {
+        self.predict_u8(pixels)
+    }
+
     fn inject(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
         self.apply_fault(plan)
     }
@@ -165,7 +174,7 @@ mod tests {
             ..TrainConfig::default()
         })
         .fit(&mut master, &train);
-        let reference = QuantizedMlp::from_mlp(&master);
+        let mut reference = QuantizedMlp::from_mlp(&master);
 
         // The unified-API pipeline with the same seed and budget.
         let mut q = QuantizedMlp::untrained(&[784, 8, 10], Activation::sigmoid(), 5).unwrap();
@@ -173,7 +182,7 @@ mod tests {
 
         assert_eq!(
             Model::evaluate(&mut q, &test).accuracy(),
-            metrics::evaluate_quantized(&reference, &test).accuracy()
+            metrics::evaluate_quantized(&mut reference, &test).accuracy()
         );
         for l in 0..2 {
             assert_eq!(q.layer_weights(l), reference.layer_weights(l), "layer {l}");

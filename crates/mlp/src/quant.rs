@@ -12,11 +12,12 @@
 //! datapath simulator: both must produce identical predictions.
 
 use crate::activation::Activation;
-use crate::network::{argmax, Mlp, MlpError};
+use crate::network::{Mlp, MlpError};
 use nc_dataset::ModelError;
 use nc_faults::{dead_unit_mask, stuck_bits_i8, FaultModel, FaultPlan, TransientReads};
-use nc_substrate::fixed::{sat_i32_trunc, sat_i8_round, sat_u8_round};
+use nc_substrate::fixed::{sat_i32_trunc, sat_i8_round};
 use nc_substrate::interp::PiecewiseLinear;
+use nc_substrate::kernel::{gemv_i8xu8, FixedActLut, Scratch};
 
 /// Bit width of weights and activations in the hardware datapath.
 pub const DATA_BITS: u32 = 8;
@@ -36,11 +37,11 @@ pub const DATA_BITS: u32 = 8;
 /// use nc_mlp::{Activation, Mlp, QuantizedMlp};
 ///
 /// let mlp = Mlp::new(&[16, 8, 4], Activation::sigmoid(), 1).unwrap();
-/// let q = QuantizedMlp::from_mlp(&mlp);
+/// let mut q = QuantizedMlp::from_mlp(&mlp);
 /// let out = q.forward_u8(&[128; 16]);
 /// assert_eq!(out.len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct QuantizedMlp {
     sizes: Vec<usize>,
     /// Per layer: quantized weights, row-major `[out][in + 1]`, bias last.
@@ -49,6 +50,10 @@ pub struct QuantizedMlp {
     /// `w_float ≈ w_int · 2^-e`.
     scales: Vec<i32>,
     table: PiecewiseLinear,
+    /// Per layer: `table` lowered to fixed-point coefficients for that
+    /// layer's scale exponent, so inference never leaves the integer
+    /// domain (rebuilt alongside `scales`; derived state, not compared).
+    act_luts: Vec<FixedActLut>,
     activation: Activation,
     /// Seed for re-initializing the float master when this network is
     /// trained through the unified `Model` interface; `None` for
@@ -57,6 +62,24 @@ pub struct QuantizedMlp {
     /// Transient-read fault port over the weight SRAM; disabled unless a
     /// `TransientRead` plan was injected.
     faults: TransientReads,
+    /// Reusable layer buffers (DESIGN.md "Hot paths"): after the first
+    /// presentation, [`QuantizedMlp::forward_u8`] allocates nothing.
+    scratch: Scratch,
+}
+
+/// Equality ignores the scratch buffers and the derived activation LUTs:
+/// two networks are the same deployment artifact iff their stored state
+/// (topology, weights, scales, table, seed, fault port) matches.
+impl PartialEq for QuantizedMlp {
+    fn eq(&self, other: &Self) -> bool {
+        self.sizes == other.sizes
+            && self.layers == other.layers
+            && self.scales == other.scales
+            && self.table == other.table
+            && self.activation == other.activation
+            && self.master_seed == other.master_seed
+            && self.faults == other.faults
+    }
 }
 
 impl QuantizedMlp {
@@ -97,14 +120,21 @@ impl QuantizedMlp {
             );
             scales.push(e);
         }
+        let table = mlp.activation().hardware_table();
+        let act_luts = scales
+            .iter()
+            .map(|&e| FixedActLut::new(&table, e))
+            .collect();
         QuantizedMlp {
             sizes,
             layers,
             scales,
-            table: mlp.activation().hardware_table(),
+            table,
+            act_luts,
             activation: mlp.activation(),
             master_seed: None,
             faults: TransientReads::disabled(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -164,63 +194,85 @@ impl QuantizedMlp {
 
     /// Runs 8-bit inference on raw pixel luminances, returning the
     /// output-layer activations as `u8` (the neuron-output register
-    /// contents).
+    /// contents). The returned slice borrows the network's scratch
+    /// buffers and is valid until the next presentation.
+    ///
+    /// The whole pass is integer: blocked i8×u8 MACs into the i64
+    /// adder tree ([`gemv_i8xu8`]), then the activation evaluated in
+    /// fixed point straight off the accumulator ([`FixedActLut`]). After
+    /// the first call, no heap allocation occurs (scratch reuse).
     ///
     /// # Panics
     ///
     /// Panics if `input.len()` does not match the input layer width.
-    pub fn forward_u8(&self, input: &[u8]) -> Vec<u8> {
+    pub fn forward_u8(&mut self, input: &[u8]) -> &[u8] {
         assert_eq!(
             input.len(),
             self.sizes[0],
             "input width does not match topology"
         );
-        let mut current: Vec<u8> = input.to_vec();
+        let max_width = self.sizes.iter().copied().max().unwrap_or(0);
+        self.scratch.ensure(max_width);
+        self.scratch.front[..input.len()].copy_from_slice(input);
         for l in 0..self.layers.len() {
             let fan_in = self.sizes[l];
             let fan_out = self.sizes[l + 1];
-            let weights = &self.layers[l];
-            let scale = 2f64.powi(self.scales[l]);
-            let mut next = Vec::with_capacity(fan_out);
-            for j in 0..fan_out {
-                let row = &weights[j * (fan_in + 1)..(j + 1) * (fan_in + 1)];
-                // Integer MAC: i64 accumulator = the wide adder-tree
-                // register (784 · 127 · 255 fits easily).
-                let acc: i64 = if self.faults.is_active() {
-                    // Every weight word passes through the faulty SRAM
-                    // read port, bias included.
-                    let mut acc = i64::from(self.faults.read_i8(row[fan_in])) * 255;
-                    for i in 0..fan_in {
-                        acc += i64::from(self.faults.read_i8(row[i])) * i64::from(current[i]);
+            let weights = &self.layers[l][..fan_out * (fan_in + 1)];
+            let lut = &self.act_luts[l];
+            let scratch = &mut self.scratch;
+            if self.faults.is_active() {
+                // Every weight word passes through the faulty SRAM read
+                // port, bias included — the per-read RNG stream makes
+                // the read order part of the semantics, so this path
+                // keeps the bias-first row order of the fault-free GEMV.
+                for (j, acc) in scratch.acc[..fan_out].iter_mut().enumerate() {
+                    let row = &weights[j * (fan_in + 1)..(j + 1) * (fan_in + 1)];
+                    let mut a = i64::from(self.faults.read_i8(row[fan_in])) * 255;
+                    for (&w, &x) in row[..fan_in].iter().zip(&scratch.front[..fan_in]) {
+                        a += i64::from(self.faults.read_i8(w)) * i64::from(x);
                     }
-                    acc
-                } else {
-                    let mut acc: i64 = i64::from(row[fan_in]) * 255; // bias input = 1.0 ≡ 255
-                    for i in 0..fan_in {
-                        acc += i64::from(row[i]) * i64::from(current[i]);
-                    }
-                    acc
-                };
-                // Rescale to the activation's input domain: activations
-                // are y·255, weights are w·2^e.
-                let s = acc as f64 / (scale * 255.0);
-                let y = self.table.eval(s);
-                next.push(sat_u8_round(y.clamp(0.0, 1.0) * 255.0));
+                    *acc = a;
+                }
+            } else {
+                gemv_i8xu8(
+                    weights,
+                    &scratch.front[..fan_in],
+                    &mut scratch.acc[..fan_out],
+                );
             }
-            current = next;
+            for (out, &acc) in scratch.back[..fan_out].iter_mut().zip(&scratch.acc) {
+                *out = lut.eval(acc);
+            }
+            std::mem::swap(&mut scratch.front, &mut scratch.back);
         }
-        current
+        &self.scratch.front[..self.sizes[self.sizes.len() - 1]]
     }
 
-    /// Predicted class from raw pixels: argmax over output registers.
+    /// Predicted class from raw pixels: argmax over output registers
+    /// (first maximum wins, matching [`crate::network::argmax`]).
     ///
     /// # Panics
     ///
     /// Panics if `input.len()` does not match the input layer width.
-    pub fn predict_u8(&self, input: &[u8]) -> usize {
+    pub fn predict_u8(&mut self, input: &[u8]) -> usize {
         let out = self.forward_u8(input);
-        let floats: Vec<f64> = out.iter().map(|&v| f64::from(v)).collect();
-        argmax(&floats)
+        let mut best = 0;
+        for (i, &v) in out.iter().enumerate().skip(1) {
+            if v > out[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The fixed-point activation table of a layer (shared with the
+    /// `nc-hw` cycle simulator so both datapaths stay bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn act_lut(&self, layer: usize) -> &FixedActLut {
+        &self.act_luts[layer]
     }
 
     /// The shared activation this datapath approximates.
@@ -309,12 +361,12 @@ mod tests {
     #[test]
     fn quantized_outputs_track_float_outputs() {
         let mlp = Mlp::new(&[8, 5, 3], Activation::sigmoid(), 6).unwrap();
-        let q = QuantizedMlp::from_mlp(&mlp);
+        let mut q = QuantizedMlp::from_mlp(&mlp);
         let pixels: Vec<u8> = (0..8).map(|i| (i * 30) as u8).collect();
         let fin: Vec<f64> = pixels.iter().map(|&p| f64::from(p) / 255.0).collect();
         let f_out = mlp.forward(&fin);
         let q_out = q.forward_u8(&pixels);
-        for (f, qv) in f_out.iter().zip(&q_out) {
+        for (f, qv) in f_out.iter().zip(q_out) {
             assert!(
                 (f - f64::from(*qv) / 255.0).abs() < 0.06,
                 "float {f} vs quant {qv}"
@@ -339,7 +391,7 @@ mod tests {
             ..TrainConfig::default()
         })
         .fit(&mut mlp, &train);
-        let q = QuantizedMlp::from_mlp(&mlp);
+        let mut q = QuantizedMlp::from_mlp(&mlp);
         let mut float_ok = 0;
         let mut quant_ok = 0;
         for s in test.iter() {
@@ -358,16 +410,33 @@ mod tests {
     #[test]
     fn all_zero_input_is_handled() {
         let mlp = Mlp::new(&[4, 3, 2], Activation::sigmoid(), 0).unwrap();
-        let q = QuantizedMlp::from_mlp(&mlp);
+        let mut q = QuantizedMlp::from_mlp(&mlp);
         let out = q.forward_u8(&[0; 4]);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn forward_reuses_scratch_without_reallocating() {
+        // The documented zero-allocation contract: after warm-up the
+        // output slice lives in the same scratch allocation on every
+        // presentation (the layer count is even, so the double-buffer
+        // swap returns to the same Vec), i.e. the steady state never
+        // touches the heap.
+        let mlp = Mlp::new(&[32, 16, 8], Activation::sigmoid(), 7).unwrap();
+        let mut q = QuantizedMlp::from_mlp(&mlp);
+        let warm = q.forward_u8(&[128; 32]).as_ptr();
+        for round in 0..16 {
+            let out = q.forward_u8(&[round as u8 * 3; 32]);
+            assert_eq!(out.as_ptr(), warm, "round {round} moved the buffer");
+            assert_eq!(out.len(), 8);
+        }
     }
 
     #[test]
     #[should_panic(expected = "does not match topology")]
     fn rejects_wrong_input_width() {
         let mlp = Mlp::new(&[4, 2], Activation::sigmoid(), 0).unwrap();
-        let q = QuantizedMlp::from_mlp(&mlp);
+        let mut q = QuantizedMlp::from_mlp(&mlp);
         let _ = q.forward_u8(&[0; 3]);
     }
 
@@ -433,7 +502,7 @@ mod tests {
     #[test]
     fn transient_reads_perturb_inference_but_not_storage() {
         let mlp = Mlp::new(&[8, 6, 4], Activation::sigmoid(), 3).unwrap();
-        let clean = QuantizedMlp::from_mlp(&mlp);
+        let mut clean = QuantizedMlp::from_mlp(&mlp);
         let mut q = QuantizedMlp::from_mlp(&mlp);
         q.apply_fault(&faulty(FaultModel::TransientRead, 0.5))
             .unwrap();
@@ -441,9 +510,10 @@ mod tests {
             assert_eq!(q.layer_weights(l), clean.layer_weights(l));
         }
         let input = [200u8; 8];
-        let outs: Vec<Vec<u8>> = (0..32).map(|_| q.forward_u8(&input)).collect();
+        let outs: Vec<Vec<u8>> = (0..32).map(|_| q.forward_u8(&input).to_vec()).collect();
+        let reference = clean.forward_u8(&input);
         assert!(
-            outs.iter().any(|o| *o != clean.forward_u8(&input)),
+            outs.iter().any(|o| o.as_slice() != reference),
             "a 50% read-fault rate must disturb at least one of 32 passes"
         );
     }
@@ -451,7 +521,7 @@ mod tests {
     #[test]
     fn zero_rate_faults_are_no_ops() {
         let mlp = Mlp::new(&[6, 5, 3], Activation::sigmoid(), 9).unwrap();
-        let clean = QuantizedMlp::from_mlp(&mlp);
+        let mut clean = QuantizedMlp::from_mlp(&mlp);
         for model in [
             FaultModel::StuckAt0,
             FaultModel::StuckAt1,

@@ -109,11 +109,11 @@ fn quantized_forward_tracks_float_forward() {
         let seed = rng.next_u64();
         let pixels: Vec<u8> = (0..12).map(|_| rng.next_u64() as u8).collect();
         let mlp = Mlp::new(&[12, 6, 4], Activation::sigmoid(), seed).unwrap();
-        let q = QuantizedMlp::from_mlp(&mlp);
+        let mut q = QuantizedMlp::from_mlp(&mlp);
         let fin: Vec<f64> = pixels.iter().map(|&p| f64::from(p) / 255.0).collect();
         let f_out = mlp.forward(&fin);
         let q_out = q.forward_u8(&pixels);
-        for (f, qv) in f_out.iter().zip(&q_out) {
+        for (f, qv) in f_out.iter().zip(q_out) {
             assert!(
                 (f - f64::from(*qv) / 255.0).abs() < 0.08,
                 "case {case}: float {f} vs quantized {qv}"

@@ -77,14 +77,36 @@ impl CodingScheme {
         seed: u64,
         gen_fault: Option<&FaultPlan>,
     ) -> Vec<SpikeEvent> {
-        let mut events = match self {
-            CodingScheme::PoissonRate => poisson_rate(pixels, params, seed, gen_fault),
-            CodingScheme::GaussianRate => gaussian_rate(pixels, params, seed, gen_fault),
-            CodingScheme::RankOrder => rank_order(pixels, params),
-            CodingScheme::TimeToFirstSpike => time_to_first_spike(pixels, params),
-        };
-        events.sort_by_key(|e| (e.t, e.input));
+        let mut events = Vec::new();
+        self.encode_faulty_into(pixels, params, seed, gen_fault, &mut events);
         events
+    }
+
+    /// Like [`CodingScheme::encode_faulty`], but encodes into `events`
+    /// (cleared first) so steady-state presentation loops reuse one
+    /// buffer instead of allocating a fresh spike train per image. The
+    /// rate codes and time-to-first-spike push straight into the buffer;
+    /// rank-order additionally sorts a small internal index vector (it
+    /// is not on the rate-coded hot path).
+    pub fn encode_faulty_into(
+        &self,
+        pixels: &[u8],
+        params: &SnnParams,
+        seed: u64,
+        gen_fault: Option<&FaultPlan>,
+        events: &mut Vec<SpikeEvent>,
+    ) {
+        events.clear();
+        match self {
+            CodingScheme::PoissonRate => poisson_rate(pixels, params, seed, gen_fault, events),
+            CodingScheme::GaussianRate => gaussian_rate(pixels, params, seed, gen_fault, events),
+            CodingScheme::RankOrder => rank_order(pixels, params, events),
+            CodingScheme::TimeToFirstSpike => time_to_first_spike(pixels, params, events),
+        }
+        // Unstable sort: equal `(t, input)` keys only arise between
+        // identical events, so the order is fully determined and the
+        // stable sort's scratch allocation is avoided.
+        events.sort_unstable_by_key(|e| (e.t, e.input));
     }
 
     /// The expected total spike count for an image under this scheme
@@ -121,9 +143,9 @@ fn poisson_rate(
     params: &SnnParams,
     seed: u64,
     gen_fault: Option<&FaultPlan>,
-) -> Vec<SpikeEvent> {
+    events: &mut Vec<SpikeEvent>,
+) {
     let mut sm = SplitMix64::new(seed);
-    let mut events = Vec::new();
     for (input, &p) in pixels.iter().enumerate() {
         let rate = params.rate_per_ms(p);
         if rate <= 0.0 {
@@ -148,7 +170,6 @@ fn poisson_rate(
             });
         }
     }
-    events
 }
 
 fn gaussian_rate(
@@ -156,9 +177,9 @@ fn gaussian_rate(
     params: &SnnParams,
     seed: u64,
     gen_fault: Option<&FaultPlan>,
-) -> Vec<SpikeEvent> {
+    events: &mut Vec<SpikeEvent>,
+) {
     let mut sm = SplitMix64::new(seed ^ 0x6A05_5150);
-    let mut events = Vec::new();
     for (input, &p) in pixels.iter().enumerate() {
         let rate = params.rate_per_ms(p);
         if rate <= 0.0 {
@@ -188,10 +209,9 @@ fn gaussian_rate(
             });
         }
     }
-    events
 }
 
-fn rank_order(pixels: &[u8], params: &SnnParams) -> Vec<SpikeEvent> {
+fn rank_order(pixels: &[u8], params: &SnnParams, events: &mut Vec<SpikeEvent>) {
     // Active pixels sorted by decreasing luminance; ties broken by index
     // so the code is deterministic.
     let mut active: Vec<(u8, usize)> = pixels
@@ -202,31 +222,33 @@ fn rank_order(pixels: &[u8], params: &SnnParams) -> Vec<SpikeEvent> {
         .collect();
     active.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     let n = active.len().max(1) as f64;
-    active
-        .iter()
-        .enumerate()
-        .map(|(rank, &(_, input))| SpikeEvent {
-            // Spread ranks over the first half of the window so late
-            // ranks still precede readout.
-            t: sat_u32_trunc((rank as f64 / n) * f64::from(params.t_period) * 0.5),
-            input,
-        })
-        .collect()
+    events.extend(
+        active
+            .iter()
+            .enumerate()
+            .map(|(rank, &(_, input))| SpikeEvent {
+                // Spread ranks over the first half of the window so late
+                // ranks still precede readout.
+                t: sat_u32_trunc((rank as f64 / n) * f64::from(params.t_period) * 0.5),
+                input,
+            }),
+    );
 }
 
-fn time_to_first_spike(pixels: &[u8], params: &SnnParams) -> Vec<SpikeEvent> {
-    pixels
-        .iter()
-        .enumerate()
-        .filter(|&(_, &p)| p >= ACTIVE_THRESHOLD)
-        .map(|(input, &p)| {
-            let latency = (1.0 - f64::from(p) / 255.0) * f64::from(params.t_period - 1);
-            SpikeEvent {
-                t: sat_u32_trunc(latency),
-                input,
-            }
-        })
-        .collect()
+fn time_to_first_spike(pixels: &[u8], params: &SnnParams, events: &mut Vec<SpikeEvent>) {
+    events.extend(
+        pixels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p >= ACTIVE_THRESHOLD)
+            .map(|(input, &p)| {
+                let latency = (1.0 - f64::from(p) / 255.0) * f64::from(params.t_period - 1);
+                SpikeEvent {
+                    t: sat_u32_trunc(latency),
+                    input,
+                }
+            }),
+    );
 }
 
 /// The SNNwot spike-count conversion (paper §4.2.2): an 8-bit pixel maps

@@ -42,6 +42,10 @@ impl Model for SnnNetwork {
         SnnNetwork::evaluate(self, test)
     }
 
+    fn predict(&mut self, pixels: &[u8], presentation_seed: u64) -> usize {
+        SnnNetwork::predict(self, pixels, presentation_seed)
+    }
+
     fn inject(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
         self.apply_fault(plan)
     }
@@ -84,6 +88,10 @@ impl Model for WotSnn {
         WotSnn::evaluate(self, test)
     }
 
+    fn predict(&mut self, pixels: &[u8], _presentation_seed: u64) -> usize {
+        WotSnn::predict(self, pixels)
+    }
+
     fn inject(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
         self.apply_fault(plan)
     }
@@ -118,6 +126,10 @@ impl Model for BpSnn {
 
     fn evaluate(&mut self, test: &Dataset) -> Confusion {
         BpSnn::evaluate(self, test)
+    }
+
+    fn predict(&mut self, pixels: &[u8], _presentation_seed: u64) -> usize {
+        BpSnn::predict(self, pixels)
     }
 }
 

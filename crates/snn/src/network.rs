@@ -25,7 +25,7 @@
 use crate::coding::{CodingScheme, SpikeEvent};
 use crate::params::SnnParams;
 use crate::trace::PresentationTrace;
-use nc_dataset::model::ModelError;
+use nc_dataset::model::{ModelError, EVAL_PRESENTATION_SEED_BASE};
 use nc_dataset::Dataset;
 use nc_faults::{dead_unit_mask, stuck_bits_u8, FaultModel, FaultPlan, TransientReads};
 use nc_obs::{EpochMetrics, Recorder};
@@ -34,6 +34,25 @@ use nc_substrate::stats::Confusion;
 
 /// Sentinel meaning "this input has not spiked yet in this presentation".
 const NEVER: u32 = u32::MAX;
+
+/// Applies the analytic leak `v · e^{-dt/Tleak}` via the precomputed
+/// per-millisecond decay table. Gaps longer than the table compose
+/// factors (`e^{-(a+b)} = e^{-a}·e^{-b}`), so an arbitrarily long
+/// inter-spike silence decays to the analytic value. The previous code
+/// clamped `dt` to the last table entry, silently under-decaying any gap
+/// beyond `Tperiod` — latent with the shipped coding schemes (all emit
+/// `t < Tperiod`, so `dt ≤ Tperiod − 1`), but wrong for any longer
+/// window; in-table gaps take the single-lookup path bit-for-bit.
+#[inline]
+fn decay(lut: &[f64], mut v: f64, mut dt: u64) -> f64 {
+    let last = lut.len() - 1;
+    let max = u64::try_from(last).unwrap_or(u64::MAX);
+    while dt > max {
+        v *= lut[last];
+        dt -= max;
+    }
+    v * lut[usize::try_from(dt).unwrap_or(last)]
+}
 
 /// Outcome of presenting one image to the network.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,23 +64,92 @@ pub struct Presentation {
     pub fires: Vec<(u32, usize)>,
     /// Final membrane potentials (after the last event).
     pub potentials: Vec<f64>,
+    /// Seed of the per-presentation RNG stream, used to break exact
+    /// potential ties in [`Presentation::readout`] deterministically.
+    pub tie_seed: u64,
 }
 
 impl Presentation {
     /// The readout neuron: first to fire, or — if the image drove no
     /// neuron over threshold — the neuron with the highest remaining
     /// potential (the correlation fallback SNNwot formalizes, §4.2.2).
+    /// Exact potential ties are broken by a seeded draw, not by index.
     pub fn readout(&self) -> usize {
-        if let Some(w) = self.winner {
-            return w;
+        tie_broken_readout(self.winner, &self.potentials, self.tie_seed)
+    }
+}
+
+/// Shared readout with seeded tie-breaking. The winner (first neuron to
+/// fire) is authoritative; with no winner the highest remaining
+/// potential is read out. Exact potential ties — routine on dark images,
+/// where every neuron ends at exactly `0.0` — were previously resolved
+/// "lowest index wins", silently crediting neuron 0's label with every
+/// ambiguous presentation. They are now resolved by one [`SplitMix64`]
+/// draw from the per-presentation stream: deterministic for a given
+/// `(network seed, presentation seed)` pair, but unbiased across the
+/// tied neurons.
+fn tie_broken_readout(winner: Option<usize>, potentials: &[f64], tie_seed: u64) -> usize {
+    if let Some(w) = winner {
+        return w;
+    }
+    let mut best = 0;
+    for (i, &v) in potentials.iter().enumerate().skip(1) {
+        if v > potentials[best] {
+            best = i;
         }
-        let mut best = 0;
-        for (i, &v) in self.potentials.iter().enumerate().skip(1) {
-            if v > self.potentials[best] {
-                best = i;
-            }
-        }
-        best
+    }
+    let top = potentials[best];
+    let ties = potentials.iter().filter(|&&v| v == top).count();
+    if ties <= 1 {
+        return best;
+    }
+    let pick = SplitMix64::new(tie_seed).next_index(ties);
+    potentials
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v == top)
+        .nth(pick)
+        .map_or(best, |(i, _)| i)
+}
+
+/// Reusable per-presentation simulation state. Kept on the network and
+/// reset (not reallocated) at the start of every [`SnnNetwork::simulate`]
+/// call, so the steady-state inference loop performs no heap allocation
+/// once the buffers have grown to the working-set size.
+#[derive(Debug, Clone, Default)]
+struct SimScratch {
+    /// Encoded input spike train for the current presentation.
+    events: Vec<SpikeEvent>,
+    /// Membrane potentials after the most recent event.
+    potentials: Vec<f64>,
+    /// Per-neuron time of the last potential update.
+    last_update: Vec<u32>,
+    /// Per-neuron end of the refractory window.
+    refractory_until: Vec<u32>,
+    /// Per-neuron end of the WTA inhibition window.
+    inhibited_until: Vec<u32>,
+    /// Per-input time of the most recent input spike ([`NEVER`] if none).
+    last_input_spike: Vec<u32>,
+    /// Output spikes as `(time_ms, neuron)`.
+    fires: Vec<(u32, usize)>,
+}
+
+impl SimScratch {
+    /// Clears all per-presentation state, resizing only on first use (or
+    /// if the network geometry grew). `clear` + `resize` on an
+    /// already-sized `Vec` rewrites in place without touching capacity.
+    fn reset(&mut self, neurons: usize, inputs: usize) {
+        self.potentials.clear();
+        self.potentials.resize(neurons, 0.0);
+        self.last_update.clear();
+        self.last_update.resize(neurons, 0);
+        self.refractory_until.clear();
+        self.refractory_until.resize(neurons, 0);
+        self.inhibited_until.clear();
+        self.inhibited_until.resize(neurons, 0);
+        self.last_input_spike.clear();
+        self.last_input_spike.resize(inputs, NEVER);
+        self.fires.clear();
     }
 }
 
@@ -84,6 +172,12 @@ pub struct SnnNetwork {
     coding: CodingScheme,
     /// Excitatory weights, row-major `[neuron][input]`, 8-bit.
     weights: Vec<u8>,
+    /// Column-major mirror of `weights` (`[input][neuron]`): the event
+    /// loop touches every neuron for one input, so this layout makes the
+    /// hot inner loop a contiguous scan instead of an `inputs`-strided
+    /// gather. Kept in sync by [`SnnNetwork::rebuild_weights_t`] and the
+    /// incremental STDP update.
+    weights_t: Vec<u8>,
     /// Per-neuron firing thresholds (homeostasis adjusts them).
     thresholds: Vec<f64>,
     /// Per-(neuron, class) win counters for self-labeling.
@@ -112,6 +206,8 @@ pub struct SnnNetwork {
     /// A `StuckLfsrTap` plan over the spike-interval generators, if one
     /// was injected (rate codes only).
     gen_fault: Option<FaultPlan>,
+    /// Reused simulation buffers (allocation-free steady state).
+    sim: SimScratch,
 }
 
 impl SnnNetwork {
@@ -152,12 +248,13 @@ impl SnnNetwork {
         let decay_lut = (0..=params.t_period)
             .map(|dt| (-f64::from(dt) / params.t_leak).exp())
             .collect();
-        SnnNetwork {
+        let mut net = SnnNetwork {
             inputs,
             classes,
             params,
             coding,
             weights,
+            weights_t: Vec::new(),
             thresholds: vec![threshold; n],
             label_counts: vec![0; n * classes],
             class_presented: vec![0; classes],
@@ -170,7 +267,38 @@ impl SnnNetwork {
             seed,
             faults: TransientReads::disabled(),
             gen_fault: None,
+            sim: SimScratch::default(),
+        };
+        net.rebuild_weights_t();
+        net
+    }
+
+    /// Rebuilds the column-major weight mirror from the row-major truth.
+    /// Called after any bulk weight mutation (construction, stuck-bit or
+    /// dead-neuron injection, precision truncation); the per-row STDP
+    /// update maintains it incrementally instead.
+    fn rebuild_weights_t(&mut self) {
+        let n = self.params.neurons;
+        self.weights_t.clear();
+        self.weights_t.resize(n * self.inputs, 0);
+        for j in 0..n {
+            for (i, &w) in self.weights[j * self.inputs..(j + 1) * self.inputs]
+                .iter()
+                .enumerate()
+            {
+                self.weights_t[i * n + j] = w;
+            }
         }
+    }
+
+    /// The per-presentation RNG stream seed: every stochastic choice tied
+    /// to one presentation (spike-train generation, readout tie-breaking)
+    /// derives from this single value, so a presentation is reproducible
+    /// from `(network seed, presentation seed)` alone.
+    fn presentation_rng_seed(&self, presentation_seed: u64) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(presentation_seed)
     }
 
     /// Applies a hardware fault plan to the deployed network (DESIGN.md
@@ -193,6 +321,7 @@ impl SnnNetwork {
         match plan.model {
             FaultModel::StuckAt0 | FaultModel::StuckAt1 => {
                 stuck_bits_u8(&mut self.weights, plan);
+                self.rebuild_weights_t();
                 Ok(())
             }
             FaultModel::DeadNeuron => {
@@ -204,6 +333,7 @@ impl SnnNetwork {
                         }
                     }
                 }
+                self.rebuild_weights_t();
                 Ok(())
             }
             FaultModel::TransientRead => {
@@ -306,34 +436,56 @@ impl SnnNetwork {
         for w in &mut self.weights {
             *w = (*w >> shift) << shift;
         }
+        self.rebuild_weights_t();
     }
 
     /// Presents one image without learning and returns the outcome.
     pub fn present(&mut self, pixels: &[u8], presentation_seed: u64) -> Presentation {
-        self.simulate(pixels, false, presentation_seed, None)
+        let tie_seed = self.presentation_rng_seed(presentation_seed);
+        let winner = self.simulate(pixels, false, presentation_seed, None);
+        self.snapshot_presentation(winner, tie_seed)
     }
 
     /// Presents one image with STDP + homeostasis enabled.
     pub fn present_learn(&mut self, pixels: &[u8], presentation_seed: u64) -> Presentation {
-        self.simulate(pixels, true, presentation_seed, None)
+        let tie_seed = self.presentation_rng_seed(presentation_seed);
+        let winner = self.simulate(pixels, true, presentation_seed, None);
+        self.snapshot_presentation(winner, tie_seed)
     }
 
     /// Presents one image and records a full trace (Figure 3).
     pub fn present_traced(&mut self, pixels: &[u8], presentation_seed: u64) -> PresentationTrace {
         let mut trace = PresentationTrace::new(self.params.neurons);
-        let outcome = self.simulate(pixels, false, presentation_seed, Some(&mut trace));
-        trace.finish(outcome);
+        let tie_seed = self.presentation_rng_seed(presentation_seed);
+        let winner = self.simulate(pixels, false, presentation_seed, Some(&mut trace));
+        trace.finish(self.snapshot_presentation(winner, tie_seed));
         trace
     }
 
+    /// Copies the scratch state of the presentation that just ran into an
+    /// owned [`Presentation`]. Only the outcome-returning entry points
+    /// pay for these clones; the batch paths ([`SnnNetwork::predict`],
+    /// [`SnnNetwork::evaluate`], [`SnnNetwork::self_label`]) read the
+    /// scratch directly and stay allocation-free.
+    fn snapshot_presentation(&self, winner: Option<usize>, tie_seed: u64) -> Presentation {
+        Presentation {
+            winner,
+            fires: self.sim.fires.clone(),
+            potentials: self.sim.potentials.clone(),
+            tie_seed,
+        }
+    }
+
     /// The event-driven core shared by learning, inference and tracing.
+    /// Returns the winner (first neuron to fire, if any); the full
+    /// outcome lives in the reused scratch until the next presentation.
     fn simulate(
         &mut self,
         pixels: &[u8],
         learn: bool,
         presentation_seed: u64,
         mut trace: Option<&mut PresentationTrace>,
-    ) -> Presentation {
+    ) -> Option<usize> {
         assert_eq!(
             pixels.len(),
             self.inputs,
@@ -342,63 +494,95 @@ impl SnnNetwork {
             self.inputs
         );
         let n = self.params.neurons;
-        let seed = self
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(presentation_seed);
-        let events = self
-            .coding
-            .encode_faulty(pixels, &self.params, seed, self.gen_fault.as_ref());
+        let seed = self.presentation_rng_seed(presentation_seed);
+        // Move the scratch out for the duration of the event loop so STDP
+        // (which borrows `self` mutably) can run mid-simulation; the
+        // buffers are handed back before returning.
+        let mut sim = std::mem::take(&mut self.sim);
+        self.coding.encode_faulty_into(
+            pixels,
+            &self.params,
+            seed,
+            self.gen_fault.as_ref(),
+            &mut sim.events,
+        );
         if let Some(t) = trace.as_deref_mut() {
-            t.record_inputs(&events);
+            t.record_inputs(&sim.events);
         }
 
-        let mut potentials = vec![0.0f64; n];
-        let mut last_update = vec![0u32; n];
-        let mut refractory_until = vec![0u32; n];
-        let mut inhibited_until = vec![0u32; n];
-        let mut last_input_spike = vec![NEVER; self.inputs];
-        let mut fires: Vec<(u32, usize)> = Vec::new();
-        let mut winner = None;
+        sim.reset(n, self.inputs);
+        let faults_active = self.faults.is_active();
 
-        for &SpikeEvent { t, input } in &events {
-            last_input_spike[input] = t;
+        // Inference with healthy SRAM and no trace — the evaluate /
+        // predict hot path — runs the sliced fast loop; everything else
+        // takes the general loop below. Both loops perform the identical
+        // operation sequence per processed neuron, so outcomes are
+        // bit-equal.
+        if !learn && !faults_active && trace.is_none() {
+            let winner = self.run_events_fast(&mut sim);
+            self.presentation_counter += 1;
+            self.sim = sim;
+            return winner;
+        }
+
+        let mut winner = None;
+        // After any fire at `t` the firing neuron is refractory and every
+        // other neuron inhibited, so nothing can respond before
+        // `t + min(Trefrac, Tinhibit)`: events in that window skip the
+        // whole neuron scan with one compare (each neuron would hit its
+        // own gate check and `continue` anyway, touching nothing).
+        let all_gated = self.params.t_refrac.min(self.params.t_inhibit);
+        let mut skip_until = 0u32;
+
+        for ei in 0..sim.events.len() {
+            let SpikeEvent { t, input } = sim.events[ei];
+            sim.last_input_spike[input] = t;
+            if t < skip_until {
+                continue;
+            }
+            let col = input * n;
             for j in 0..n {
                 // Refractory / inhibited neurons ignore input spikes
                 // entirely (§2.2: "incoming spikes have no impact").
-                if t < refractory_until[j] || t < inhibited_until[j] {
+                if t < sim.refractory_until[j] || t < sim.inhibited_until[j] {
                     continue;
                 }
                 // Analytic leak since this neuron's last update.
-                let dt = usize::try_from(t - last_update[j]).unwrap_or(usize::MAX);
+                let dt = u64::from(t - sim.last_update[j]);
                 if dt > 0 {
-                    potentials[j] *= self.decay_lut[dt.min(self.decay_lut.len() - 1)];
+                    sim.potentials[j] = decay(&self.decay_lut, sim.potentials[j], dt);
                 }
-                last_update[j] = t;
-                potentials[j] +=
-                    f64::from(self.faults.read_u8(self.weights[j * self.inputs + input]));
+                sim.last_update[j] = t;
+                let w = self.weights_t[col + j];
+                let w = if faults_active {
+                    self.faults.read_u8(w)
+                } else {
+                    w
+                };
+                sim.potentials[j] += f64::from(w);
                 if let Some(tr) = trace.as_deref_mut() {
-                    tr.record_potential(j, t, potentials[j]);
+                    tr.record_potential(j, t, sim.potentials[j]);
                 }
-                if potentials[j] >= self.thresholds[j] {
+                if sim.potentials[j] >= self.thresholds[j] {
                     // Fire!
-                    fires.push((t, j));
+                    sim.fires.push((t, j));
                     if winner.is_none() {
                         winner = Some(j);
                     }
-                    potentials[j] = 0.0;
-                    refractory_until[j] = t + self.params.t_refrac;
-                    for (k, inh) in inhibited_until.iter_mut().enumerate() {
+                    sim.potentials[j] = 0.0;
+                    sim.refractory_until[j] = t + self.params.t_refrac;
+                    for (k, inh) in sim.inhibited_until.iter_mut().enumerate() {
                         if k != j {
                             *inh = (*inh).max(t + self.params.t_inhibit);
                         }
                     }
+                    skip_until = t + all_gated;
                     if let Some(tr) = trace.as_deref_mut() {
                         tr.record_fire(j, t);
                     }
                     if learn {
                         self.fire_counts[j] += 1;
-                        self.apply_stdp(j, t, &last_input_spike);
+                        self.apply_stdp(j, t, &sim.last_input_spike);
                     }
                 }
             }
@@ -411,12 +595,74 @@ impl SnnNetwork {
             }
         }
         self.presentation_counter += 1;
+        self.sim = sim;
+        winner
+    }
 
-        Presentation {
-            winner,
-            fires,
+    /// The inference event loop: no learning, no trace, no SRAM read
+    /// faults. Split from the general loop in [`SnnNetwork::simulate`] so
+    /// the per-neuron body can hold plain length-`n` slice borrows (the
+    /// bounds checks hoist out of the loop) — `self` is never reborrowed
+    /// mutably mid-loop here, which the STDP path requires. The
+    /// arithmetic is the general loop's, operation for operation.
+    fn run_events_fast(&self, sim: &mut SimScratch) -> Option<usize> {
+        let n = self.params.neurons;
+        let t_refrac = self.params.t_refrac;
+        let t_inhibit = self.params.t_inhibit;
+        // See the general loop: after a fire at `t`, every neuron is
+        // gated until at least `t + min(Trefrac, Tinhibit)`.
+        let all_gated = t_refrac.min(t_inhibit);
+        let mut skip_until = 0u32;
+        let mut winner = None;
+        let SimScratch {
+            events,
             potentials,
+            last_update,
+            refractory_until,
+            inhibited_until,
+            // Only STDP reads the per-input spike times.
+            last_input_spike: _,
+            fires,
+        } = sim;
+        let potentials = &mut potentials[..n];
+        let last_update = &mut last_update[..n];
+        let refractory_until = &mut refractory_until[..n];
+        let inhibited_until = &mut inhibited_until[..n];
+        let thresholds = &self.thresholds[..n];
+        let lut = self.decay_lut.as_slice();
+        for &SpikeEvent { t, input } in events.iter() {
+            if t < skip_until {
+                continue;
+            }
+            let col = input * n;
+            let wcol = &self.weights_t[col..col + n];
+            for j in 0..n {
+                if t < refractory_until[j] || t < inhibited_until[j] {
+                    continue;
+                }
+                let dt = u64::from(t - last_update[j]);
+                if dt > 0 {
+                    potentials[j] = decay(lut, potentials[j], dt);
+                }
+                last_update[j] = t;
+                potentials[j] += f64::from(wcol[j]);
+                if potentials[j] >= thresholds[j] {
+                    fires.push((t, j));
+                    if winner.is_none() {
+                        winner = Some(j);
+                    }
+                    potentials[j] = 0.0;
+                    refractory_until[j] = t + t_refrac;
+                    for (k, inh) in inhibited_until.iter_mut().enumerate() {
+                        if k != j {
+                            *inh = (*inh).max(t + t_inhibit);
+                        }
+                    }
+                    skip_until = t + all_gated;
+                }
+            }
         }
+        winner
     }
 
     /// The STDP event rule of §2.2/§4.4: LTP for synapses whose input
@@ -426,6 +672,7 @@ impl SnnNetwork {
     ///
     /// [`StdpRule`]: crate::stdp_rules::StdpRule
     fn apply_stdp(&mut self, neuron: usize, fire_t: u32, last_input_spike: &[u32]) {
+        let n = self.params.neurons;
         let row = &mut self.weights[neuron * self.inputs..(neuron + 1) * self.inputs];
         for (i, w) in row.iter_mut().enumerate() {
             let ts = last_input_spike[i];
@@ -435,6 +682,9 @@ impl SnnNetwork {
             } else {
                 *w = self.stdp_rule.depress(*w);
             }
+            // Keep the column-major mirror coherent without a full
+            // rebuild: one row changes per output spike.
+            self.weights_t[i * n + neuron] = *w;
         }
     }
 
@@ -515,10 +765,12 @@ impl SnnNetwork {
         self.label_counts.iter_mut().for_each(|c| *c = 0);
         self.class_presented.iter_mut().for_each(|c| *c = 0);
         for (i, s) in data.iter().enumerate() {
-            let outcome = self.present(&s.pixels, 0x1ABE_0000 | i as u64);
+            let pseed = 0x1ABE_0000 | i as u64;
+            let tie_seed = self.presentation_rng_seed(pseed);
+            let winner = self.simulate(&s.pixels, false, pseed, None);
             self.class_presented[s.label] += 1;
-            let winner = outcome.readout();
-            self.label_counts[winner * self.classes + s.label] += 1;
+            let readout = tie_broken_readout(winner, &self.sim.potentials, tie_seed);
+            self.label_counts[readout * self.classes + s.label] += 1;
         }
         for j in 0..self.params.neurons {
             let mut best: Option<(f64, usize)> = None;
@@ -541,9 +793,15 @@ impl SnnNetwork {
     /// Predicts the class of one image: readout neuron's label (falling
     /// back to class 0 for never-labeled neurons, which counts as an
     /// error in evaluation unless the true class happens to be 0).
+    ///
+    /// Reads the readout straight from the reused simulation scratch, so
+    /// repeated predictions (and [`SnnNetwork::evaluate`]) perform no
+    /// heap allocation once the buffers are warm.
     pub fn predict(&mut self, pixels: &[u8], presentation_seed: u64) -> usize {
-        let outcome = self.present(pixels, presentation_seed);
-        self.labels[outcome.readout()].unwrap_or(0)
+        let tie_seed = self.presentation_rng_seed(presentation_seed);
+        let winner = self.simulate(pixels, false, presentation_seed, None);
+        let readout = tie_broken_readout(winner, &self.sim.potentials, tie_seed);
+        self.labels[readout].unwrap_or(0)
     }
 
     /// Evaluates the labeled network on a dataset.
@@ -555,7 +813,7 @@ impl SnnNetwork {
         assert_eq!(data.input_dim(), self.inputs, "geometry mismatch");
         let mut confusion = Confusion::new(self.classes);
         for (i, s) in data.iter().enumerate() {
-            let predicted = self.predict(&s.pixels, 0xE7A1_0000 | i as u64);
+            let predicted = self.predict(&s.pixels, EVAL_PRESENTATION_SEED_BASE | i as u64);
             confusion.record(s.label, predicted);
         }
         confusion
@@ -824,5 +1082,120 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(snn.present(&[180u8; 16], 42), healthy);
+    }
+
+    #[test]
+    fn long_inter_spike_gap_decays_to_the_analytic_floor() {
+        // Regression for the leak-tail bug: `dt` beyond the decay table
+        // used to clamp to the last entry (a single e^{-Tperiod/Tleak}
+        // factor), so a 10_000 ms silence leaked only as much as a
+        // 500 ms one. Composing factors must reach the analytic value.
+        let snn = SnnNetwork::new(2, 2, tiny_params(1), 3);
+        let v = 1234.5;
+        let gap = 10_000u64; // e^{-20} ≈ 2.06e-9 with Tleak = 500 ms
+        let after = decay(&snn.decay_lut, v, gap);
+        assert!(after > 0.0);
+        assert!(
+            after < v * 1e-6,
+            "a 20-Tleak gap must decay below 1e-6 of the pre-gap value, got {after}"
+        );
+        let analytic = v * (-(gap as f64) / snn.params().t_leak).exp();
+        assert!(
+            (after - analytic).abs() <= analytic * 1e-9,
+            "composed {after} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn in_table_gaps_use_the_single_lookup_bit_for_bit() {
+        let snn = SnnNetwork::new(2, 2, tiny_params(1), 3);
+        let v = 987.125;
+        for dt in [1u64, 37, 250, 499] {
+            let direct = v * snn.decay_lut[usize::try_from(dt).unwrap()];
+            assert_eq!(decay(&snn.decay_lut, v, dt), direct, "dt {dt}");
+        }
+    }
+
+    #[test]
+    fn fast_and_general_event_loops_are_bit_identical() {
+        // `present` runs the sliced fast loop; `present_traced` runs the
+        // general loop (a trace forces it). Same seed → same outcome,
+        // bit for bit, across a spread of images.
+        let (train, _) = DigitsSpec {
+            train: 12,
+            test: 1,
+            seed: 77,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        let mut fast = SnnNetwork::new(784, 10, SnnParams::tuned(20), 0xFA57);
+        let mut general = fast.clone();
+        for (i, s) in train.iter().enumerate() {
+            let a = fast.present(&s.pixels, i as u64);
+            let trace = general.present_traced(&s.pixels, i as u64);
+            assert_eq!(Some(&a), trace.outcome(), "presentation {i}");
+        }
+    }
+
+    #[test]
+    fn dark_image_readout_tie_break_is_seeded_not_index_biased() {
+        // An all-dark image drives no spikes: every potential ends at
+        // exactly 0.0, a full n-way tie. The old readout always returned
+        // neuron 0; the seeded draw must spread across neurons while
+        // staying deterministic per presentation seed.
+        let mut snn = SnnNetwork::new(8, 2, tiny_params(8), 1);
+        let picks: std::collections::BTreeSet<usize> = (0..64)
+            .map(|i| snn.present(&[0u8; 8], i).readout())
+            .collect();
+        assert!(
+            picks.len() > 1,
+            "tie-break must not collapse onto one neuron: {picks:?}"
+        );
+        assert_eq!(
+            snn.present(&[0u8; 8], 7).readout(),
+            snn.present(&[0u8; 8], 7).readout(),
+            "same presentation seed must give the same pick"
+        );
+    }
+
+    #[test]
+    fn predictions_reuse_simulation_scratch() {
+        // The documented zero-allocation steady state (unsafe is
+        // forbidden workspace-wide, so no counting allocator): after a
+        // warm-up presentation, the scratch buffers must keep their
+        // addresses and capacities across further predictions.
+        let mut snn = SnnNetwork::new(16, 2, tiny_params(4), 9);
+        let _ = snn.predict(&[180u8; 16], 42);
+        let potentials_ptr = snn.sim.potentials.as_ptr();
+        let last_update_ptr = snn.sim.last_update.as_ptr();
+        let events_cap = snn.sim.events.capacity();
+        for _ in 0..20 {
+            let _ = snn.predict(&[180u8; 16], 42);
+        }
+        assert_eq!(snn.sim.potentials.as_ptr(), potentials_ptr);
+        assert_eq!(snn.sim.last_update.as_ptr(), last_update_ptr);
+        assert_eq!(snn.sim.events.capacity(), events_cap);
+    }
+
+    #[test]
+    fn transposed_weights_track_stdp_and_faults() {
+        let mut params = tiny_params(4);
+        params.initial_threshold = 300.0;
+        let mut snn = SnnNetwork::new(8, 2, params, 5);
+        for i in 0..10 {
+            snn.present_learn(&[255, 255, 255, 255, 0, 0, 0, 0], i);
+        }
+        snn.apply_fault(&FaultPlan::new(FaultModel::StuckAt1, 0.2, 7).unwrap())
+            .unwrap();
+        snn.quantize_weights(6);
+        for j in 0..4 {
+            for i in 0..8 {
+                assert_eq!(
+                    snn.weights_t[i * 4 + j],
+                    snn.weight(j, i),
+                    "mirror out of sync at neuron {j}, input {i}"
+                );
+            }
+        }
     }
 }

@@ -323,6 +323,14 @@ pub fn sat_u64_trunc(x: f64) -> u64 {
     x as u64
 }
 
+/// Saturating `f64 → i64` with round-to-nearest (ties away from zero),
+/// the quantizer for wide fixed-point coefficients such as the
+/// [`crate::kernel::FixedActLut`] slope/intercept words.
+#[inline]
+pub fn sat_i64_round(x: f64) -> i64 {
+    x.round() as i64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +430,11 @@ mod tests {
         assert_eq!(sat_u64_trunc(1234.9), 1234);
         assert_eq!(sat_u64_trunc(f64::NAN), 0);
         assert_eq!(sat_u64_trunc(1e300), u64::MAX);
+        assert_eq!(sat_i64_round(2.5), 3);
+        assert_eq!(sat_i64_round(-2.5), -3);
+        assert_eq!(sat_i64_round(1e300), i64::MAX);
+        assert_eq!(sat_i64_round(-1e300), i64::MIN);
+        assert_eq!(sat_i64_round(f64::NAN), 0);
     }
 
     #[test]

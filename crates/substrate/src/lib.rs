@@ -13,6 +13,10 @@
 //! * [`interp`] — 16-point piecewise-linear interpolation, the mechanism
 //!   the hardware uses for both the sigmoid (`f(x) = a_i·x + b_i`, paper
 //!   §4.2.1) and the exponential leak of the LIF neuron (paper §4.4).
+//! * [`kernel`] — the shared hot-path kernels: blocked integer GEMV with
+//!   i64 adder-tree semantics, the fixed-point activation table, and the
+//!   reusable scratch buffers that make steady-state inference
+//!   allocation-free.
 //! * [`stats`] — small statistics helpers used by tests and the experiment
 //!   harness (mean, variance, histogram).
 //! * [`check`] — the seeded-loop property-test harness the invariant
@@ -42,9 +46,11 @@
 pub mod check;
 pub mod fixed;
 pub mod interp;
+pub mod kernel;
 pub mod rng;
 pub mod stats;
 
 pub use fixed::{QFixed, Q8};
 pub use interp::PiecewiseLinear;
+pub use kernel::{gemv_i8xu8, FixedActLut, Scratch};
 pub use rng::{noise_seed, GaussianClt, Lfsr31, PoissonInterval, SplitMix64};

@@ -76,10 +76,39 @@ impl Lfsr31 {
 
     /// Returns the next full 31-bit word (31 register steps, as the
     /// hardware would shift out a word serially).
+    ///
+    /// A healthy register advances word-parallel: stepping is linear over
+    /// GF(2), so the 31 serial steps collapse to a closed form. With the
+    /// inserted bit at step `s` written `b_s` and `r_s` = old bit
+    /// `30 − s`, the recurrence is `b_s = r_s ^ old[2 − s]` for `s < 3`
+    /// and `b_s = r_s ^ b_{s−3}` after (an inserted bit reaches the `x^3`
+    /// tap three steps later). Expanding gives a stride-3 prefix XOR over
+    /// the bit-reversed state plus one constant correction per residue
+    /// class — a dozen word ops instead of 31 dependent single-bit steps,
+    /// bit-identical to the serial loop (the stuck-tap fault path keeps
+    /// the serial reference implementation).
     pub fn next_u31(&mut self) -> u32 {
-        for _ in 0..Self::BITS {
-            self.step();
+        if self.stuck_tap.is_some() {
+            for _ in 0..Self::BITS {
+                self.step();
+            }
+            return self.state;
         }
+        // r bit s = old bit (30 − s).
+        let r = self.state.reverse_bits() >> 1;
+        // Stride-3 prefix XOR: bit s accumulates r_s ^ r_{s−3} ^ …
+        let mut b = r;
+        b ^= b << 3;
+        b ^= b << 6;
+        b ^= b << 12;
+        b ^= b << 24;
+        // The `old[2 − (s mod 3)]` tail term folds into every bit of the
+        // matching residue class (bits ≡ 0, 1, 2 mod 3 within 0..31).
+        b ^= 0x4924_9249 & ((self.state >> 2) & 1).wrapping_neg();
+        b ^= 0x1249_2492 & ((self.state >> 1) & 1).wrapping_neg();
+        b ^= 0x2492_4924 & (self.state & 1).wrapping_neg();
+        // The register after 31 steps holds b_s at position 30 − s.
+        self.state = (b.reverse_bits() >> 1) & 0x7FFF_FFFF;
         self.state
     }
 
@@ -332,6 +361,26 @@ mod tests {
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| l.next_unit()).sum::<f64>() / f64::from(n);
         assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn word_advance_matches_serial_stepping() {
+        // The closed-form `next_u31` must be bit-identical to 31 serial
+        // `step` calls, for arbitrary states and across whole streams.
+        let mut sm = SplitMix64::new(0x001F_5B31);
+        for _ in 0..500 {
+            #[allow(clippy::cast_possible_truncation)]
+            let seed = sm.next_u64() as u32;
+            let mut fast = Lfsr31::new(seed);
+            let mut serial = Lfsr31::new(seed);
+            for round in 0..8 {
+                let w = fast.next_u31();
+                for _ in 0..Lfsr31::BITS {
+                    serial.step();
+                }
+                assert_eq!(w, serial.state(), "seed {seed:#x} round {round}");
+            }
+        }
     }
 
     #[test]

@@ -40,8 +40,8 @@ fn main() {
     };
     Model::fit(&mut mlp, &train, &budget).expect("geometry matches");
     let float_acc = Model::evaluate(&mut mlp, &test).accuracy();
-    let quant = QuantizedMlp::from_mlp(&mlp);
-    let quant_acc = metrics::evaluate_quantized(&quant, &test).accuracy();
+    let mut quant = QuantizedMlp::from_mlp(&mlp);
+    let quant_acc = metrics::evaluate_quantized(&mut quant, &test).accuracy();
     println!("MLP+BP float:        {:.2}%", float_acc * 100.0);
     println!(
         "MLP+BP 8-bit fixed:  {:.2}%  (paper: 96.65% vs 97.65% — 'on par')",
@@ -92,12 +92,18 @@ fn main() {
     }
 
     // --- Datapath validation (the paper's RTL-vs-simulator check) ---
-    let mlp_sim = FoldedMlpSim::new(&quant, 16);
+    let mut mlp_winners = Vec::new();
+    {
+        let mut mlp_sim = FoldedMlpSim::new(&quant, 16);
+        for s in test.iter() {
+            mlp_winners.push(mlp_sim.run(&s.pixels).winner);
+        }
+    }
     let wot_sim = WotDatapathSim::new(wot.weights(), 784, 100, 16);
     let mut mlp_agree = 0;
     let mut wot_agree = 0;
-    for s in test.iter() {
-        if mlp_sim.run(&s.pixels).winner == quant.predict_u8(&s.pixels) {
+    for (s, mlp_winner) in test.iter().zip(mlp_winners) {
+        if mlp_winner == quant.predict_u8(&s.pixels) {
             mlp_agree += 1;
         }
         if wot_sim.run(&s.pixels).winner == wot.winner(&s.pixels) {

@@ -28,12 +28,18 @@ fn quantized_mlp_and_folded_datapath_are_bit_identical() {
         ..TrainConfig::default()
     })
     .fit(&mut mlp, &train);
-    let q = QuantizedMlp::from_mlp(&mlp);
+    let mut q = QuantizedMlp::from_mlp(&mlp);
     for ni in [1usize, 3, 7, 16, 100] {
-        let sim = FoldedMlpSim::new(&q, ni);
-        for s in test.iter() {
+        let mut winners = Vec::new();
+        {
+            let mut sim = FoldedMlpSim::new(&q, ni);
+            for s in test.iter() {
+                winners.push(sim.run(&s.pixels).winner);
+            }
+        }
+        for (s, winner) in test.iter().zip(winners) {
             assert_eq!(
-                sim.run(&s.pixels).winner,
+                winner,
                 q.predict_u8(&s.pixels),
                 "chunked accumulation must not change the result (ni={ni})"
             );
