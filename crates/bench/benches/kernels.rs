@@ -11,14 +11,16 @@
 //!
 //! * `--json <path>` writes the results as a `BenchRecord` (one section
 //!   per benchmark, `samples_per_sec` = iterations/sec at the median).
-//! * `--baseline <path>` compares `e2e/fig3_present_784_50` against a
+//! * `--baseline <path>` compares every gated section (the Figure-3
+//!   presentation loop and the batched 50-image evaluation) against a
 //!   previously committed record and exits non-zero on a >20% regression.
 //! * `NC_BENCH_SMOKE=1` shrinks sample counts for CI smoke runs.
 
 use nc_bench::microbench::{BenchResult, Group};
 use nc_bench::{git_short_sha, json_path_from_args};
 use nc_core::{BenchRecord, SectionRecord};
-use nc_dataset::{digits::DigitsSpec, Difficulty};
+use nc_dataset::model::Model;
+use nc_dataset::{digits::DigitsSpec, Difficulty, PixelSlab};
 use nc_mlp::{Activation, Mlp, QuantizedMlp};
 use nc_snn::{SnnNetwork, SnnParams};
 
@@ -57,6 +59,15 @@ fn bench_all() -> Vec<BenchResult> {
                 .map(|&v| u32::from(v))
                 .sum::<u32>()
         });
+        // The same network through the batched GEMM kernel, 32 images
+        // per tile (one iteration = 32 forward passes).
+        let slab = PixelSlab::from_dataset(&test);
+        let mut out = Vec::new();
+        group.bench("quantized_forward_batch32", || {
+            out.clear();
+            q.predict_batch_u8(&slab.batch().pixels()[..784 * 32], 32, &mut out);
+            out.len()
+        });
         results.extend(group.results().iter().cloned());
     }
 
@@ -79,9 +90,15 @@ fn bench_all() -> Vec<BenchResult> {
             snn.present(pixels, seed)
         });
 
+        // The canonical evaluation number: the full batched path the
+        // experiment engine runs (contiguous slab view, streaming
+        // winner-only SNN inference).
         let mut eval_snn = fig3_network(&train);
         eval_snn.self_label(&train);
-        group.bench("fig3_evaluate_50imgs", || eval_snn.evaluate(&test));
+        let slab = PixelSlab::from_dataset(&test);
+        group.bench("fig3_evaluate_50imgs", || {
+            eval_snn.evaluate_batch(&slab.batch())
+        });
         results.extend(group.results().iter().cloned());
     }
 
@@ -117,8 +134,9 @@ fn baseline_from_args() -> Option<std::path::PathBuf> {
     None
 }
 
-/// The section this harness gates regressions on.
-const GATE: &str = "e2e/fig3_present_784_50";
+/// The sections this harness gates regressions on: the single-image
+/// presentation loop and the batched 50-image evaluation path.
+const GATES: &[&str] = &["e2e/fig3_present_784_50", "e2e/fig3_evaluate_50imgs"];
 
 /// Extracts `samples_per_sec` for `section` from a `BenchRecord` JSON
 /// document by scanning the flat `"name": ... "samples_per_sec":` layout
@@ -154,22 +172,28 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let Some(base) = baseline_per_sec(&json, GATE) else {
-            eprintln!("error: baseline {} has no section {GATE}", path.display());
-            std::process::exit(1);
-        };
-        let Some(now) = results
-            .iter()
-            .find(|r| r.name == GATE)
-            .map(BenchResult::per_sec)
-        else {
-            eprintln!("error: this run produced no section {GATE}");
-            std::process::exit(1);
-        };
-        let ratio = now / base;
-        eprintln!("{GATE}: {now:.1}/s vs baseline {base:.1}/s ({ratio:.2}x)");
-        if ratio < 0.8 {
-            eprintln!("error: presentations/sec regressed more than 20% vs baseline");
+        let mut regressed = false;
+        for gate in GATES {
+            let Some(base) = baseline_per_sec(&json, gate) else {
+                eprintln!("error: baseline {} has no section {gate}", path.display());
+                std::process::exit(1);
+            };
+            let Some(now) = results
+                .iter()
+                .find(|r| &r.name == gate)
+                .map(BenchResult::per_sec)
+            else {
+                eprintln!("error: this run produced no section {gate}");
+                std::process::exit(1);
+            };
+            let ratio = now / base;
+            eprintln!("{gate}: {now:.1}/s vs baseline {base:.1}/s ({ratio:.2}x)");
+            if ratio < 0.8 {
+                eprintln!("error: {gate} regressed more than 20% vs baseline");
+                regressed = true;
+            }
+        }
+        if regressed {
             std::process::exit(1);
         }
     }

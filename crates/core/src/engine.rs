@@ -592,10 +592,13 @@ impl Engine {
     ) -> Vec<Result<f64, Error>> {
         let data = Arc::clone(data);
         let recorder = Arc::clone(&self.recorder);
+        // One contiguous evaluation slab shared by every job: the models
+        // score through the batched kernel path, not per-sample dispatch.
+        let slab = Arc::new(nc_dataset::PixelSlab::from_dataset(&data.1));
         self.run_jobs(jobs, move |(spec, budget): (ModelSpec, FitBudget)| {
             let mut model = spec.build()?;
             model.fit_observed(&data.0, &budget, recorder.as_ref())?;
-            let accuracy = model.evaluate_batch(&data.1).accuracy();
+            let accuracy = model.evaluate_batch(&slab.batch()).accuracy();
             if recorder.enabled() {
                 recorder.observe("engine.accuracy", accuracy);
             }

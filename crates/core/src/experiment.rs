@@ -279,18 +279,6 @@ impl AccuracyComparison {
         self.scale.unwrap_or_else(|| engine.scale())
     }
 
-    /// Runs everything sequentially and returns the accuracy block.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build an Engine and call engine.run(&comparison) instead"
-    )]
-    pub fn run(&self) -> AccuracyResults {
-        Engine::sequential(self.scale.unwrap_or(ExperimentScale::Standard))
-            .run(self)
-            // nc-lint: allow(R5, reason = "paper-constant topologies; validated by the tier-1 accuracy tests")
-            .expect("paper topologies are valid")
-    }
-
     /// The five Table 3 model variants as job specs, in result order:
     /// `[LIF, wot, SNN+BP, MLP, quantized MLP]`.
     fn model_specs(&self, inputs: usize, classes: usize) -> Vec<ModelSpec> {

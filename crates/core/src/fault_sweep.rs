@@ -183,6 +183,7 @@ impl Experiment for FaultSweep {
         }
 
         let shared = Arc::clone(&data);
+        let slab = Arc::new(nc_dataset::PixelSlab::from_dataset(&data.1));
         let recorder = engine.recorder_handle();
         let results = engine.run_jobs_supervised(
             jobs,
@@ -193,7 +194,7 @@ impl Experiment for FaultSweep {
                     model.fit(&shared.0, budget)?;
                     model.inject(plan)?;
                     recorder.add("engine.fault_injections", 1);
-                    Ok(model.evaluate_batch(&shared.1).accuracy())
+                    Ok(model.evaluate_batch(&slab.batch()).accuracy())
                 };
                 run()
             },

@@ -119,11 +119,18 @@ impl Experiment for RobustnessSweep {
         if train.is_empty() || test.is_empty() {
             return Err(Error::EmptyDataset);
         }
-        // Corrupt once, share read-only across the three jobs.
-        let noisy: Vec<Arc<Dataset>> = self
+        // Corrupt once into contiguous evaluation slabs, shared
+        // read-only across the three jobs.
+        let noisy: Vec<Arc<nc_dataset::PixelSlab>> = self
             .noise_levels
             .iter()
-            .map(|&n| Arc::new(corrupt(test, n, noise_seed(n))))
+            .map(|&n| {
+                Arc::new(nc_dataset::PixelSlab::from_dataset(&corrupt(
+                    test,
+                    n,
+                    noise_seed(n),
+                )))
+            })
             .collect();
         let (inputs, classes) = (train.input_dim(), train.num_classes());
         let params = SnnParams::tuned(self.snn_neurons);
@@ -165,7 +172,7 @@ impl Experiment for RobustnessSweep {
             model.fit(train, &budget)?;
             Ok(noisy
                 .iter()
-                .map(|d| model.evaluate_batch(d).accuracy())
+                .map(|d| model.evaluate_batch(&d.batch()).accuracy())
                 .collect())
         });
         let mut ladders = ladders.into_iter();

@@ -465,28 +465,6 @@ impl Experiment for CodingSweep {
     }
 }
 
-/// Convenience: generate a workload and run the MLP sweep in one call.
-#[deprecated(since = "0.2.0", note = "run NeuronSweep::fig8 on an Engine instead")]
-pub fn fig8_mlp(
-    workload: Workload,
-    scale: ExperimentScale,
-    widths: &[usize],
-) -> Vec<NeuronSweepPoint> {
-    let (train, test) = workload.generate(scale);
-    mlp_neuron_sweep(&train, &test, widths, scale.mlp_epochs(), 0xF168)
-}
-
-/// Convenience: generate a workload and run the SNN sweep in one call.
-#[deprecated(since = "0.2.0", note = "run NeuronSweep::fig8 on an Engine instead")]
-pub fn fig8_snn(
-    workload: Workload,
-    scale: ExperimentScale,
-    sizes: &[usize],
-) -> Vec<NeuronSweepPoint> {
-    let (train, test) = workload.generate(scale);
-    snn_neuron_sweep(&train, &test, sizes, scale, 0xF168)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -128,6 +128,147 @@ impl std::error::Error for ModelError {}
 /// loops) saw.
 pub const EVAL_PRESENTATION_SEED_BASE: u64 = 0xE7A1_0000;
 
+/// The owned backing store of an [`EvalBatch`]: every sample's pixels
+/// copied once into a single contiguous slab, plus the labels and
+/// geometry. Built from a [`Dataset`] (whose samples each own their own
+/// pixel vector) so batched kernels can consume one flat `&[u8]` with a
+/// fixed stride instead of chasing a pointer per image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PixelSlab {
+    pixels: Vec<u8>,
+    labels: Vec<usize>,
+    stride: usize,
+    num_classes: usize,
+}
+
+impl PixelSlab {
+    /// Copies `test` into contiguous storage. `stride` becomes the
+    /// dataset's input dimension; samples are laid out back to back in
+    /// dataset order.
+    pub fn from_dataset(test: &Dataset) -> PixelSlab {
+        let stride = test.input_dim();
+        let mut pixels = Vec::with_capacity(stride * test.len());
+        let mut labels = Vec::with_capacity(test.len());
+        for s in test.iter() {
+            pixels.extend_from_slice(&s.pixels);
+            labels.push(s.label);
+        }
+        PixelSlab {
+            pixels,
+            labels,
+            stride,
+            num_classes: test.num_classes(),
+        }
+    }
+
+    /// The batch view over the whole slab, with item `i` carrying the
+    /// shared evaluation seed [`EVAL_PRESENTATION_SEED_BASE`]` | i`.
+    pub fn batch(&self) -> EvalBatch<'_> {
+        EvalBatch {
+            pixels: &self.pixels,
+            labels: &self.labels,
+            stride: self.stride,
+            num_classes: self.num_classes,
+            first_index: 0,
+        }
+    }
+}
+
+/// A borrowed, contiguous view of evaluation work: `len()` images of
+/// `stride()` pixels back to back in one slab, each with its label and
+/// its presentation seed. This is the unit the batched kernel layer
+/// consumes — one slab, one weight pass — and what
+/// [`Model::predict_batch`]/[`Model::evaluate_batch`] take instead of a
+/// `&Dataset`.
+///
+/// Seeds are positional: item `i` of a batch whose first item is global
+/// index `f` is presented with seed
+/// [`EVAL_PRESENTATION_SEED_BASE`]` | (f + i)`, so splitting a batch
+/// into kernel-sized [`EvalBatch::tiles`] changes nothing about which
+/// seed any image sees.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalBatch<'a> {
+    pixels: &'a [u8],
+    labels: &'a [usize],
+    stride: usize,
+    num_classes: usize,
+    first_index: usize,
+}
+
+impl<'a> EvalBatch<'a> {
+    /// Number of images in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Pixels per image (the dataset's input dimension).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of label classes (the confusion-matrix dimension).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The whole contiguous pixel slab, `len() · stride()` bytes.
+    pub fn pixels(&self) -> &'a [u8] {
+        self.pixels
+    }
+
+    /// Image `i`'s pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn item(&self, i: usize) -> &'a [u8] {
+        &self.pixels[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Image `i`'s ground-truth label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Image `i`'s presentation seed under the shared convention.
+    pub fn seed(&self, i: usize) -> u64 {
+        EVAL_PRESENTATION_SEED_BASE | u64::try_from(self.first_index + i).unwrap_or(u64::MAX)
+    }
+
+    /// Splits the batch into consecutive sub-batches of at most `tile`
+    /// images each, preserving every item's seed and label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile == 0`.
+    pub fn tiles(&self, tile: usize) -> impl Iterator<Item = EvalBatch<'a>> + '_ {
+        assert!(tile > 0, "tile size must be positive");
+        let stride = self.stride;
+        let num_classes = self.num_classes;
+        let first = self.first_index;
+        self.pixels
+            .chunks(stride.max(1) * tile)
+            .zip(self.labels.chunks(tile))
+            .enumerate()
+            .map(move |(k, (pixels, labels))| EvalBatch {
+                pixels,
+                labels,
+                stride,
+                num_classes,
+                first_index: first + k * tile,
+            })
+    }
+}
+
 /// A classifier that can be trained on a [`Dataset`] and scored on
 /// another — the unit of work the experiment engine schedules.
 ///
@@ -180,32 +321,33 @@ pub trait Model: Send {
     /// model's input width.
     fn predict(&mut self, pixels: &[u8], presentation_seed: u64) -> usize;
 
-    /// Classifies every sample of `test` in dataset order into `out`
-    /// (cleared first, so a reused buffer allocates nothing once grown).
-    /// Sample `i` is presented with seed
-    /// [`EVAL_PRESENTATION_SEED_BASE`]` | i`, the same stream
+    /// Classifies every image of `batch` in order into `out` (cleared
+    /// first, so a reused buffer allocates nothing once grown). Each
+    /// image is presented with its [`EvalBatch::seed`], the same stream
     /// [`Model::evaluate_batch`] scores.
-    fn predict_batch(&mut self, test: &Dataset, out: &mut Vec<usize>) {
+    ///
+    /// The default drives [`Model::predict`] one image at a time, which
+    /// keeps every family correct before it is ported; batched models
+    /// override this to run the slab through kernel-sized tiles.
+    fn predict_batch(&mut self, batch: &EvalBatch<'_>, out: &mut Vec<usize>) {
         out.clear();
-        out.reserve(test.len());
-        for (i, s) in test.iter().enumerate() {
-            out.push(self.predict(&s.pixels, EVAL_PRESENTATION_SEED_BASE | i as u64));
+        out.reserve(batch.len());
+        for i in 0..batch.len() {
+            out.push(self.predict(batch.item(i), batch.seed(i)));
         }
     }
 
-    /// Scores on `test` through the batched prediction path. The
-    /// default drives [`Model::predict`] one sample at a time under the
-    /// shared seed convention, so models whose `predict` reuses scratch
-    /// buffers (the quantized MLP, the event-driven SNN) evaluate a
-    /// whole batch with no per-sample heap allocation; the experiment
-    /// engine always scores through this entry point.
-    fn evaluate_batch(&mut self, test: &Dataset) -> Confusion {
-        let mut confusion = Confusion::new(test.num_classes());
-        for (i, s) in test.iter().enumerate() {
-            confusion.record(
-                s.label,
-                self.predict(&s.pixels, EVAL_PRESENTATION_SEED_BASE | i as u64),
-            );
+    /// Scores `batch` through the batched prediction path, producing
+    /// the shared confusion matrix. The default delegates to
+    /// [`Model::predict_batch`], so overriding that single method is
+    /// enough to batch both entry points; the experiment engine always
+    /// scores through this one.
+    fn evaluate_batch(&mut self, batch: &EvalBatch<'_>) -> Confusion {
+        let mut predictions = Vec::new();
+        self.predict_batch(batch, &mut predictions);
+        let mut confusion = Confusion::new(batch.num_classes());
+        for (i, &p) in predictions.iter().enumerate() {
+            confusion.record(batch.label(i), p);
         }
         confusion
     }
@@ -330,7 +472,7 @@ mod tests {
                 Ok(())
             }
             fn evaluate(&mut self, test: &Dataset) -> Confusion {
-                self.evaluate_batch(test)
+                self.evaluate_batch(&PixelSlab::from_dataset(test).batch())
             }
             fn predict(&mut self, _: &[u8], presentation_seed: u64) -> usize {
                 self.seen.push(presentation_seed);
@@ -354,10 +496,11 @@ mod tests {
         )
         .unwrap();
         let mut model = SeedEcho { seen: Vec::new() };
+        let slab = PixelSlab::from_dataset(&ds);
         let mut out = Vec::new();
-        model.predict_batch(&ds, &mut out);
+        model.predict_batch(&slab.batch(), &mut out);
         assert_eq!(out, vec![0, 0]);
-        let confusion = model.evaluate_batch(&ds);
+        let confusion = model.evaluate_batch(&slab.batch());
         assert_eq!(confusion.total(), 2);
         assert_eq!(
             model.seen,
@@ -368,6 +511,46 @@ mod tests {
                 EVAL_PRESENTATION_SEED_BASE | 1,
             ]
         );
+    }
+
+    #[test]
+    fn slab_views_are_contiguous_and_tiles_preserve_seeds() {
+        let ds = Dataset::from_samples(
+            2,
+            2,
+            3,
+            (0..5u8)
+                .map(|i| Sample {
+                    pixels: vec![i; 4],
+                    label: usize::from(i) % 3,
+                })
+                .collect(),
+        )
+        .unwrap();
+        let slab = PixelSlab::from_dataset(&ds);
+        let batch = slab.batch();
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.stride(), 4);
+        assert_eq!(batch.num_classes(), 3);
+        assert_eq!(batch.pixels().len(), 20);
+        for i in 0..5 {
+            assert_eq!(batch.item(i), &[u8::try_from(i).unwrap(); 4]);
+            assert_eq!(batch.label(i), i % 3);
+            assert_eq!(
+                batch.seed(i),
+                EVAL_PRESENTATION_SEED_BASE | u64::try_from(i).unwrap()
+            );
+        }
+        // Tiling into twos: items keep their global seeds and labels.
+        let tiles: Vec<_> = batch.tiles(2).collect();
+        assert_eq!(
+            tiles.iter().map(EvalBatch::len).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        assert_eq!(tiles[1].item(1), batch.item(3));
+        assert_eq!(tiles[1].seed(1), batch.seed(3));
+        assert_eq!(tiles[2].label(0), batch.label(4));
+        assert_eq!(tiles[2].seed(0), batch.seed(4));
     }
 
     #[test]

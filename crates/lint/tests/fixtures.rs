@@ -102,7 +102,7 @@ fn findings_are_sorted_by_file_line_rule() {
 fn clean_corpus_produces_no_findings() {
     let report = lint("clean");
     assert!(report.is_clean(), "{report:#?}");
-    assert_eq!(report.files_scanned, 11);
+    assert_eq!(report.files_scanned, 12);
     // Every waiver in the corpus is justified AND load-bearing.
     assert_eq!(report.suppressions_total, 3);
     assert_eq!(report.suppressions_used, 3);
@@ -148,7 +148,7 @@ fn cli_exit_codes_and_json_match_the_library() {
     assert_eq!(good.status.code(), Some(0), "{good:?}");
     let stdout = String::from_utf8(good.stdout).expect("utf8 stdout");
     assert!(
-        stdout.contains("0 finding(s) across 11 file(s); 3/3 suppression(s) in use"),
+        stdout.contains("0 finding(s) across 12 file(s); 3/3 suppression(s) in use"),
         "{stdout}"
     );
 

@@ -1,0 +1,26 @@
+//! Near-miss corpus for the batched kernel module: widening casts,
+//! "as u8" narrowing in prose and strings, and saturating conversions
+//! that must not trip R2.
+
+/// Comments that merely *mention* `x as u8` or `count as u16` are prose,
+/// not casts.
+pub fn gemm_tile_i64(acc: &mut [i64], weights: &[i8], activations: &[u8]) {
+    for (slot, (&w, &a)) in acc.iter_mut().zip(weights.iter().zip(activations)) {
+        // Widening into the adder tree is the audited technique here:
+        // i8 -> i64 and u8 -> i64 lose nothing.
+        *slot += i64::from(w) * i64::from(a);
+    }
+}
+
+pub fn saturate_readout(acc: i64) -> u8 {
+    let msg = "clamp(acc) as u8 would narrow; try_from keeps the audit trail";
+    debug_assert!(!msg.is_empty());
+    u8::try_from(acc.clamp(0, 255)).unwrap_or(u8::MAX)
+}
+
+pub fn spike_count_swar(word: u64) -> u64 {
+    // Shift-mask accumulation stays in u64 end to end.
+    let pairs = (word & 0x5555_5555_5555_5555) + ((word >> 1) & 0x5555_5555_5555_5555);
+    let nibbles = (pairs & 0x3333_3333_3333_3333) + ((pairs >> 2) & 0x3333_3333_3333_3333);
+    nibbles.wrapping_mul(0x0101_0101_0101_0101) >> 56
+}

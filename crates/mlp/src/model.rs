@@ -6,7 +6,7 @@ use crate::metrics;
 use crate::network::Mlp;
 use crate::quant::QuantizedMlp;
 use crate::trainer::{TrainConfig, Trainer};
-use nc_dataset::model::{check_fit_inputs, FitBudget, Model, ModelError};
+use nc_dataset::model::{check_fit_inputs, EvalBatch, FitBudget, Model, ModelError};
 use nc_dataset::Dataset;
 use nc_faults::{dead_unit_mask, FaultModel, FaultPlan};
 use nc_obs::Recorder;
@@ -125,10 +125,34 @@ impl Model for QuantizedMlp {
         self.predict_u8(pixels)
     }
 
+    /// Batched inference through the GEMM kernel: the slab is consumed
+    /// in kernel-sized tiles, bit-identical to the serial default (the
+    /// GEMM is bit-identical to the column-wise GEMV). With a
+    /// transient-read fault armed the serial path is kept — its
+    /// per-read RNG stream makes read order part of the semantics.
+    fn predict_batch(&mut self, batch: &EvalBatch<'_>, out: &mut Vec<usize>) {
+        out.clear();
+        if self.has_transient_faults() {
+            for i in 0..batch.len() {
+                out.push(self.predict_u8(batch.item(i)));
+            }
+            return;
+        }
+        out.reserve(batch.len());
+        for tile in batch.tiles(BATCH_TILE) {
+            self.predict_batch_u8(tile.pixels(), tile.len(), out);
+        }
+    }
+
     fn inject(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
         self.apply_fault(plan)
     }
 }
+
+/// Images per evaluation tile on the batched paths: large enough that a
+/// weight pass amortizes over many presentations, small enough that the
+/// activation scratch slab stays cache-resident.
+const BATCH_TILE: usize = 32;
 
 #[cfg(test)]
 mod tests {

@@ -17,7 +17,7 @@ use nc_dataset::ModelError;
 use nc_faults::{dead_unit_mask, stuck_bits_i8, FaultModel, FaultPlan, TransientReads};
 use nc_substrate::fixed::{sat_i32_trunc, sat_i8_round};
 use nc_substrate::interp::PiecewiseLinear;
-use nc_substrate::kernel::{gemv_i8xu8, FixedActLut, Scratch};
+use nc_substrate::kernel::{gemm_i8xu8, gemv_i8xu8, FixedActLut, Scratch};
 
 /// Bit width of weights and activations in the hardware datapath.
 pub const DATA_BITS: u32 = 8;
@@ -256,13 +256,78 @@ impl QuantizedMlp {
     /// Panics if `input.len()` does not match the input layer width.
     pub fn predict_u8(&mut self, input: &[u8]) -> usize {
         let out = self.forward_u8(input);
-        let mut best = 0;
-        for (i, &v) in out.iter().enumerate().skip(1) {
-            if v > out[best] {
-                best = i;
+        argmax_u8(out)
+    }
+
+    /// Runs 8-bit inference over a contiguous batch of `cols` images
+    /// laid out back to back in `inputs`, returning the output
+    /// activations image-major (`cols · output_width` bytes, image `c`'s
+    /// registers contiguous). Each layer is one [`gemm_i8xu8`] pass over
+    /// the whole slab, so the weight matrix streams through cache once
+    /// per tile instead of once per image; the per-image results are
+    /// bit-identical to calling [`QuantizedMlp::forward_u8`] image by
+    /// image (the GEMM is bit-identical to the column-wise GEMV and the
+    /// activation LUT is evaluated elementwise either way).
+    ///
+    /// This path bypasses the transient-read fault port — callers with
+    /// an armed fault stream must keep the serial path, whose read
+    /// order is part of the fault semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0` or `inputs.len() != cols ·` input width.
+    pub fn forward_batch_u8(&mut self, inputs: &[u8], cols: usize) -> &[u8] {
+        assert!(cols > 0, "batch must hold at least one image");
+        assert_eq!(
+            inputs.len(),
+            cols * self.sizes[0],
+            "input slab does not match topology × batch size"
+        );
+        let max_width = self.sizes.iter().copied().max().unwrap_or(0);
+        self.scratch.ensure(max_width * cols);
+        self.scratch.front[..inputs.len()].copy_from_slice(inputs);
+        for l in 0..self.layers.len() {
+            let fan_in = self.sizes[l];
+            let fan_out = self.sizes[l + 1];
+            let weights = &self.layers[l][..fan_out * (fan_in + 1)];
+            let lut = &self.act_luts[l];
+            let scratch = &mut self.scratch;
+            // Column-major GEMM output: image c's accumulators occupy
+            // the contiguous stripe [c·fan_out, (c+1)·fan_out), which is
+            // exactly the image-major layout the next layer's slab needs.
+            gemm_i8xu8(
+                weights,
+                fan_out,
+                &scratch.front[..fan_in * cols],
+                cols,
+                &mut scratch.acc[..fan_out * cols],
+            );
+            for (out, &acc) in scratch.back[..fan_out * cols].iter_mut().zip(&scratch.acc) {
+                *out = lut.eval(acc);
             }
+            std::mem::swap(&mut scratch.front, &mut scratch.back);
         }
-        best
+        &self.scratch.front[..self.sizes[self.sizes.len() - 1] * cols]
+    }
+
+    /// Predicted classes for a contiguous batch of `cols` images,
+    /// appended to `out` in batch order (first maximum wins per image,
+    /// as in [`QuantizedMlp::predict_u8`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0` or `inputs.len() != cols ·` input width.
+    pub fn predict_batch_u8(&mut self, inputs: &[u8], cols: usize, out: &mut Vec<usize>) {
+        let width = self.sizes[self.sizes.len() - 1];
+        let registers = self.forward_batch_u8(inputs, cols);
+        out.extend(registers.chunks(width.max(1)).map(argmax_u8));
+    }
+
+    /// Whether a transient-read fault stream is armed on the weight
+    /// SRAM port (in which case batch evaluation must stay serial: the
+    /// per-read RNG makes read order part of the semantics).
+    pub fn has_transient_faults(&self) -> bool {
+        self.faults.is_active()
     }
 
     /// The fixed-point activation table of a layer (shared with the
@@ -336,11 +401,50 @@ impl QuantizedMlp {
     }
 }
 
+/// First-maximum-wins argmax over u8 registers (matches
+/// [`crate::network::argmax`] on the quantized grid).
+fn argmax_u8(out: &[u8]) -> usize {
+    let mut best = 0;
+    for (i, &v) in out.iter().enumerate().skip(1) {
+        if v > out[best] {
+            best = i;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trainer::{TrainConfig, Trainer};
     use nc_dataset::{digits::DigitsSpec, Difficulty};
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_serial() {
+        let (_, test) = DigitsSpec {
+            train: 1,
+            test: 23, // not a multiple of the GEMM column tile
+            seed: 77,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        let mlp = Mlp::new(&[784, 31, 10], Activation::sigmoid(), 5).unwrap();
+        let mut serial = QuantizedMlp::from_mlp(&mlp);
+        let mut batched = QuantizedMlp::from_mlp(&mlp);
+        let slab: Vec<u8> = test.iter().flat_map(|s| s.pixels.iter().copied()).collect();
+        let batch_out = batched.forward_batch_u8(&slab, test.len()).to_vec();
+        for (c, s) in test.iter().enumerate() {
+            assert_eq!(
+                &batch_out[c * 10..(c + 1) * 10],
+                serial.forward_u8(&s.pixels),
+                "image {c}"
+            );
+        }
+        let mut preds = Vec::new();
+        batched.predict_batch_u8(&slab, test.len(), &mut preds);
+        let serial_preds: Vec<usize> = test.iter().map(|s| serial.predict_u8(&s.pixels)).collect();
+        assert_eq!(preds, serial_preds);
+    }
 
     #[test]
     fn quantized_weights_are_close_to_float() {

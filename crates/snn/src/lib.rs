@@ -54,7 +54,7 @@ pub mod stdp_rules;
 pub mod trace;
 pub mod wot;
 
-pub use coding::{CodingScheme, SpikeEvent};
+pub use coding::{CodingScheme, RateStreams, SpikeEvent};
 pub use network::SnnNetwork;
 pub use params::SnnParams;
 pub use wot::WotSnn;

@@ -22,7 +22,7 @@
 //!   neuron wins on a training image; final label = highest count
 //!   normalized by label frequency.
 
-use crate::coding::{CodingScheme, SpikeEvent};
+use crate::coding::{CodingScheme, RateStreams, SpikeEvent};
 use crate::params::SnnParams;
 use crate::trace::PresentationTrace;
 use nc_dataset::model::{ModelError, EVAL_PRESENTATION_SEED_BASE};
@@ -153,6 +153,42 @@ impl SimScratch {
     }
 }
 
+/// Reusable state for the streaming winner-only inference path
+/// ([`SnnNetwork`]'s `simulate_streaming`): the per-pixel generator
+/// streams, the per-millisecond calendar queue, and the working buffers
+/// of the bucket-at-a-time potential kernel.
+#[derive(Debug, Clone, Default)]
+struct StreamScratch {
+    /// Lazy per-pixel spike generators for the current presentation.
+    streams: RateStreams,
+    /// Stream index of every spike of the presentation, in drain order
+    /// (pixel-major, times ascending within a pixel).
+    spike_k: Vec<u32>,
+    /// Millisecond of every spike, parallel to `spike_k`.
+    spike_t: Vec<u32>,
+    /// Calendar bucket boundaries after the counting sort: bucket `t`
+    /// is `slots[starts[t]..starts[t + 1]]`.
+    starts: Vec<u32>,
+    /// Scatter cursors (working copy of `starts`).
+    cursor: Vec<u32>,
+    /// Stream indices grouped by millisecond bucket. Within a bucket
+    /// the scatter preserves drain order — ascending input with same-ms
+    /// duplicates adjacent — so a bucket doubles as the replay script
+    /// when a threshold crossing is detected.
+    slots: Vec<u32>,
+    /// Second half of the potential double buffer (the first half is
+    /// the simulation scratch's potential vector).
+    pot_next: Vec<f64>,
+    /// `f64` mirror of the network's column-major `weights_t`
+    /// (`f64::from` per element is exact, so adding from this mirror is
+    /// bit-identical to converting each `u8` on the fly — it just lets
+    /// the add sweep autovectorize as pure f64 adds). Rebuilt lazily
+    /// whenever `wcols_rev` trails the network's weight revision.
+    wcols: Vec<f64>,
+    /// Weight revision this mirror was built from (0 = never built).
+    wcols_rev: u64,
+}
+
 /// The single-layer WTA spiking network.
 ///
 /// # Examples
@@ -178,6 +214,11 @@ pub struct SnnNetwork {
     /// gather. Kept in sync by [`SnnNetwork::rebuild_weights_t`] and the
     /// incremental STDP update.
     weights_t: Vec<u8>,
+    /// Monotone weight revision, bumped by every mutation of
+    /// `weights_t`; lets the streaming path's f64 mirror rebuild lazily
+    /// (weights never change during inference, so the mirror is built
+    /// once per trained network, not once per presentation).
+    weights_rev: u64,
     /// Per-neuron firing thresholds (homeostasis adjusts them).
     thresholds: Vec<f64>,
     /// Per-(neuron, class) win counters for self-labeling.
@@ -208,6 +249,8 @@ pub struct SnnNetwork {
     gen_fault: Option<FaultPlan>,
     /// Reused simulation buffers (allocation-free steady state).
     sim: SimScratch,
+    /// Reused buffers for the streaming winner-only inference path.
+    stream: StreamScratch,
 }
 
 impl SnnNetwork {
@@ -255,6 +298,7 @@ impl SnnNetwork {
             coding,
             weights,
             weights_t: Vec::new(),
+            weights_rev: 0,
             thresholds: vec![threshold; n],
             label_counts: vec![0; n * classes],
             class_presented: vec![0; classes],
@@ -268,6 +312,7 @@ impl SnnNetwork {
             faults: TransientReads::disabled(),
             gen_fault: None,
             sim: SimScratch::default(),
+            stream: StreamScratch::default(),
         };
         net.rebuild_weights_t();
         net
@@ -279,6 +324,7 @@ impl SnnNetwork {
     /// update maintains it incrementally instead.
     fn rebuild_weights_t(&mut self) {
         let n = self.params.neurons;
+        self.weights_rev += 1;
         self.weights_t.clear();
         self.weights_t.resize(n * self.inputs, 0);
         for j in 0..n {
@@ -665,6 +711,224 @@ impl SnnNetwork {
         winner
     }
 
+    /// Whether the streaming winner-only path may serve inference for
+    /// the current configuration: rate codes only (the streams are the
+    /// per-pixel interval generators, so temporal codes have nothing to
+    /// stream) and a healthy SRAM read port (with transient read faults
+    /// armed, the batch loop's per-read RNG stream makes read *order*
+    /// part of the semantics). A stuck generator tap is fine — the
+    /// streams degrade exactly the generators the eager encoder would.
+    fn streaming_inference_ok(&self) -> bool {
+        self.coding.is_rate_code() && !self.faults.is_active()
+    }
+
+    /// Winner-only simulation: the streaming fast path when the
+    /// configuration allows it, the full event loop otherwise. Either
+    /// way the returned winner — and, when there is no winner, the final
+    /// potentials left in the simulation scratch — are bit-identical to
+    /// [`SnnNetwork::simulate`]'s, which is all the readout consumes.
+    fn simulate_winner(&mut self, pixels: &[u8], presentation_seed: u64) -> Option<usize> {
+        if self.streaming_inference_ok() {
+            self.simulate_streaming(pixels, presentation_seed)
+        } else {
+            self.simulate(pixels, false, presentation_seed, None)
+        }
+    }
+
+    /// The streaming winner-only inference path.
+    ///
+    /// Inference only needs the readout: the first neuron to fire, or —
+    /// if none fires — the final potentials. The eager path materializes
+    /// the whole spike train as one vector and sorts it by
+    /// `(time, input)`; this path instead drains each pixel's generator
+    /// straight into a per-millisecond calendar ([`RateStreams`]) and
+    /// runs a bucket-at-a-time potential kernel that exits at the first
+    /// threshold crossing.
+    ///
+    /// Mechanics, and why the outcome is bit-identical to the event
+    /// loop's:
+    ///
+    /// * **Calendar queue.** Draining pixels in ascending input order
+    ///   files every bucket's events already sorted: within one
+    ///   millisecond, lower inputs were drained first, and a pixel's
+    ///   duplicate same-ms spikes land adjacent. That is exactly the
+    ///   `(t, input)`-sorted event order of the eager encoder, with no
+    ///   global sort.
+    /// * **Bucket-at-a-time kernel.** Until the first fire nothing is
+    ///   refractory or inhibited and every neuron shares one
+    ///   `last_update`, so the per-event scalar loop degenerates to: one
+    ///   shared decay at the bucket boundary, then one add sweep per
+    ///   event. Performing the decay as one pass and the adds as
+    ///   per-event passes applies the identical f64 operation sequence
+    ///   to each neuron, hence bit-identical potentials.
+    /// * **One threshold check per bucket.** Weights are unsigned and
+    ///   decay happens only at the bucket boundary, so potentials are
+    ///   monotone non-decreasing across a bucket: a crossing anywhere
+    ///   inside survives to the bucket end and cannot be missed.
+    /// * **Scalar replay.** On a crossing, the bucket is replayed in
+    ///   event order from the pre-bucket potentials; the first
+    ///   `(event, neuron)` crossing is the winner, because in the event
+    ///   loop a fire instantly inhibits every other neuron — nothing
+    ///   later in the bucket can fire first.
+    ///
+    /// With no crossing anywhere the full train has been processed and
+    /// the committed buffer holds the same final potentials the event
+    /// loop leaves behind (no fire means no gating ever engaged).
+    fn simulate_streaming(&mut self, pixels: &[u8], presentation_seed: u64) -> Option<usize> {
+        assert_eq!(
+            pixels.len(),
+            self.inputs,
+            "pixel count {} does not match inputs {}",
+            pixels.len(),
+            self.inputs
+        );
+        let n = self.params.neurons;
+        let seed = self.presentation_rng_seed(presentation_seed);
+        let mut stream = std::mem::take(&mut self.stream);
+        let live = stream.streams.rebuild(
+            self.coding,
+            pixels,
+            &self.params,
+            seed,
+            self.gen_fault.as_ref(),
+        );
+        debug_assert!(live, "callers gate on is_rate_code");
+        if stream.wcols_rev != self.weights_rev {
+            stream.wcols.clear();
+            stream
+                .wcols
+                .extend(self.weights_t.iter().map(|&w| f64::from(w)));
+            stream.wcols_rev = self.weights_rev;
+        }
+
+        // Drain every pixel's whole train, then group spikes by
+        // millisecond with a counting sort. Pixel-major drain order
+        // means the scatter leaves each bucket sorted by stream index
+        // (= ascending input) with same-ms duplicates adjacent — the
+        // eager encoder's `(t, input)` event order, comparison-free.
+        let t_period = usize::try_from(self.params.t_period).unwrap_or(usize::MAX);
+        stream.spike_k.clear();
+        stream.spike_t.clear();
+        {
+            let StreamScratch {
+                streams,
+                spike_k,
+                spike_t,
+                ..
+            } = &mut stream;
+            for k in 0..streams.len() {
+                let packed = u32::try_from(k).unwrap_or(u32::MAX);
+                streams.drain_spikes(k, |t| {
+                    spike_t.push(t);
+                    spike_k.push(packed);
+                });
+            }
+        }
+        stream.starts.clear();
+        stream.starts.resize(t_period + 1, 0);
+        for &t in &stream.spike_t {
+            stream.starts[usize::try_from(t).unwrap_or(usize::MAX) + 1] += 1;
+        }
+        let mut acc = 0u32;
+        for s in &mut stream.starts {
+            acc += *s;
+            *s = acc;
+        }
+        stream.cursor.clear();
+        stream.cursor.extend_from_slice(&stream.starts);
+        stream.slots.clear();
+        stream.slots.resize(stream.spike_k.len(), 0);
+        for (&t, &k) in stream.spike_t.iter().zip(&stream.spike_k) {
+            let slot = stream.cursor[usize::try_from(t).unwrap_or(usize::MAX)];
+            stream.slots[usize::try_from(slot).unwrap_or(usize::MAX)] = k;
+            stream.cursor[usize::try_from(t).unwrap_or(usize::MAX)] += 1;
+        }
+
+        let mut pot = std::mem::take(&mut self.sim.potentials);
+        pot.clear();
+        pot.resize(n, 0.0);
+        let mut pot_next = std::mem::take(&mut stream.pot_next);
+        pot_next.clear();
+        pot_next.resize(n, 0.0);
+        let lut = self.decay_lut.as_slice();
+        let thresholds = &self.thresholds[..n];
+        let mut shared_last = 0u32;
+        let mut winner = None;
+
+        'clock: for tb in 0..t_period {
+            let b0 = usize::try_from(stream.starts[tb]).unwrap_or(usize::MAX);
+            let b1 = usize::try_from(stream.starts[tb + 1]).unwrap_or(usize::MAX);
+            if b0 == b1 {
+                continue;
+            }
+            let t = u32::try_from(tb).unwrap_or(u32::MAX);
+            let dt = u64::from(t - shared_last);
+            if dt > 0 {
+                // In-window gaps satisfy `dt ≤ Tperiod − 1 < lut.len()`,
+                // so [`decay`] reduces to a single table factor —
+                // hoisted out of the neuron sweep, leaving one
+                // autovectorizable multiply per neuron (bit-identical:
+                // `decay` multiplies by exactly `lut[dt]` in this range).
+                let factor = lut[usize::try_from(dt).unwrap_or(lut.len() - 1)];
+                for (next, &v) in pot_next.iter_mut().zip(pot.iter()) {
+                    *next = v * factor;
+                }
+            } else {
+                pot_next.copy_from_slice(&pot);
+            }
+            for &packed in &stream.slots[b0..b1] {
+                let k = usize::try_from(packed).unwrap_or(usize::MAX);
+                let col = stream.streams.input(k) * n;
+                let wcol = &stream.wcols[col..col + n];
+                for (next, &w) in pot_next.iter_mut().zip(wcol) {
+                    *next += w;
+                }
+            }
+            // Branchless fold (rather than a short-circuiting `any`) so
+            // the compare sweep vectorizes with no early-exit branch —
+            // almost every bucket ends without a crossing.
+            let mut crossed = false;
+            for (&v, &th) in pot_next.iter().zip(thresholds) {
+                crossed |= v >= th;
+            }
+            if crossed {
+                let mut first = true;
+                for &packed in &stream.slots[b0..b1] {
+                    let k = usize::try_from(packed).unwrap_or(usize::MAX);
+                    let col = stream.streams.input(k) * n;
+                    let wcol = &stream.wcols[col..col + n];
+                    for j in 0..n {
+                        if first && dt > 0 {
+                            pot[j] = decay(lut, pot[j], dt);
+                        }
+                        pot[j] += wcol[j];
+                        if pot[j] >= thresholds[j] {
+                            winner = Some(j);
+                            break 'clock;
+                        }
+                    }
+                    first = false;
+                }
+                // The replay reproduces the exact values the bucket-end
+                // check saw cross, so it cannot fall through.
+                debug_assert!(false, "bucket replay must find the crossing");
+                break 'clock;
+            }
+            std::mem::swap(&mut pot, &mut pot_next);
+            shared_last = t;
+        }
+
+        // `pot` holds the last committed potentials: the final state
+        // when no neuron fired (what the readout consumes), or the
+        // partially-replayed bucket when one did (never read — the
+        // winner is authoritative).
+        self.sim.potentials = pot;
+        stream.pot_next = pot_next;
+        self.stream = stream;
+        self.presentation_counter += 1;
+        winner
+    }
+
     /// The STDP event rule of §2.2/§4.4: LTP for synapses whose input
     /// spiked within `TLTP` before the output spike, LTD for all others;
     /// the update magnitude comes from the pluggable [`StdpRule`]
@@ -673,6 +937,7 @@ impl SnnNetwork {
     /// [`StdpRule`]: crate::stdp_rules::StdpRule
     fn apply_stdp(&mut self, neuron: usize, fire_t: u32, last_input_spike: &[u32]) {
         let n = self.params.neurons;
+        self.weights_rev += 1;
         let row = &mut self.weights[neuron * self.inputs..(neuron + 1) * self.inputs];
         for (i, w) in row.iter_mut().enumerate() {
             let ts = last_input_spike[i];
@@ -767,7 +1032,7 @@ impl SnnNetwork {
         for (i, s) in data.iter().enumerate() {
             let pseed = 0x1ABE_0000 | i as u64;
             let tie_seed = self.presentation_rng_seed(pseed);
-            let winner = self.simulate(&s.pixels, false, pseed, None);
+            let winner = self.simulate_winner(&s.pixels, pseed);
             self.class_presented[s.label] += 1;
             let readout = tie_broken_readout(winner, &self.sim.potentials, tie_seed);
             self.label_counts[readout * self.classes + s.label] += 1;
@@ -796,10 +1061,13 @@ impl SnnNetwork {
     ///
     /// Reads the readout straight from the reused simulation scratch, so
     /// repeated predictions (and [`SnnNetwork::evaluate`]) perform no
-    /// heap allocation once the buffers are warm.
+    /// heap allocation once the buffers are warm. Rate-coded inference
+    /// on a healthy read port runs the streaming winner-only fast path
+    /// (lazy spike generation, early exit at the first fire) — same
+    /// readout, bit for bit.
     pub fn predict(&mut self, pixels: &[u8], presentation_seed: u64) -> usize {
         let tie_seed = self.presentation_rng_seed(presentation_seed);
-        let winner = self.simulate(pixels, false, presentation_seed, None);
+        let winner = self.simulate_winner(pixels, presentation_seed);
         let readout = tie_broken_readout(winner, &self.sim.potentials, tie_seed);
         self.labels[readout].unwrap_or(0)
     }
@@ -1156,6 +1424,77 @@ mod tests {
             snn.present(&[0u8; 8], 7).readout(),
             "same presentation seed must give the same pick"
         );
+    }
+
+    #[test]
+    fn streaming_winner_path_matches_the_event_loop() {
+        // `predict` takes the streaming winner-only path; `present` runs
+        // the full event loop. The readout must agree image for image —
+        // which requires bit-identical winners AND (for no-fire images)
+        // bit-identical final potentials, since exact-tie breaking feeds
+        // off the raw f64 values. Exercised for both rate codes, with
+        // and without a stuck-tap generator fault.
+        let (train, test) = DigitsSpec {
+            train: 30,
+            test: 25,
+            seed: 5,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        for coding in [CodingScheme::PoissonRate, CodingScheme::GaussianRate] {
+            let mut snn = SnnNetwork::with_coding(784, 10, SnnParams::tuned(16), coding, 0xBEEF);
+            snn.set_stdp_delta(4);
+            snn.train_stdp(&train, 1);
+            snn.self_label(&train);
+            let mut reference = snn.clone();
+            let plan = FaultPlan::new(FaultModel::StuckLfsrTap, 0.7, 13).unwrap();
+            for faulted in [false, true] {
+                if faulted {
+                    snn.apply_fault(&plan).unwrap();
+                    reference.apply_fault(&plan).unwrap();
+                }
+                for (i, s) in test.iter().enumerate() {
+                    let pseed = 0x51AE_0000 | i as u64;
+                    let p = reference.present(&s.pixels, pseed);
+                    let want = reference.labels()[p.readout()].unwrap_or(0);
+                    assert_eq!(
+                        snn.predict(&s.pixels, pseed),
+                        want,
+                        "{coding:?} image {i} faulted {faulted}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_no_fire_potentials_are_bit_identical() {
+        // A sky-high threshold forces the no-winner branch on every
+        // image, so the streaming path's committed potentials (the only
+        // readout input left) must equal the event loop's exactly.
+        let (_, test) = DigitsSpec {
+            train: 1,
+            test: 15,
+            seed: 31,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        let mut params = SnnParams::tuned(12);
+        params.initial_threshold = 1e12;
+        for coding in [CodingScheme::PoissonRate, CodingScheme::GaussianRate] {
+            let mut streaming = SnnNetwork::with_coding(784, 10, params, coding, 0xCAFE);
+            let mut reference = streaming.clone();
+            for (i, s) in test.iter().enumerate() {
+                let pseed = i as u64;
+                let _ = streaming.predict(&s.pixels, pseed);
+                let p = reference.present(&s.pixels, pseed);
+                assert!(p.winner.is_none(), "threshold must be unreachable");
+                assert_eq!(
+                    streaming.sim.potentials, p.potentials,
+                    "{coding:?} image {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,13 +24,13 @@
 //! thresholds converge close together and the correction is small; at
 //! our scaled-down volume it matters, see `EXPERIMENTS.md`.)
 
-use crate::coding::wot_spike_count;
 use crate::network::SnnNetwork;
 use crate::params::SnnParams;
 use nc_dataset::model::ModelError;
 use nc_dataset::Dataset;
 use nc_faults::{dead_unit_mask, stuck_bits_u8, FaultModel, FaultPlan, TransientReads};
 use nc_substrate::fixed::sat_u8_round;
+use nc_substrate::kernel::swar_spike_counts;
 use nc_substrate::stats::Confusion;
 
 /// Recipe for (re)building and training the temporal master network a
@@ -219,22 +219,24 @@ impl WotSnn {
     /// Panics if `pixels.len()` does not match the input count.
     pub fn potentials(&self, pixels: &[u8]) -> Vec<u64> {
         assert_eq!(pixels.len(), self.inputs, "pixel count mismatch");
-        let counts: Vec<u64> = pixels
-            .iter()
-            .map(|&p| u64::from(wot_spike_count(p)))
-            .collect();
+        // The comparator ladder runs through the SWAR kernel — eight
+        // pixels per word step, exactly the [`wot_spike_count`]
+        // staircase (its ceiling of 10 is well inside the kernel's
+        // exactness bound of 16 spikes per pixel).
+        let mut counts = vec![0u8; pixels.len()];
+        swar_spike_counts(pixels, 10, &mut counts);
         (0..self.neurons)
             .map(|j| {
                 let row = &self.weights[j * self.inputs..(j + 1) * self.inputs];
                 if self.faults.is_active() {
                     row.iter()
                         .zip(&counts)
-                        .map(|(&w, &n)| u64::from(self.faults.read_u8(w)) * n)
+                        .map(|(&w, &n)| u64::from(self.faults.read_u8(w)) * u64::from(n))
                         .sum()
                 } else {
                     row.iter()
                         .zip(&counts)
-                        .map(|(&w, &n)| u64::from(w) * n)
+                        .map(|(&w, &n)| u64::from(w) * u64::from(n))
                         .sum()
                 }
             })
@@ -287,6 +289,7 @@ impl WotSnn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coding::wot_spike_count;
     use crate::params::SnnParams;
     use nc_dataset::{digits::DigitsSpec, Difficulty};
 

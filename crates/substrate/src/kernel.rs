@@ -10,6 +10,11 @@
 //! * [`gemv_i8xu8`] — the blocked integer matrix–vector product with
 //!   i64 adder-tree semantics (bit-exact regardless of blocking, since
 //!   integer addition is associative).
+//! * [`gemm_i8xu8`] — the batched form: one weight pass over a
+//!   contiguous slab of presentations, bit-identical to running the
+//!   GEMV column by column.
+//! * [`swar_spike_counts`] — the SNNwot luminance→spike-count ladder
+//!   evaluated word-parallel, eight pixels per iteration.
 //! * [`FixedActLut`] — the activation table lowered to fixed-point
 //!   coefficients, so the whole layer evaluation `u8 → i64 → u8` never
 //!   leaves the integer domain.
@@ -41,6 +46,12 @@ use crate::interp::PiecewiseLinear;
 /// blocking never overflows and — integer addition being associative —
 /// the blocked sum is bit-identical to the naive i64 accumulation.
 const BLOCK: usize = 256;
+
+/// Presentation columns per cache tile in [`gemm_i8xu8`]: every weight
+/// row fetched from memory is reused across this many batch columns
+/// before the walk moves to the next row, so a large weight matrix
+/// streams through cache once per tile instead of once per image.
+const COL_TILE: usize = 8;
 
 /// Fractional bits of the [`FixedActLut`] coefficients.
 const FRAC: u32 = 32;
@@ -76,6 +87,121 @@ pub fn gemv_i8xu8(weights: &[i8], input: &[u8], out: &mut [i64]) {
             acc += i64::from(partial);
         }
         *acc_out = acc;
+    }
+}
+
+/// Blocked integer GEMM over a batch of presentations: the batched form
+/// of [`gemv_i8xu8`]. `inputs` holds `cols` images back to back, each
+/// `inputs.len() / cols` pixels wide; `weights` is the same
+/// `rows × (in_dim + 1)` bias-last matrix the GEMV takes, and `out` is
+/// column-major — `out[c·rows + j]` is row `j` of presentation `c`,
+/// so each presentation's accumulators are one contiguous stripe.
+///
+/// Every `(j, c)` cell runs the identical bias-first, `BLOCK`-chunked
+/// i32-partial accumulation as [`gemv_i8xu8`], so the result is
+/// bit-identical to calling the GEMV column by column (integer addition
+/// is exact and associative; the property test below pins this). The
+/// tiling only reorders *which* cell is computed when: columns are
+/// processed [`COL_TILE`] at a time with the weight row held hot.
+///
+/// # Panics
+///
+/// Panics if `cols == 0`, if `inputs.len()` is not a multiple of
+/// `cols`, or if `weights`/`out` do not match the implied geometry.
+pub fn gemm_i8xu8(weights: &[i8], rows: usize, inputs: &[u8], cols: usize, out: &mut [i64]) {
+    assert!(cols > 0, "batched GEMM needs at least one column");
+    assert_eq!(
+        inputs.len() % cols,
+        0,
+        "input slab is not a whole number of presentations"
+    );
+    let in_dim = inputs.len() / cols;
+    let row_w = in_dim + 1;
+    assert_eq!(
+        weights.len(),
+        rows * row_w,
+        "weight matrix does not match input/output geometry"
+    );
+    assert_eq!(
+        out.len(),
+        rows * cols,
+        "output slab does not match rows × cols"
+    );
+    if in_dim == 0 {
+        for c in 0..cols {
+            for j in 0..rows {
+                out[c * rows + j] = i64::from(weights[j * row_w + in_dim]) * 255;
+            }
+        }
+        return;
+    }
+    let tiles = inputs
+        .chunks(in_dim * COL_TILE)
+        .zip(out.chunks_mut(rows * COL_TILE));
+    for (in_tile, out_tile) in tiles {
+        let tile_cols = in_tile.len() / in_dim;
+        for j in 0..rows {
+            let row = &weights[j * row_w..(j + 1) * row_w];
+            let bias = i64::from(row[in_dim]) * 255; // bias input = 1.0 ≡ 255
+            for c in 0..tile_cols {
+                let image = &in_tile[c * in_dim..(c + 1) * in_dim];
+                let mut acc = bias;
+                for (wb, ib) in row[..in_dim].chunks(BLOCK).zip(image.chunks(BLOCK)) {
+                    let mut partial = 0i32;
+                    for (&w, &x) in wb.iter().zip(ib) {
+                        partial += i32::from(w) * i32::from(x);
+                    }
+                    acc += i64::from(partial);
+                }
+                out_tile[c * rows + j] = acc;
+            }
+        }
+    }
+}
+
+/// SWAR luminance→spike-count conversion: the SNNwot comparator-ladder
+/// staircase `(p·max_spikes + 127) / 255` evaluated eight pixels per
+/// iteration in 16-bit lanes of two u64 words — the same
+/// word-parallel-over-serial trade [`crate::rng::Lfsr31::next_u31`]
+/// makes for the LFSR.
+///
+/// Lane math: a byte is at most 255, so `255·max_spikes + 127 ≤ 4207`
+/// for `max_spikes ≤ 16` — comfortably inside a 16-bit lane, and the
+/// division by 255 reduces to `(x + 1 + ⌊x/256⌋) >> 8`, which is exact
+/// for all `x = 255·a + b` with `a ≤ 16` (when `b ≥ a` the numerator is
+/// `256·a + b + 1` with `b + 1 < 256`; when `b < a` it is `256·a + b`;
+/// either way the shift yields `a`). The exhaustive test below checks
+/// every luminance against the scalar staircase.
+///
+/// # Panics
+///
+/// Panics if `out.len() != pixels.len()` or `max_spikes > 16` (the
+/// paper's ladder tops out at 10 spikes, §4.2.2).
+pub fn swar_spike_counts(pixels: &[u8], max_spikes: u32, out: &mut [u8]) {
+    assert_eq!(out.len(), pixels.len(), "output must match pixel count");
+    assert!(max_spikes <= 16, "16-bit lanes overflow above 16 spikes");
+    const LANES: u64 = 0x00FF_00FF_00FF_00FF;
+    const ONES: u64 = 0x0001_0001_0001_0001;
+    let staircase = |x: u64| -> u64 {
+        // Per-lane (x·max + 127) / 255; the numerator tops out at 4207
+        // per lane so neither the multiply, the rounding add, nor the
+        // division fix-up ever carries across a lane boundary.
+        let num = x * u64::from(max_spikes) + 127 * ONES;
+        ((num + ONES + ((num >> 8) & LANES)) >> 8) & LANES
+    };
+    let mut chunks = pixels.chunks_exact(8);
+    let mut out_chunks = out.chunks_exact_mut(8);
+    for (chunk, out_chunk) in chunks.by_ref().zip(out_chunks.by_ref()) {
+        let w = chunk
+            .iter()
+            .rev()
+            .fold(0u64, |acc, &b| (acc << 8) | u64::from(b));
+        let lo = staircase(w & LANES);
+        let hi = staircase((w >> 8) & LANES);
+        out_chunk.copy_from_slice(&(lo | (hi << 8)).to_le_bytes());
+    }
+    for (&p, o) in chunks.remainder().iter().zip(out_chunks.into_remainder()) {
+        *o = u8::try_from((u32::from(p) * max_spikes + 127) / 255).unwrap_or(u8::MAX);
     }
 }
 
@@ -230,6 +356,80 @@ mod tests {
             gemv_i8xu8(&weights, &input, &mut out);
             assert_eq!(out, gemv_reference(&weights, &input, rows), "case {case}");
         });
+    }
+
+    #[test]
+    fn gemm_matches_column_by_column_gemv() {
+        check_cases(0x9EAA, DEFAULT_CASES, |case, rng| {
+            // Sizes straddle both blocking boundaries (BLOCK = 256 on
+            // the depth axis, COL_TILE = 8 on the batch axis).
+            let n = 1 + rng.next_index(520);
+            let rows = 1 + rng.next_index(12);
+            let cols = 1 + rng.next_index(20);
+            let weights: Vec<i8> = (0..rows * (n + 1))
+                .map(|_| {
+                    let v = i64::try_from(rng.next_index(255)).unwrap_or(0) - 127;
+                    i8::try_from(v).unwrap_or(0)
+                })
+                .collect();
+            let inputs: Vec<u8> = (0..n * cols)
+                .map(|_| u8::try_from(rng.next_index(256)).unwrap_or(0))
+                .collect();
+            let mut batched = vec![0i64; rows * cols];
+            gemm_i8xu8(&weights, rows, &inputs, cols, &mut batched);
+            let mut serial = vec![0i64; rows];
+            for c in 0..cols {
+                gemv_i8xu8(&weights, &inputs[c * n..(c + 1) * n], &mut serial);
+                assert_eq!(
+                    &batched[c * rows..(c + 1) * rows],
+                    &serial[..],
+                    "case {case} col {c} (n={n} rows={rows} cols={cols})"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn gemm_handles_zero_width_images() {
+        // Bias-only network: every presentation reduces to the bias row.
+        let weights = [3i8, -2];
+        let mut out = vec![0i64; 6];
+        gemm_i8xu8(&weights, 2, &[], 3, &mut out);
+        assert_eq!(out, vec![765, -510, 765, -510, 765, -510]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of presentations")]
+    fn gemm_rejects_ragged_batches() {
+        let mut out = vec![0i64; 2];
+        gemm_i8xu8(&[0i8; 8], 1, &[0u8; 13], 2, &mut out);
+    }
+
+    #[test]
+    fn swar_counts_match_the_scalar_staircase_for_every_luminance() {
+        // Every (luminance, max_spikes) pair, including buffers whose
+        // length is not a multiple of the 8-pixel SWAR word.
+        let pixels: Vec<u8> = (0..=255u8).collect();
+        for max_spikes in 0..=16u32 {
+            for len in [256usize, 255, 7, 8, 9, 1, 0] {
+                let mut got = vec![0u8; len];
+                swar_spike_counts(&pixels[..len], max_spikes, &mut got);
+                for (&p, &c) in pixels[..len].iter().zip(&got) {
+                    assert_eq!(
+                        u32::from(c),
+                        (u32::from(p) * max_spikes + 127) / 255,
+                        "p={p} max={max_spikes}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit lanes overflow")]
+    fn swar_counts_reject_oversized_ladders() {
+        let mut out = [0u8; 1];
+        swar_spike_counts(&[255], 17, &mut out);
     }
 
     #[test]
