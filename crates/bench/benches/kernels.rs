@@ -17,7 +17,7 @@
 //! * `NC_BENCH_SMOKE=1` shrinks sample counts for CI smoke runs.
 
 use nc_bench::microbench::{BenchResult, Group};
-use nc_bench::{git_short_sha, json_path_from_args};
+use nc_bench::{baseline_from_args, baseline_per_sec, git_short_sha, json_path_from_args};
 use nc_core::{BenchRecord, SectionRecord};
 use nc_dataset::model::Model;
 use nc_dataset::{digits::DigitsSpec, Difficulty, PixelSlab};
@@ -123,35 +123,9 @@ fn to_record(results: &[BenchResult]) -> BenchRecord {
     }
 }
 
-/// Parses `--baseline <path>` from the command line.
-fn baseline_from_args() -> Option<std::path::PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--baseline" {
-            return args.next().map(std::path::PathBuf::from);
-        }
-    }
-    None
-}
-
 /// The sections this harness gates regressions on: the single-image
 /// presentation loop and the batched 50-image evaluation path.
 const GATES: &[&str] = &["e2e/fig3_present_784_50", "e2e/fig3_evaluate_50imgs"];
-
-/// Extracts `samples_per_sec` for `section` from a `BenchRecord` JSON
-/// document by scanning the flat `"name": ... "samples_per_sec":` layout
-/// `SectionRecord::to_json` emits (no general JSON parser in-tree).
-fn baseline_per_sec(json: &str, section: &str) -> Option<f64> {
-    let needle = format!("\"name\":\"{section}\"");
-    let at = json.find(&needle)?;
-    let rest = &json[at..];
-    let key = "\"samples_per_sec\":";
-    let val = &rest[rest.find(key)? + key.len()..];
-    let end = val
-        .find(|c: char| c == ',' || c == '}')
-        .unwrap_or(val.len());
-    val[..end].trim().parse().ok()
-}
 
 fn main() {
     let results = bench_all();

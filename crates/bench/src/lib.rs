@@ -88,6 +88,33 @@ pub fn json_path_from_args() -> Option<PathBuf> {
     None
 }
 
+/// Parses the `--baseline <path>` flag: a previously committed
+/// `BenchRecord` JSON to gate regressions against, or `None` (the
+/// default) to skip gating.
+pub fn baseline_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--baseline" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Extracts `samples_per_sec` for `section` from a `BenchRecord` JSON
+/// document by scanning the flat `"name": ... "samples_per_sec":`
+/// layout `SectionRecord::to_json` emits (no general JSON parser
+/// in-tree).
+pub fn baseline_per_sec(json: &str, section: &str) -> Option<f64> {
+    let needle = format!("\"name\":\"{section}\"");
+    let at = json.find(&needle)?;
+    let rest = &json[at..];
+    let key = "\"samples_per_sec\":";
+    let val = &rest[rest.find(key)? + key.len()..];
+    let end = val.find([',', '}']).unwrap_or(val.len());
+    val[..end].trim().parse().ok()
+}
+
 /// Builds the shared experiment engine from `--scale` and `--threads`.
 pub fn engine_from_args() -> Engine {
     let mut builder = Engine::builder().scale(scale_from_args());
@@ -247,6 +274,19 @@ mod tests {
     #[test]
     fn json_flag_defaults_to_off() {
         assert_eq!(json_path_from_args(), None);
+    }
+
+    #[test]
+    fn baseline_flag_defaults_to_off() {
+        assert_eq!(baseline_from_args(), None);
+    }
+
+    #[test]
+    fn baseline_per_sec_scans_section_records() {
+        let json = r#"{"sections":[{"name":"a/x","wall_s":2.0,"samples":10,"samples_per_sec":5},{"name":"a/y","wall_s":1.0,"samples":8,"samples_per_sec":8.25}]}"#;
+        assert_eq!(baseline_per_sec(json, "a/x"), Some(5.0));
+        assert_eq!(baseline_per_sec(json, "a/y"), Some(8.25));
+        assert_eq!(baseline_per_sec(json, "a/z"), None);
     }
 
     #[test]

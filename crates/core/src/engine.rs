@@ -808,6 +808,36 @@ impl ModelSpec {
         })
     }
 
+    /// The input dimension the built model expects, without
+    /// constructing it — what a serving layer validates request
+    /// geometry against. Empty MLP topologies (rejected by
+    /// [`ModelSpec::build`]) report 0.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            ModelSpec::Mlp { sizes, .. }
+            | ModelSpec::QuantizedMlp { sizes, .. }
+            | ModelSpec::StepMlp { sizes, .. } => sizes.first().copied().unwrap_or(0),
+            ModelSpec::Snn { inputs, .. }
+            | ModelSpec::SnnWithCoding { inputs, .. }
+            | ModelSpec::Wot { inputs, .. }
+            | ModelSpec::BpSnn { inputs, .. } => *inputs,
+        }
+    }
+
+    /// The number of label classes the built model scores over, without
+    /// constructing it. Empty MLP topologies report 0.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            ModelSpec::Mlp { sizes, .. }
+            | ModelSpec::QuantizedMlp { sizes, .. }
+            | ModelSpec::StepMlp { sizes, .. } => sizes.last().copied().unwrap_or(0),
+            ModelSpec::Snn { classes, .. }
+            | ModelSpec::SnnWithCoding { classes, .. }
+            | ModelSpec::Wot { classes, .. }
+            | ModelSpec::BpSnn { classes, .. } => *classes,
+        }
+    }
+
     /// The default training budget for this model family at a scale —
     /// the same epoch counts the sequential pipeline used, so engine
     /// runs are bit-identical to it.
@@ -1068,6 +1098,9 @@ mod tests {
             assert!(!model.name().is_empty());
             let b = spec.budget(ExperimentScale::Tiny);
             assert!(b.epochs > 0 && b.stdp_epochs > 0);
+            // Geometry is readable without building.
+            assert_eq!(spec.input_dim(), 16, "{}", spec.display_name());
+            assert_eq!(spec.num_classes(), 2, "{}", spec.display_name());
         }
         // The hybrid reads its own epoch knob.
         assert_eq!(

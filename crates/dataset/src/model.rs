@@ -167,6 +167,81 @@ impl PixelSlab {
         EvalBatch {
             pixels: &self.pixels,
             labels: &self.labels,
+            seeds: None,
+            stride: self.stride,
+            num_classes: self.num_classes,
+            first_index: 0,
+        }
+    }
+}
+
+/// The owned backing store of a *request* batch: pixels pushed one image
+/// at a time (a serving admission queue's coalesced tile) rather than
+/// copied wholesale from a [`Dataset`]. Unlike [`PixelSlab`], every item
+/// carries an **explicit** presentation seed — a served request must
+/// replay the exact seed its item had in the offline evaluation stream
+/// (`EVAL_PRESENTATION_SEED_BASE | item_index`), which is generally not
+/// its position in the coalesced batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestSlab {
+    pixels: Vec<u8>,
+    labels: Vec<usize>,
+    seeds: Vec<u64>,
+    stride: usize,
+    num_classes: usize,
+}
+
+impl RequestSlab {
+    /// An empty slab for images of `stride` pixels over `num_classes`
+    /// label classes.
+    pub fn new(stride: usize, num_classes: usize) -> RequestSlab {
+        RequestSlab {
+            pixels: Vec::new(),
+            labels: Vec::new(),
+            seeds: Vec::new(),
+            stride,
+            num_classes,
+        }
+    }
+
+    /// Appends one image with its presentation seed and (possibly
+    /// unknown, conventionally 0) ground-truth label, returning its
+    /// position in the slab.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::GeometryMismatch`] when `pixels.len()` is not the
+    /// slab's stride.
+    pub fn push(&mut self, pixels: &[u8], seed: u64, label: usize) -> Result<usize, ModelError> {
+        if pixels.len() != self.stride {
+            return Err(ModelError::GeometryMismatch {
+                expected: self.stride,
+                got: pixels.len(),
+            });
+        }
+        self.pixels.extend_from_slice(pixels);
+        self.seeds.push(seed);
+        self.labels.push(label);
+        Ok(self.seeds.len() - 1)
+    }
+
+    /// Number of images pushed.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether no image has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// The batch view over the slab, with every item carrying the seed
+    /// it was pushed with.
+    pub fn batch(&self) -> EvalBatch<'_> {
+        EvalBatch {
+            pixels: &self.pixels,
+            labels: &self.labels,
+            seeds: Some(&self.seeds),
             stride: self.stride,
             num_classes: self.num_classes,
             first_index: 0,
@@ -181,15 +256,20 @@ impl PixelSlab {
 /// [`Model::predict_batch`]/[`Model::evaluate_batch`] take instead of a
 /// `&Dataset`.
 ///
-/// Seeds are positional: item `i` of a batch whose first item is global
-/// index `f` is presented with seed
+/// Seeds are positional by default: item `i` of a batch whose first item
+/// is global index `f` is presented with seed
 /// [`EVAL_PRESENTATION_SEED_BASE`]` | (f + i)`, so splitting a batch
 /// into kernel-sized [`EvalBatch::tiles`] changes nothing about which
-/// seed any image sees.
+/// seed any image sees. A [`RequestSlab`]-built batch instead carries an
+/// explicit seed per item (a coalesced serving batch holds items from
+/// arbitrary stream positions); tiling slices the seed table alongside
+/// the pixels, so the invariant — every image keeps its seed — holds on
+/// both paths.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalBatch<'a> {
     pixels: &'a [u8],
     labels: &'a [usize],
+    seeds: Option<&'a [u64]>,
     stride: usize,
     num_classes: usize,
     first_index: usize,
@@ -239,9 +319,17 @@ impl<'a> EvalBatch<'a> {
         self.labels[i]
     }
 
-    /// Image `i`'s presentation seed under the shared convention.
+    /// Image `i`'s presentation seed: the explicit per-item seed when
+    /// the batch carries a seed table ([`RequestSlab`]), otherwise the
+    /// positional convention.
     pub fn seed(&self, i: usize) -> u64 {
-        EVAL_PRESENTATION_SEED_BASE | u64::try_from(self.first_index + i).unwrap_or(u64::MAX)
+        match self.seeds {
+            Some(seeds) => seeds[i],
+            None => {
+                EVAL_PRESENTATION_SEED_BASE
+                    | u64::try_from(self.first_index + i).unwrap_or(u64::MAX)
+            }
+        }
     }
 
     /// Splits the batch into consecutive sub-batches of at most `tile`
@@ -255,6 +343,7 @@ impl<'a> EvalBatch<'a> {
         let stride = self.stride;
         let num_classes = self.num_classes;
         let first = self.first_index;
+        let seeds = self.seeds;
         self.pixels
             .chunks(stride.max(1) * tile)
             .zip(self.labels.chunks(tile))
@@ -262,6 +351,7 @@ impl<'a> EvalBatch<'a> {
             .map(move |(k, (pixels, labels))| EvalBatch {
                 pixels,
                 labels,
+                seeds: seeds.map(|s| &s[k * tile..k * tile + labels.len()]),
                 stride,
                 num_classes,
                 first_index: first + k * tile,
@@ -551,6 +641,56 @@ mod tests {
         assert_eq!(tiles[1].seed(1), batch.seed(3));
         assert_eq!(tiles[2].label(0), batch.label(4));
         assert_eq!(tiles[2].seed(0), batch.seed(4));
+    }
+
+    #[test]
+    fn request_slab_carries_explicit_seeds_through_tiles() {
+        let mut slab = RequestSlab::new(4, 3);
+        assert!(slab.is_empty());
+        // Items pushed out of stream order: seeds follow the item, not
+        // the batch position.
+        for (i, item) in [4u64, 0, 2, 3, 1].iter().enumerate() {
+            let pos = slab
+                .push(
+                    &[u8::try_from(i).unwrap(); 4],
+                    EVAL_PRESENTATION_SEED_BASE | item,
+                    usize::try_from(*item).unwrap() % 3,
+                )
+                .unwrap();
+            assert_eq!(pos, i);
+        }
+        assert_eq!(slab.len(), 5);
+        let batch = slab.batch();
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.stride(), 4);
+        assert_eq!(batch.num_classes(), 3);
+        assert_eq!(batch.seed(0), EVAL_PRESENTATION_SEED_BASE | 4);
+        assert_eq!(batch.seed(4), EVAL_PRESENTATION_SEED_BASE | 1);
+        assert_eq!(batch.item(2), &[2u8; 4]);
+        assert_eq!(batch.label(3), 0);
+        // Tiling slices the seed table alongside the pixels.
+        let tiles: Vec<_> = batch.tiles(2).collect();
+        assert_eq!(
+            tiles.iter().map(EvalBatch::len).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        assert_eq!(tiles[1].seed(0), batch.seed(2));
+        assert_eq!(tiles[1].seed(1), batch.seed(3));
+        assert_eq!(tiles[2].seed(0), batch.seed(4));
+        assert_eq!(tiles[2].item(0), batch.item(4));
+    }
+
+    #[test]
+    fn request_slab_rejects_geometry_mismatch() {
+        let mut slab = RequestSlab::new(4, 2);
+        assert_eq!(
+            slab.push(&[0; 3], 7, 0),
+            Err(ModelError::GeometryMismatch {
+                expected: 4,
+                got: 3
+            })
+        );
+        assert!(slab.is_empty());
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! Serving-layer near-misses: names and prose that resemble wall-clock
+//! or entropy reads must not fire R3/R7, plus one justified waiver for
+//! the operator heartbeat stamp.
+
+/// Not a clock read: a tick counter whose name merely resembles one.
+pub fn instant_tick(now: u64) -> u64 {
+    // prose may mention Instant::now() or thread_rng freely
+    let label = "SystemTime and OsRng stay quarantined in nc-obs";
+    now ^ label.len() as u64
+}
+
+// nc-lint: allow(R3, reason = "operator heartbeat stamp, never feeds batch composition")
+pub fn heartbeat() -> std::time::SystemTime { std::time::SystemTime::now() }

@@ -1,0 +1,12 @@
+//! R3/R7 fixture: a serving layer that times its batch window off the
+//! wall clock and seeds its load mix from ambient entropy.
+
+pub fn window_wait_ns(budget: u64) -> u64 {
+    let opened = std::time::Instant::now();
+    budget.saturating_sub(opened.elapsed().subsec_nanos().into())
+}
+
+pub fn mix_seed() -> u64 {
+    let mut source = rand::rngs::OsRng;
+    source.next_u64()
+}

@@ -17,6 +17,11 @@
 //! * epoch metrics — per-epoch training telemetry ([`EpochMetrics`]:
 //!   loss, train accuracy, weight updates, spike counts) reported by
 //!   every trainer ([`Recorder::record_epoch`]).
+//! * latency histograms — fixed-bucket integer-nanosecond
+//!   [`LatencyHistogram`]s with exact rank-based p50/p95/p99
+//!   ([`Recorder::record_latency`]); samples come from the
+//!   clock-quarantined [`Stopwatch`] so a disabled recorder never causes
+//!   a clock read.
 //!
 //! The default recorder is [`NullRecorder`]: every method is an empty
 //! body and [`Recorder::enabled`] is `false`, so instrumented code can
@@ -48,9 +53,11 @@
 pub mod json;
 pub mod record;
 
+mod hist;
 mod memory;
 mod recorder;
 
+pub use hist::{LatencyHistogram, Stopwatch};
 pub use memory::{EpochRecord, MemoryRecorder, ObsSnapshot, SpanStats};
 pub use record::{BenchRecord, SectionRecord};
 pub use recorder::{null, EpochMetrics, NullRecorder, Recorder, Span};

@@ -1,5 +1,6 @@
 //! In-memory aggregation: [`MemoryRecorder`] and its [`ObsSnapshot`].
 
+use crate::hist::LatencyHistogram;
 use crate::recorder::{EpochMetrics, Recorder};
 use nc_substrate::stats::Running;
 use std::collections::BTreeMap;
@@ -66,6 +67,8 @@ pub struct ObsSnapshot {
     pub spans: BTreeMap<String, SpanStats>,
     /// Every epoch report, in arrival order.
     pub epochs: Vec<EpochRecord>,
+    /// Latency histograms by name (integer-nanosecond samples).
+    pub histograms: BTreeMap<String, LatencyHistogram>,
 }
 
 /// A thread-safe recorder that aggregates everything in memory — the
@@ -105,6 +108,12 @@ impl MemoryRecorder {
     pub fn epoch_count(&self) -> usize {
         lock_or_recover(&self.inner).epochs.len()
     }
+
+    /// Clones out a named latency histogram, if any sample ever landed
+    /// in it.
+    pub fn histogram(&self, name: &str) -> Option<LatencyHistogram> {
+        lock_or_recover(&self.inner).histograms.get(name).cloned()
+    }
 }
 
 impl Recorder for MemoryRecorder {
@@ -142,6 +151,15 @@ impl Recorder for MemoryRecorder {
             context: context.to_string(),
             metrics: *metrics,
         });
+    }
+
+    fn record_latency(&self, hist: &str, nanos: u64) {
+        let mut inner = lock_or_recover(&self.inner);
+        inner
+            .histograms
+            .entry(hist.to_string())
+            .or_default()
+            .record(nanos);
     }
 }
 
@@ -198,6 +216,20 @@ mod tests {
         assert_eq!(snap.epochs.len(), 3);
         assert_eq!(snap.epochs[2].metrics.epoch, 2);
         assert_eq!(rec.epoch_count(), 3);
+    }
+
+    #[test]
+    fn latency_samples_aggregate_by_histogram_name() {
+        let rec = MemoryRecorder::new();
+        rec.record_latency("serve.latency_ns", 40);
+        rec.record_latency("serve.latency_ns", 80);
+        rec.record_latency("other", 7);
+        let h = rec.histogram("serve.latency_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(40));
+        assert_eq!(h.max(), Some(80));
+        assert!(rec.histogram("absent").is_none());
+        assert_eq!(rec.snapshot().histograms.len(), 2);
     }
 
     #[test]

@@ -132,6 +132,27 @@ impl BenchRecord {
                 })
                 .collect(),
         );
+        let histograms = Json::Obj(
+            self.snapshot
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let opt = |v: Option<u64>| v.map_or(Json::Null, Json::int);
+                    (
+                        k.clone(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::int(h.count())),
+                            ("min_ns".into(), opt(h.min())),
+                            ("max_ns".into(), opt(h.max())),
+                            ("mean_ns".into(), opt(h.mean_ns())),
+                            ("p50_ns".into(), opt(h.p50())),
+                            ("p95_ns".into(), opt(h.p95())),
+                            ("p99_ns".into(), opt(h.p99())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         Json::Obj(vec![
             ("schema_version".into(), Json::int(SCHEMA_VERSION)),
             ("git_sha".into(), Json::str(self.git_sha.clone())),
@@ -143,6 +164,7 @@ impl BenchRecord {
             ("counters".into(), counters),
             ("series".into(), series),
             ("spans".into(), spans),
+            ("histograms".into(), histograms),
             ("epochs".into(), epochs),
         ])
         .render()
@@ -176,6 +198,7 @@ mod tests {
         rec.add("spikes", 9);
         rec.observe("accuracy", 0.5);
         rec.record_span("fit", Duration::from_millis(250));
+        rec.record_latency("serve.latency_ns", 64);
         rec.record_epoch(
             "mlp",
             &crate::EpochMetrics {
@@ -213,6 +236,9 @@ mod tests {
             "\"fit\"",
             "\"train_accuracy\":0.9",
             "\"weight_updates\":40",
+            "\"serve.latency_ns\"",
+            "\"p50_ns\":64",
+            "\"p99_ns\":64",
         ] {
             assert!(json.contains(needle), "{needle} missing in {json}");
         }

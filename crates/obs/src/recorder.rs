@@ -55,6 +55,16 @@ pub trait Recorder: Send + Sync {
     fn record_epoch(&self, context: &str, metrics: &EpochMetrics) {
         let _ = (context, metrics);
     }
+
+    /// Feeds one integer-nanosecond sample into a named latency
+    /// histogram (aggregated as a
+    /// [`LatencyHistogram`](crate::LatencyHistogram)). Callers outside
+    /// the observability layer obtain `nanos` from a
+    /// [`Stopwatch`](crate::Stopwatch) so disabled recorders never cause
+    /// a clock read.
+    fn record_latency(&self, hist: &str, nanos: u64) {
+        let _ = (hist, nanos);
+    }
 }
 
 /// The disabled recorder: [`Recorder::enabled`] is `false` and every

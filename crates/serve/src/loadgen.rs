@@ -1,0 +1,255 @@
+//! Seeded, deterministic closed-loop load generation.
+//!
+//! A population of virtual users drives the server in discrete ticks:
+//! each idle user draws a model (Zipfian mix — rank `r` weighted
+//! `1/(r+1)`, integer cumulative table, no floats in the draw) and an
+//! item (uniform over the test set) from its own SplitMix64 stream,
+//! submits, and waits for its response before thinking for a few ticks
+//! and going again. Every tick ends with a drain; a stalled tick (no
+//! sealed batch) flushes the partial windows first — the deterministic
+//! stand-in for a batch-window timeout.
+//!
+//! Everything is a pure function of [`LoadPlan`]: per-user RNG streams
+//! derive from `plan.seed` (lint rule R7 — no entropy sources), users
+//! are visited in index order, and the server's coalescer is itself
+//! deterministic, so the full request/response trace is identical at
+//! any engine thread count.
+
+use crate::server::Server;
+use crate::ServeError;
+use nc_dataset::Dataset;
+use nc_substrate::rng::SplitMix64;
+
+/// The closed-loop workload description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadPlan {
+    /// Root seed every per-user stream derives from.
+    pub seed: u64,
+    /// Concurrent virtual users (the closed-loop concurrency level).
+    pub users: usize,
+    /// Total requests to issue before stopping.
+    pub requests: u64,
+    /// Maximum think-time ticks a user idles after a response
+    /// (uniform in `[0, think_max]`; 0 = no think time).
+    pub think_max: u32,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        LoadPlan {
+            seed: 0x5E21_0007,
+            users: 8,
+            requests: 256,
+            think_max: 3,
+        }
+    }
+}
+
+/// What a load run produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Requests submitted.
+    pub issued: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Requests answered with an error (e.g. a failed batch).
+    pub failed: u64,
+    /// Completed requests whose prediction matched the item's label.
+    pub correct: u64,
+    /// Ticks the loop ran.
+    pub ticks: u64,
+    /// Requests issued per model index — the observed Zipfian mix.
+    pub per_model: Vec<u64>,
+}
+
+impl LoadOutcome {
+    /// Fraction of completed requests predicted correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.completed as f64
+        }
+    }
+}
+
+/// One virtual user's closed-loop state.
+struct User {
+    rng: SplitMix64,
+    /// `(ticket, item)` of the awaited request, if any.
+    waiting: Option<(crate::Ticket, usize)>,
+    think: u32,
+}
+
+/// The integer Zipf cumulative table: rank `r` weighted `SCALE/(r+1)`.
+fn zipf_cumulative(models: usize) -> Vec<u64> {
+    const SCALE: u64 = 1 << 32;
+    let mut cumulative = Vec::with_capacity(models);
+    let mut total = 0u64;
+    for rank in 0..models {
+        total += SCALE / (u64::try_from(rank).unwrap_or(u64::MAX) + 1);
+        cumulative.push(total);
+    }
+    cumulative
+}
+
+fn pick_model(cumulative: &[u64], rng: &mut SplitMix64) -> usize {
+    let total = cumulative.last().copied().unwrap_or(1);
+    let draw = rng.next_below(total.max(1));
+    cumulative.iter().position(|&edge| draw < edge).unwrap_or(0)
+}
+
+/// Runs `plan` against `server`, drawing items from `test` and models
+/// from `models` (rank order = Zipf rank: put the hot model first).
+/// Item `i` of `test` is submitted with stream index `i`, so served
+/// predictions are comparable against offline evaluation of the same
+/// set.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] for an inconsistent plan, plus anything
+/// [`Server::submit`] rejects (unknown model, geometry).
+pub fn run_load(
+    server: &Server,
+    test: &Dataset,
+    models: &[&str],
+    plan: &LoadPlan,
+) -> Result<LoadOutcome, ServeError> {
+    if plan.users == 0 {
+        return Err(ServeError::Config("plan needs at least one user".into()));
+    }
+    if models.is_empty() {
+        return Err(ServeError::Config("plan names no models".into()));
+    }
+    if test.is_empty() {
+        return Err(ServeError::Config("test dataset is empty".into()));
+    }
+
+    let cumulative = zipf_cumulative(models.len());
+    let mut master = SplitMix64::new(plan.seed);
+    let mut users: Vec<User> = (0..plan.users)
+        .map(|_| User {
+            rng: SplitMix64::new(master.next_u64()),
+            waiting: None,
+            think: 0,
+        })
+        .collect();
+
+    let mut outcome = LoadOutcome {
+        per_model: vec![0; models.len()],
+        ..LoadOutcome::default()
+    };
+    let samples = test.samples();
+
+    while outcome.completed + outcome.failed < plan.requests {
+        outcome.ticks += 1;
+        // Admission, in user-index order (the determinism contract).
+        for user in &mut users {
+            if user.waiting.is_some() {
+                continue;
+            }
+            if user.think > 0 {
+                user.think -= 1;
+                continue;
+            }
+            if outcome.issued >= plan.requests {
+                continue;
+            }
+            let model = pick_model(&cumulative, &mut user.rng);
+            let item = user.rng.next_index(samples.len());
+            let ticket = server.submit(
+                models[model],
+                &samples[item].pixels,
+                u64::try_from(item).unwrap_or(u64::MAX),
+            )?;
+            user.waiting = Some((ticket, item));
+            outcome.issued += 1;
+            outcome.per_model[model] += 1;
+        }
+
+        // Service: drain sealed batches; a stalled tick flushes the
+        // partial windows (the count-based window's "timeout").
+        let mut progressed = server.drain();
+        if progressed == 0 {
+            server.flush();
+            progressed = server.drain();
+        }
+
+        // Completion, again in user-index order.
+        for user in &mut users {
+            let Some((ticket, item)) = user.waiting else {
+                continue;
+            };
+            let Some(response) = server.take_response(ticket) else {
+                continue;
+            };
+            user.waiting = None;
+            match response.outcome {
+                Ok(prediction) => {
+                    outcome.completed += 1;
+                    if prediction == samples[item].label {
+                        outcome.correct += 1;
+                    }
+                }
+                Err(_) => outcome.failed += 1,
+            }
+            user.think = if plan.think_max == 0 {
+                0
+            } else {
+                user.rng.next_below_u32(plan.think_max + 1)
+            };
+        }
+
+        // Safety valve: with nothing in flight, nothing drained, and
+        // the issue budget spent, another tick cannot make progress.
+        if progressed == 0
+            && outcome.issued >= plan.requests
+            && users.iter().all(|u| u.waiting.is_none())
+        {
+            break;
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_table_is_monotone_and_head_heavy() {
+        let cumulative = zipf_cumulative(4);
+        assert_eq!(cumulative.len(), 4);
+        assert!(cumulative.windows(2).all(|w| w[0] < w[1]));
+        // Rank 0 holds the largest single share.
+        let first = cumulative[0];
+        let rest: Vec<u64> = cumulative.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(rest.iter().all(|&share| share < first));
+    }
+
+    #[test]
+    fn pick_model_is_deterministic_and_in_range() {
+        let cumulative = zipf_cumulative(3);
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        let draws_a: Vec<usize> = (0..64).map(|_| pick_model(&cumulative, &mut a)).collect();
+        let draws_b: Vec<usize> = (0..64).map(|_| pick_model(&cumulative, &mut b)).collect();
+        assert_eq!(draws_a, draws_b);
+        assert!(draws_a.iter().all(|&m| m < 3));
+        // The head rank dominates the draw counts.
+        let head = draws_a.iter().filter(|&&m| m == 0).count();
+        assert!(head > draws_a.len() / 3, "head drew {head}/64");
+    }
+
+    #[test]
+    fn outcome_accuracy_handles_zero_completed() {
+        let outcome = LoadOutcome::default();
+        assert_eq!(outcome.accuracy(), 0.0);
+        let some = LoadOutcome {
+            completed: 4,
+            correct: 3,
+            ..LoadOutcome::default()
+        };
+        assert!((some.accuracy() - 0.75).abs() < 1e-12);
+    }
+}

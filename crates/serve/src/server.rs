@@ -1,0 +1,454 @@
+//! The in-process serving front end: validate → admit → coalesce →
+//! execute on the engine's supervised jobs → respond.
+
+use crate::coalescer::{presentation_seed, Coalescer, SealedBatch, Ticket};
+use crate::snapshot::ModelSnapshot;
+use crate::ServeError;
+use nc_core::{Engine, Job, Supervision};
+use nc_dataset::RequestSlab;
+use nc_obs::Stopwatch;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Serving policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Requests per model a batch seals at (count-based, clamped to at
+    /// least 1; see [`Coalescer`] for why it is not a time window).
+    pub batch_window: usize,
+    /// Supervision policy batches execute under: panic isolation always,
+    /// plus deterministic retries / sample budget as configured.
+    pub supervision: Supervision,
+}
+
+impl Default for ServeConfig {
+    /// Window of 8 — the knee of the latency/throughput frontier at the
+    /// bench's model sizes — and fail-fast supervision.
+    fn default() -> Self {
+        ServeConfig {
+            batch_window: 8,
+            supervision: Supervision::default(),
+        }
+    }
+}
+
+/// The server's answer to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request's admission ticket.
+    pub ticket: Ticket,
+    /// Index of the model snapshot that served it.
+    pub model: usize,
+    /// The request's stream item index (echoed from
+    /// [`Server::submit`]).
+    pub item: u64,
+    /// Sequence number of the sealed batch that carried it.
+    pub batch: u64,
+    /// The predicted class, or why the batch could not produce one.
+    pub outcome: Result<usize, ServeError>,
+    /// Admission→response latency; `None` when the engine's recorder is
+    /// disabled (the clock is never read then).
+    pub latency_ns: Option<u64>,
+}
+
+/// Everything mutable, guarded by one mutex: the admission queue, the
+/// per-ticket stopwatches, the finished responses, and the in-flight
+/// count.
+#[derive(Debug)]
+struct ServerState {
+    coalescer: Coalescer,
+    watches: BTreeMap<u64, Stopwatch>,
+    responses: BTreeMap<u64, Response>,
+    in_flight: usize,
+}
+
+/// Alignment metadata for one dispatched batch, kept *outside* the job
+/// payloads: `run_jobs_supervised` consumes payloads and returns only
+/// outputs, so ticket/item bookkeeping rides alongside, zipped back by
+/// job index.
+struct BatchMeta {
+    seq: u64,
+    model: usize,
+    tickets: Vec<(Ticket, u64)>,
+}
+
+/// One job's payload: the shared snapshot plus the batch to classify.
+struct BatchPayload {
+    snapshot: Arc<ModelSnapshot>,
+    batch: SealedBatch,
+}
+
+/// The in-process inference server. Thread-safe: any thread may
+/// [`Server::submit`]; any thread may [`Server::drain`] — execution
+/// parallelism comes from the engine's worker pool, the server itself
+/// spawns nothing (lint rule R6).
+#[derive(Debug)]
+pub struct Server {
+    engine: Arc<Engine>,
+    config: ServeConfig,
+    snapshots: Vec<Arc<ModelSnapshot>>,
+    names: BTreeMap<String, usize>,
+    state: Mutex<ServerState>,
+}
+
+impl Server {
+    /// A server over `snapshots`, executing on `engine`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoModels`] without snapshots,
+    /// [`ServeError::DuplicateModel`] when two share a name.
+    pub fn new(
+        engine: Arc<Engine>,
+        config: ServeConfig,
+        snapshots: Vec<Arc<ModelSnapshot>>,
+    ) -> Result<Server, ServeError> {
+        if snapshots.is_empty() {
+            return Err(ServeError::NoModels);
+        }
+        let mut names = BTreeMap::new();
+        for (index, snapshot) in snapshots.iter().enumerate() {
+            if names.insert(snapshot.name().to_string(), index).is_some() {
+                return Err(ServeError::DuplicateModel(snapshot.name().to_string()));
+            }
+        }
+        let coalescer = Coalescer::new(snapshots.len(), config.batch_window);
+        Ok(Server {
+            engine,
+            config,
+            snapshots,
+            names,
+            state: Mutex::new(ServerState {
+                coalescer,
+                watches: BTreeMap::new(),
+                responses: BTreeMap::new(),
+                in_flight: 0,
+            }),
+        })
+    }
+
+    /// The serving names, in registration order.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.snapshots.iter().map(|s| s.name()).collect()
+    }
+
+    /// Requests admitted but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        lock_or_recover(&self.state).in_flight
+    }
+
+    /// Admits one request: `item` is the request's stream index, which
+    /// fixes its presentation seed to the offline convention
+    /// (`EVAL_PRESENTATION_SEED_BASE | item`) no matter which batch it
+    /// lands in. Returns the ticket [`Server::take_response`] answers
+    /// under.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] / [`ServeError::Geometry`] — both
+    /// checked before admission, so a bad request never occupies a
+    /// batch slot.
+    pub fn submit(&self, model: &str, pixels: &[u8], item: u64) -> Result<Ticket, ServeError> {
+        let Some(&index) = self.names.get(model) else {
+            return Err(ServeError::UnknownModel(model.to_string()));
+        };
+        let expected = self.snapshots[index].input_dim();
+        if pixels.len() != expected {
+            return Err(ServeError::Geometry {
+                model: model.to_string(),
+                expected,
+                got: pixels.len(),
+            });
+        }
+        // Latency is admission→response; the watch only runs (and the
+        // clock is only read) when someone is listening.
+        let watch = Stopwatch::start_if(self.engine.recorder().enabled());
+        let mut state = lock_or_recover(&self.state);
+        let ticket = state.coalescer.admit(index, item, pixels.to_vec());
+        state.watches.insert(ticket.0, watch);
+        state.in_flight += 1;
+        drop(state);
+        self.engine.recorder().add("serve.requests", 1);
+        Ok(ticket)
+    }
+
+    /// Seals every partial batch — the deterministic stand-in for a
+    /// batch-window timeout, invoked by callers (or the load generator)
+    /// when the request stream stalls.
+    pub fn flush(&self) {
+        lock_or_recover(&self.state).coalescer.flush();
+    }
+
+    /// Executes every sealed batch on the engine and files the
+    /// responses; returns how many requests completed. Batches run as
+    /// supervised jobs: a panicking batch is caught (and retried per the
+    /// config's [`Supervision`]), its requests answer with
+    /// [`ServeError::BatchFailed`], and sibling batches complete.
+    pub fn drain(&self) -> usize {
+        let sealed = lock_or_recover(&self.state).coalescer.take_sealed();
+        if sealed.is_empty() {
+            return 0;
+        }
+        let recorder = self.engine.recorder();
+        let mut metas = Vec::with_capacity(sealed.len());
+        let mut jobs = Vec::with_capacity(sealed.len());
+        for batch in sealed {
+            metas.push(BatchMeta {
+                seq: batch.seq,
+                model: batch.model,
+                tickets: batch.requests.iter().map(|r| (r.ticket, r.item)).collect(),
+            });
+            jobs.push(Job::new(
+                format!("serve/batch{}", batch.seq),
+                u64::try_from(batch.requests.len()).unwrap_or(u64::MAX),
+                BatchPayload {
+                    snapshot: Arc::clone(&self.snapshots[batch.model]),
+                    batch,
+                },
+            ));
+        }
+
+        let results = self.engine.run_jobs_supervised(
+            jobs,
+            self.config.supervision,
+            |payload: &BatchPayload, _attempt| -> Result<Vec<usize>, ServeError> {
+                let snapshot = &payload.snapshot;
+                let mut slab = RequestSlab::new(snapshot.input_dim(), snapshot.num_classes());
+                for request in &payload.batch.requests {
+                    slab.push(&request.pixels, presentation_seed(request.item), 0)
+                        .map_err(|e| ServeError::Build(e.to_string()))?;
+                }
+                let mut replica = snapshot.replica()?;
+                let mut predictions = Vec::new();
+                replica.predict_batch(&slab.batch(), &mut predictions);
+                snapshot.release(replica);
+                Ok(predictions)
+            },
+        );
+
+        let mut completed = 0usize;
+        let mut state = lock_or_recover(&self.state);
+        for (meta, result) in metas.iter().zip(results) {
+            recorder.add("serve.batches", 1);
+            recorder.observe("serve.batch_size", meta.tickets.len() as f64);
+            for (k, &(ticket, item)) in meta.tickets.iter().enumerate() {
+                let outcome = match &result {
+                    Ok(Ok(predictions)) => {
+                        predictions
+                            .get(k)
+                            .copied()
+                            .ok_or_else(|| ServeError::BatchFailed {
+                                batch: meta.seq,
+                                message: "prediction missing from batch output".to_string(),
+                            })
+                    }
+                    Ok(Err(serve_err)) => Err(serve_err.clone()),
+                    Err(engine_err) => Err(ServeError::BatchFailed {
+                        batch: meta.seq,
+                        message: engine_err.to_string(),
+                    }),
+                };
+                let latency_ns = state
+                    .watches
+                    .remove(&ticket.0)
+                    .and_then(|watch| watch.elapsed_ns());
+                if let Some(nanos) = latency_ns {
+                    recorder.record_latency("serve.latency_ns", nanos);
+                }
+                state.responses.insert(
+                    ticket.0,
+                    Response {
+                        ticket,
+                        model: meta.model,
+                        item,
+                        batch: meta.seq,
+                        outcome,
+                        latency_ns,
+                    },
+                );
+                state.in_flight = state.in_flight.saturating_sub(1);
+                completed += 1;
+            }
+        }
+        drop(state);
+        recorder.add(
+            "serve.responses",
+            u64::try_from(completed).unwrap_or(u64::MAX),
+        );
+        completed
+    }
+
+    /// Removes and returns the response for `ticket`, if it has been
+    /// served.
+    pub fn take_response(&self, ticket: Ticket) -> Option<Response> {
+        lock_or_recover(&self.state).responses.remove(&ticket.0)
+    }
+
+    /// Flushes and drains until nothing is in flight; returns how many
+    /// requests completed. The loop is bounded: every pass either
+    /// completes requests or proves the queue empty.
+    pub fn run_until_idle(&self) -> usize {
+        let mut total = 0;
+        loop {
+            total += self.drain();
+            if lock_or_recover(&self.state).in_flight == 0 {
+                return total;
+            }
+            self.flush();
+            let completed = self.drain();
+            total += completed;
+            if completed == 0 {
+                // In flight but nothing sealed nor pending: every
+                // remaining ticket already has a response filed.
+                return total;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::{ExperimentScale, FitBudget, ModelSpec};
+    use nc_dataset::{digits::DigitsSpec, Difficulty};
+    use nc_mlp::Activation;
+
+    fn engine(threads: usize) -> Arc<Engine> {
+        Arc::new(
+            Engine::builder()
+                .threads(threads)
+                .scale(ExperimentScale::Tiny)
+                .build(),
+        )
+    }
+
+    fn snapshot(name: &str, seed: u64) -> Arc<ModelSnapshot> {
+        let (train, _) = DigitsSpec {
+            train: 12,
+            test: 4,
+            seed: 3,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        let spec = ModelSpec::QuantizedMlp {
+            sizes: vec![784, 6, 10],
+            activation: Activation::sigmoid(),
+            seed,
+        };
+        let budget = FitBudget {
+            epochs: 1,
+            stdp_epochs: 1,
+            stdp_delta: 8,
+            learning_rate: None,
+        };
+        Arc::new(ModelSnapshot::prepare(name, spec, budget, Arc::new(train), None).unwrap())
+    }
+
+    #[test]
+    fn empty_and_duplicate_registration_are_rejected() {
+        assert_eq!(
+            Server::new(engine(1), ServeConfig::default(), vec![]).unwrap_err(),
+            ServeError::NoModels
+        );
+        let err = Server::new(
+            engine(1),
+            ServeConfig::default(),
+            vec![snapshot("m", 1), snapshot("m", 2)],
+        )
+        .unwrap_err();
+        assert_eq!(err, ServeError::DuplicateModel("m".to_string()));
+    }
+
+    #[test]
+    fn submit_validates_name_and_geometry_before_admission() {
+        let server =
+            Server::new(engine(1), ServeConfig::default(), vec![snapshot("q", 1)]).unwrap();
+        assert!(matches!(
+            server.submit("absent", &[0; 784], 0),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert_eq!(
+            server.submit("q", &[0; 3], 0).unwrap_err(),
+            ServeError::Geometry {
+                model: "q".to_string(),
+                expected: 784,
+                got: 3,
+            }
+        );
+        assert_eq!(server.in_flight(), 0);
+    }
+
+    #[test]
+    fn full_window_serves_without_an_explicit_flush() {
+        let (_, test) = DigitsSpec {
+            train: 12,
+            test: 4,
+            seed: 3,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        let config = ServeConfig {
+            batch_window: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(engine(2), config, vec![snapshot("q", 1)]).unwrap();
+        let t0 = server.submit("q", &test.samples()[0].pixels, 0).unwrap();
+        let t1 = server.submit("q", &test.samples()[1].pixels, 1).unwrap();
+        assert_eq!(server.drain(), 2);
+        let r0 = server.take_response(t0).unwrap();
+        let r1 = server.take_response(t1).unwrap();
+        assert_eq!(r0.batch, r1.batch);
+        assert!(r0.outcome.is_ok() && r1.outcome.is_ok());
+        assert_eq!(server.in_flight(), 0);
+        // Responses are take-once.
+        assert!(server.take_response(t0).is_none());
+    }
+
+    #[test]
+    fn run_until_idle_flushes_partial_windows() {
+        let (_, test) = DigitsSpec {
+            train: 12,
+            test: 4,
+            seed: 3,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        let server =
+            Server::new(engine(1), ServeConfig::default(), vec![snapshot("q", 1)]).unwrap();
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| {
+                server
+                    .submit("q", &test.samples()[i].pixels, u64::try_from(i).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(server.run_until_idle(), 3);
+        for t in tickets {
+            assert!(server.take_response(t).unwrap().outcome.is_ok());
+        }
+        // Idle server: nothing to do, loop terminates immediately.
+        assert_eq!(server.run_until_idle(), 0);
+    }
+
+    #[test]
+    fn latency_is_none_with_a_disabled_recorder() {
+        let (_, test) = DigitsSpec {
+            train: 12,
+            test: 4,
+            seed: 3,
+            difficulty: Difficulty::default(),
+        }
+        .generate();
+        // Engine::builder() defaults to the NullRecorder (disabled), so
+        // the serving path must never read the clock.
+        let server =
+            Server::new(engine(1), ServeConfig::default(), vec![snapshot("q", 1)]).unwrap();
+        let t = server.submit("q", &test.samples()[0].pixels, 0).unwrap();
+        server.run_until_idle();
+        assert_eq!(server.take_response(t).unwrap().latency_ns, None);
+    }
+}

@@ -25,6 +25,9 @@
 //!   cycle-level datapath simulators.
 //! * [`core`] — the experiment framework that regenerates every table
 //!   and figure of the paper.
+//! * [`serve`] — the in-process batched inference service: trained-model
+//!   snapshots, a deterministic admission-queue coalescer, and a seeded
+//!   closed-loop load generator.
 //!
 //! # Quick start
 //!
@@ -56,5 +59,6 @@ pub use nc_core as core;
 pub use nc_dataset as dataset;
 pub use nc_hw as hw;
 pub use nc_mlp as mlp;
+pub use nc_serve as serve;
 pub use nc_snn as snn;
 pub use nc_substrate as substrate;
