@@ -107,8 +107,13 @@ struct Bump {
 /// class index (so prototypes are stable across runs and documented by
 /// construction rather than data files).
 fn prototype(class: usize) -> Vec<Bump> {
-    // A per-class stream keyed only by the class gives stable prototypes.
-    let mut rng = SplitMix64::new(0x0515_0AD5 ^ (class as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    /// Base seed of the per-class prototype streams; xor-folded with the
+    /// class index so each class gets an independent, stable stream.
+    const PROTOTYPE_SEED: u64 = 0x0515_0AD5;
+    /// Per-class stride (the SplitMix64 golden-gamma constant) spreading
+    /// adjacent class indices across the seed space.
+    const CLASS_STRIDE: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut rng = SplitMix64::new(PROTOTYPE_SEED ^ (class as u64).wrapping_mul(CLASS_STRIDE));
     let bumps = 3 + class % 3; // 3..5 formant-like trajectories
     (0..bumps)
         .map(|_| Bump {

@@ -271,9 +271,12 @@ impl TransientReads {
 
     /// A permanently healthy read port (the default for every model).
     pub fn disabled() -> Self {
+        /// The stream behind a disabled port is never drawn from (rate
+        /// is 0.0), so its seed only has to be a fixed, named value.
+        const DISABLED_PORT_SEED: u64 = 0;
         TransientReads {
             rate: 0.0,
-            rng: RefCell::new(SplitMix64::new(0)),
+            rng: RefCell::new(SplitMix64::new(DISABLED_PORT_SEED)),
         }
     }
 

@@ -1,0 +1,510 @@
+//! The incremental-mode cache: phase-1 scan results keyed by file
+//! content hash, persisted under `target/nc-lint/`.
+//!
+//! Phase 1 (lex → parse → per-file rules) dominates a full run; phase 2
+//! is graph algebra over small models. So incremental mode caches the
+//! per-file [`FileScan`] — the *pure* output of phase 1 — and re-parses
+//! only files whose FNV-64 content hash changed. Phase 2 always re-runs
+//! over the whole workspace, because a one-file edit can change
+//! cross-file conclusions everywhere.
+//!
+//! The on-disk format is a versioned line/field text encoding (fields
+//! separated by `US`, list elements by `RS`) rather than anything
+//! fancier: the build is dependency-free, and the failure mode is
+//! designed to be safe — *any* decode surprise (version bump, truncated
+//! write, hand-edited file) discards the cache and falls back to a full
+//! rescan. A cache can make the run faster, never wrong.
+
+use crate::parse::{
+    AllocSite, CallSite, FnDef, LetBind, LockSite, OwnerKind, SourceUse, TraitDecl,
+};
+use crate::rules::{FileScan, Finding, RuleId, Suppression, TargetKind};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Format tag; bump whenever the scan model or encoding changes so old
+/// caches self-invalidate.
+const MAGIC: &str = "nc-lint-cache v1";
+
+/// Field separator (ASCII unit separator — cannot appear in source-derived text).
+const FS: char = '\x1f';
+
+/// List-element separator (ASCII record separator).
+const LS: char = '\x1e';
+
+/// One cached file: its content hash and the phase-1 scan it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedScan {
+    /// FNV-64 of the file's bytes at scan time.
+    pub hash: u64,
+    /// The phase-1 result (with `used` flags at their scan-time `false`).
+    pub scan: FileScan,
+}
+
+/// FNV-1a 64-bit over raw bytes: tiny, dependency-free, and collisions
+/// would need an adversarial editor — the cache is a local accelerator,
+/// not a security boundary.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Loads the cache, returning an empty map on any miss or decode
+/// problem (full rescan is always safe).
+pub fn load(path: &Path) -> BTreeMap<String, CachedScan> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| decode(&text))
+        .unwrap_or_default()
+}
+
+/// Persists the cache, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (an unwritable `target/`, typically).
+pub fn save(path: &Path, entries: &BTreeMap<String, CachedScan>) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, encode(entries))
+}
+
+fn rec(out: &mut String, fields: &[&str]) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(FS);
+        }
+        out.push_str(f);
+    }
+    out.push('\n');
+}
+
+fn enc_list(items: &[String]) -> (String, String) {
+    (items.len().to_string(), items.join(&LS.to_string()))
+}
+
+fn enc_bool(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+fn enc_opt_u32(v: Option<u32>) -> String {
+    v.map(|n| n.to_string()).unwrap_or_default()
+}
+
+/// Serializes the whole cache.
+pub fn encode(entries: &BTreeMap<String, CachedScan>) -> String {
+    let mut out = String::from(MAGIC);
+    out.push('\n');
+    for e in entries.values() {
+        let scan = &e.scan;
+        let target = match scan.target {
+            TargetKind::Library => "L",
+            TargetKind::Binary => "B",
+            TargetKind::TestOrBench => "T",
+        };
+        rec(&mut out, &["F", &scan.path, target, &e.hash.to_string()]);
+        let (n, joined) = enc_list(&scan.model.dyn_refs);
+        rec(&mut out, &["D", &n, &joined]);
+        for t in &scan.model.traits {
+            let (n, joined) = enc_list(&t.methods);
+            rec(&mut out, &["T", &t.name, &n, &joined]);
+        }
+        for f in &scan.model.fns {
+            let kind = match f.owner_kind {
+                OwnerKind::Free => "F",
+                OwnerKind::Impl => "I",
+                OwnerKind::Trait => "T",
+            };
+            let (np, params) = enc_list(&f.params);
+            rec(
+                &mut out,
+                &[
+                    "N",
+                    &f.name,
+                    f.owner.as_deref().unwrap_or(""),
+                    kind,
+                    &f.line.to_string(),
+                    enc_bool(f.is_test),
+                    &np,
+                    &params,
+                ],
+            );
+            for c in &f.calls {
+                let (nh, held) = enc_list(&c.held);
+                let (na, args) = enc_list(&c.args);
+                rec(
+                    &mut out,
+                    &[
+                        "C",
+                        c.qualifier.as_deref().unwrap_or(""),
+                        &c.name,
+                        enc_bool(c.is_method),
+                        &c.line.to_string(),
+                        &nh,
+                        &held,
+                        &na,
+                        &args,
+                    ],
+                );
+            }
+            for l in &f.locks {
+                let (nh, held) = enc_list(&l.held);
+                rec(&mut out, &["L", &l.lock, &l.line.to_string(), &nh, &held]);
+            }
+            for s in &f.sources {
+                rec(
+                    &mut out,
+                    &["S", &s.ident, enc_bool(s.clock), &s.line.to_string()],
+                );
+            }
+            for a in &f.allocs {
+                rec(&mut out, &["A", &a.what, &a.line.to_string()]);
+            }
+            for b in &f.lets {
+                rec(&mut out, &["B", &b.name, &b.rhs]);
+            }
+        }
+        for f in &scan.raw {
+            rec(
+                &mut out,
+                &["R", &f.line.to_string(), f.rule.name(), &f.message],
+            );
+        }
+        for f in &scan.malformed {
+            rec(&mut out, &["M", &f.line.to_string(), &f.message]);
+        }
+        for w in &scan.suppressions {
+            let names: Vec<String> = w.rules.iter().map(|r| r.name().to_string()).collect();
+            let (nr, rules) = enc_list(&names);
+            rec(
+                &mut out,
+                &[
+                    "W",
+                    &w.line.to_string(),
+                    &nr,
+                    &rules,
+                    enc_bool(w.file_wide),
+                    &enc_opt_u32(w.expires),
+                    &enc_opt_u32(w.covered),
+                ],
+            );
+        }
+    }
+    out
+}
+
+fn de_list(count: &str, joined: &str) -> Option<Vec<String>> {
+    let n: usize = count.parse().ok()?;
+    if n == 0 {
+        return joined.is_empty().then(Vec::new);
+    }
+    let parts: Vec<String> = joined.split(LS).map(str::to_string).collect();
+    (parts.len() == n).then_some(parts)
+}
+
+fn de_bool(s: &str) -> Option<bool> {
+    match s {
+        "1" => Some(true),
+        "0" => Some(false),
+        _ => None,
+    }
+}
+
+fn de_opt_u32(s: &str) -> Option<Option<u32>> {
+    if s.is_empty() {
+        return Some(None);
+    }
+    s.parse().ok().map(Some)
+}
+
+fn de_opt_string(s: &str) -> Option<String> {
+    (!s.is_empty()).then(|| s.to_string())
+}
+
+/// Decodes a cache document; `None` means "treat as cold".
+pub fn decode(text: &str) -> Option<BTreeMap<String, CachedScan>> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let mut entries: BTreeMap<String, CachedScan> = BTreeMap::new();
+    let mut current: Option<CachedScan> = None;
+    for line in lines {
+        let f: Vec<&str> = line.split(FS).collect();
+        match f.first().copied()? {
+            "F" => {
+                if let Some(done) = current.take() {
+                    entries.insert(done.scan.path.clone(), done);
+                }
+                let [_, path, target, hash] = f[..] else {
+                    return None;
+                };
+                let target = match target {
+                    "L" => TargetKind::Library,
+                    "B" => TargetKind::Binary,
+                    "T" => TargetKind::TestOrBench,
+                    _ => return None,
+                };
+                current = Some(CachedScan {
+                    hash: hash.parse().ok()?,
+                    scan: FileScan {
+                        path: path.to_string(),
+                        target,
+                        model: crate::parse::FileModel {
+                            path: path.to_string(),
+                            ..Default::default()
+                        },
+                        raw: Vec::new(),
+                        malformed: Vec::new(),
+                        suppressions: Vec::new(),
+                    },
+                });
+            }
+            "D" => {
+                let [_, n, joined] = f[..] else { return None };
+                current.as_mut()?.scan.model.dyn_refs = de_list(n, joined)?;
+            }
+            "T" => {
+                let [_, name, n, joined] = f[..] else {
+                    return None;
+                };
+                current.as_mut()?.scan.model.traits.push(TraitDecl {
+                    name: name.to_string(),
+                    methods: de_list(n, joined)?,
+                });
+            }
+            "N" => {
+                let [_, name, owner, kind, line, is_test, np, params] = f[..] else {
+                    return None;
+                };
+                let owner_kind = match kind {
+                    "F" => OwnerKind::Free,
+                    "I" => OwnerKind::Impl,
+                    "T" => OwnerKind::Trait,
+                    _ => return None,
+                };
+                current.as_mut()?.scan.model.fns.push(FnDef {
+                    name: name.to_string(),
+                    owner: de_opt_string(owner),
+                    owner_kind,
+                    line: line.parse().ok()?,
+                    is_test: de_bool(is_test)?,
+                    params: de_list(np, params)?,
+                    calls: Vec::new(),
+                    locks: Vec::new(),
+                    sources: Vec::new(),
+                    allocs: Vec::new(),
+                    lets: Vec::new(),
+                });
+            }
+            "C" => {
+                let [_, qual, name, is_method, line, nh, held, na, args] = f[..] else {
+                    return None;
+                };
+                let site = CallSite {
+                    qualifier: de_opt_string(qual),
+                    name: name.to_string(),
+                    is_method: de_bool(is_method)?,
+                    line: line.parse().ok()?,
+                    held: de_list(nh, held)?,
+                    args: de_list(na, args)?,
+                };
+                current
+                    .as_mut()?
+                    .scan
+                    .model
+                    .fns
+                    .last_mut()?
+                    .calls
+                    .push(site);
+            }
+            "L" => {
+                let [_, lock, line, nh, held] = f[..] else {
+                    return None;
+                };
+                let site = LockSite {
+                    lock: lock.to_string(),
+                    line: line.parse().ok()?,
+                    held: de_list(nh, held)?,
+                };
+                current
+                    .as_mut()?
+                    .scan
+                    .model
+                    .fns
+                    .last_mut()?
+                    .locks
+                    .push(site);
+            }
+            "S" => {
+                let [_, ident, clock, line] = f[..] else {
+                    return None;
+                };
+                let site = SourceUse {
+                    ident: ident.to_string(),
+                    clock: de_bool(clock)?,
+                    line: line.parse().ok()?,
+                };
+                current
+                    .as_mut()?
+                    .scan
+                    .model
+                    .fns
+                    .last_mut()?
+                    .sources
+                    .push(site);
+            }
+            "A" => {
+                let [_, what, line] = f[..] else { return None };
+                let site = AllocSite {
+                    what: what.to_string(),
+                    line: line.parse().ok()?,
+                };
+                current
+                    .as_mut()?
+                    .scan
+                    .model
+                    .fns
+                    .last_mut()?
+                    .allocs
+                    .push(site);
+            }
+            "B" => {
+                let [_, name, rhs] = f[..] else { return None };
+                let bind = LetBind {
+                    name: name.to_string(),
+                    rhs: rhs.to_string(),
+                };
+                current.as_mut()?.scan.model.fns.last_mut()?.lets.push(bind);
+            }
+            "R" => {
+                let [_, line, rule, message] = f[..] else {
+                    return None;
+                };
+                let cur = current.as_mut()?;
+                cur.scan.raw.push(Finding {
+                    file: cur.scan.path.clone(),
+                    line: line.parse().ok()?,
+                    rule: RuleId::parse(rule)?,
+                    message: message.to_string(),
+                });
+            }
+            "M" => {
+                let [_, line, message] = f[..] else {
+                    return None;
+                };
+                let cur = current.as_mut()?;
+                cur.scan.malformed.push(Finding {
+                    file: cur.scan.path.clone(),
+                    line: line.parse().ok()?,
+                    rule: RuleId::Suppress,
+                    message: message.to_string(),
+                });
+            }
+            "W" => {
+                let [_, line, nr, rules, file_wide, expires, covered] = f[..] else {
+                    return None;
+                };
+                let rules = de_list(nr, rules)?
+                    .iter()
+                    .map(|r| RuleId::parse(r))
+                    .collect::<Option<Vec<RuleId>>>()?;
+                current.as_mut()?.scan.suppressions.push(Suppression {
+                    line: line.parse().ok()?,
+                    rules,
+                    file_wide: de_bool(file_wide)?,
+                    expires: de_opt_u32(expires)?,
+                    covered: de_opt_u32(covered)?,
+                    used: false,
+                });
+            }
+            _ => return None,
+        }
+    }
+    if let Some(done) = current.take() {
+        entries.insert(done.scan.path.clone(), done);
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::scan_file;
+
+    #[test]
+    fn cache_round_trips_a_real_scan() {
+        let src = "
+            // nc-lint: allow(R4, reason = \"scratch\", expires = \"PR40\")
+            use std::collections::HashMap;
+            pub trait Sink { fn put(&self, v: u64); }
+            impl Server {
+                pub fn drain(&self, rec: &dyn Sink, master_seed: u64) -> usize {
+                    let g = lock_or_recover(&self.state);
+                    let first = derive(master_seed);
+                    rec.put(first);
+                    Some(1).unwrap()
+                }
+            }
+        ";
+        let scan = scan_file("crates/serve/src/server.rs", src);
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            scan.path.clone(),
+            CachedScan {
+                hash: fnv64(src.as_bytes()),
+                scan,
+            },
+        );
+        let decoded = decode(&encode(&entries)).expect("decodes");
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn empty_and_multi_file_caches_round_trip() {
+        let empty = BTreeMap::new();
+        assert_eq!(decode(&encode(&empty)), Some(empty));
+        let mut entries = BTreeMap::new();
+        for (path, src) in [
+            ("crates/a/src/lib.rs", "pub fn a() {}"),
+            ("crates/b/src/lib.rs", "pub fn b() { a(); }"),
+        ] {
+            let scan = scan_file(path, src);
+            entries.insert(
+                path.to_string(),
+                CachedScan {
+                    hash: fnv64(src.as_bytes()),
+                    scan,
+                },
+            );
+        }
+        assert_eq!(decode(&encode(&entries)), Some(entries));
+    }
+
+    #[test]
+    fn corrupt_documents_decode_to_cold() {
+        assert_eq!(decode(""), None);
+        assert_eq!(decode("not a cache"), None);
+        assert_eq!(decode("nc-lint-cache v0\n"), None);
+        let truncated = format!("{MAGIC}\nF\u{1f}only-two-fields");
+        assert_eq!(decode(&truncated), None);
+        let bad_tag = format!("{MAGIC}\nZ\u{1f}x");
+        assert_eq!(decode(&bad_tag), None);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+    }
+}

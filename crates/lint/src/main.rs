@@ -1,8 +1,10 @@
 //! The `nc-lint` CLI.
 //!
 //! ```text
-//! cargo run -p nc-lint            # human-readable report, exit 1 on findings
-//! cargo run -p nc-lint -- --json  # machine-readable report (schema v1)
+//! cargo run -p nc-lint                  # human-readable report, exit 1 on findings
+//! cargo run -p nc-lint -- --json        # machine-readable report (schema v2)
+//! cargo run -p nc-lint -- --sarif out.sarif   # also write SARIF 2.1.0
+//! cargo run -p nc-lint -- --incremental # phase-1 cache under target/nc-lint/
 //! cargo run -p nc-lint -- --root path/to/tree
 //! ```
 //!
@@ -13,18 +15,27 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut incremental = false;
+    let mut sarif_out: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--incremental" => incremental = true,
+            "--sarif" => match args.next() {
+                Some(path) => sarif_out = Some(PathBuf::from(path)),
+                None => return usage("--sarif needs an output path argument"),
+            },
             "--root" => match args.next() {
                 Some(path) => root = Some(PathBuf::from(path)),
                 None => return usage("--root needs a path argument"),
             },
             "--help" | "-h" => {
-                println!("usage: nc-lint [--json] [--root DIR]");
-                println!("Checks workspace invariants R1-R7; see DESIGN.md \"Static invariants\".");
+                println!("usage: nc-lint [--json] [--sarif FILE] [--incremental] [--root DIR]");
+                println!(
+                    "Checks workspace invariants R1-R11; see DESIGN.md \"Static invariants\"."
+                );
                 return ExitCode::SUCCESS;
             }
             other if root.is_none() && !other.starts_with('-') => {
@@ -42,8 +53,21 @@ fn main() -> ExitCode {
         },
     };
 
-    match nc_lint::lint_tree(&root) {
+    let result = if incremental {
+        let cache = root.join("target").join("nc-lint").join("cache.v1");
+        nc_lint::lint_tree_cached(&root, &cache)
+    } else {
+        nc_lint::lint_tree(&root)
+    };
+    match result {
         Ok(report) => {
+            if let Some(path) = sarif_out {
+                let doc = nc_lint::sarif::render_sarif(&report);
+                if let Err(err) = std::fs::write(&path, doc) {
+                    eprintln!("nc-lint: cannot write SARIF to {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
             if json {
                 print!("{}", report.render_json());
             } else {
@@ -64,7 +88,7 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("nc-lint: {problem}");
-    eprintln!("usage: nc-lint [--json] [--root DIR]");
+    eprintln!("usage: nc-lint [--json] [--sarif FILE] [--incremental] [--root DIR]");
     ExitCode::from(2)
 }
 

@@ -14,6 +14,10 @@ pub struct Report {
     pub suppressions_total: usize,
     /// Suppressions that actually silenced a finding.
     pub suppressions_used: usize,
+    /// In incremental mode, how many files were actually re-parsed
+    /// (the rest came from the content-hash cache). `None` for a full
+    /// run.
+    pub files_reparsed: Option<usize>,
 }
 
 impl Report {
@@ -29,21 +33,33 @@ impl Report {
         for f in &self.findings {
             let _ = writeln!(out, "{}:{}: {}: {}", f.file, f.line, f.rule, f.message);
         }
+        let reparse_note = match self.files_reparsed {
+            Some(n) => format!(" ({n} re-parsed)"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "nc-lint: {} finding(s) across {} file(s); {}/{} suppression(s) in use",
+            "nc-lint: {} finding(s) across {} file(s){}; {}/{} suppression(s) in use",
             self.findings.len(),
             self.files_scanned,
+            reparse_note,
             self.suppressions_used,
             self.suppressions_total,
         );
         out
     }
 
-    /// Renders the machine-readable report (schema `version` 1).
+    /// Renders the machine-readable report (schema `version` 2; v2 added
+    /// `files_reparsed`, `null` outside incremental mode).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n");
+        let mut out = String::from("{\n  \"version\": 2,\n");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        match self.files_reparsed {
+            Some(n) => {
+                let _ = writeln!(out, "  \"files_reparsed\": {n},");
+            }
+            None => out.push_str("  \"files_reparsed\": null,\n"),
+        }
         let _ = writeln!(
             out,
             "  \"suppressions\": {{ \"total\": {}, \"used\": {} }},",
@@ -79,7 +95,7 @@ impl Report {
 }
 
 /// Escapes a string as a JSON literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -115,17 +131,22 @@ mod tests {
             files_scanned: 1,
             suppressions_total: 2,
             suppressions_used: 1,
+            files_reparsed: None,
         };
         let json = report.render_json();
-        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"version\": 2"));
+        assert!(json.contains("\"files_reparsed\": null"));
         assert!(json.contains("\"rule\": \"R4\""));
         assert!(json.contains("say \\\"no\\\"\\tplease"));
         assert!(json.contains("\"clean\": false"));
         let empty = Report {
             files_scanned: 0,
+            files_reparsed: Some(0),
             ..Report::default()
         };
         assert!(empty.render_json().contains("\"findings\": []"));
+        assert!(empty.render_json().contains("\"files_reparsed\": 0"));
+        assert!(empty.render_text().contains("(0 re-parsed)"));
         assert!(empty.is_clean());
     }
 }

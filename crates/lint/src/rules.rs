@@ -1,16 +1,28 @@
-//! The invariant rule table and the per-file checking pass.
+//! The invariant rule table and the two-phase checking pipeline.
 //!
-//! Each rule has an ID (`R1`..`R7`), a path-based *scope* (which files it
-//! governs), and a token-pattern detector. The scopes encode the
-//! architecture DESIGN.md documents: wall-clock reads belong to the
-//! observability layer, hash-ordered containers never touch result paths,
-//! panics never cross a library boundary, and every narrowing cast outside
-//! the audited fixed-point module is either rewritten or carries an
-//! auditable justification.
+//! Each rule has an ID (`R1`..`R11`), a *scope* (which files or graph
+//! regions it governs), and a detector. R1–R7 are per-file token-pattern
+//! rules (phase 1); R8–R11 run on the workspace symbol graph built from
+//! every file's parsed model (phase 2, see [`crate::graph`] and
+//! [`crate::taint`]). The scopes encode the architecture DESIGN.md
+//! documents: wall-clock reads belong to the observability layer,
+//! hash-ordered containers never touch result paths, panics never cross
+//! a library boundary, every narrowing cast outside the audited
+//! fixed-point module is either rewritten or carries an auditable
+//! justification, and the determinism contract (served predictions
+//! bit-equal to offline evaluation) is closed under the call graph.
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parse::{self, ident_at, is_punct, parse_file, test_item_regions, FileModel};
+use crate::report::Report;
+use crate::{graph, taint};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// The PR this tree is being prepared for; waivers with
+/// `expires = "PR<n>"` stop suppressing (and become findings) once
+/// `CURRENT_PR >= n`. Bumped at the start of each PR.
+pub const CURRENT_PR: u32 = 8;
 
 /// Identifier of one invariant rule (or the meta-rule that audits the
 /// suppression comments themselves).
@@ -30,13 +42,21 @@ pub enum RuleId {
     R6,
     /// No entropy-sourced RNG construction; seeds flow in explicitly.
     R7,
-    /// Suppression comments must parse and carry a non-empty reason.
+    /// No clock/entropy source reachable from a determinism root (cross-file).
+    R8,
+    /// No lock-order cycles; no lock held across dyn dispatch (cross-file).
+    R9,
+    /// No heap allocation on `nc_substrate::kernel` hot paths (cross-file).
+    R10,
+    /// Seed arguments derive from seeded streams or named constants (cross-file).
+    R11,
+    /// Suppression comments must parse, carry a reason, and not expire.
     Suppress,
 }
 
 impl RuleId {
     /// Every enforced rule, in report order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 12] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
@@ -44,6 +64,10 @@ impl RuleId {
         RuleId::R5,
         RuleId::R6,
         RuleId::R7,
+        RuleId::R8,
+        RuleId::R9,
+        RuleId::R10,
+        RuleId::R11,
         RuleId::Suppress,
     ];
 
@@ -57,6 +81,10 @@ impl RuleId {
             RuleId::R5 => "R5",
             RuleId::R6 => "R6",
             RuleId::R7 => "R7",
+            RuleId::R8 => "R8",
+            RuleId::R9 => "R9",
+            RuleId::R10 => "R10",
+            RuleId::R11 => "R11",
             RuleId::Suppress => "SUPPRESS",
         }
     }
@@ -71,6 +99,10 @@ impl RuleId {
             "R5" => Some(RuleId::R5),
             "R6" => Some(RuleId::R6),
             "R7" => Some(RuleId::R7),
+            "R8" => Some(RuleId::R8),
+            "R9" => Some(RuleId::R9),
+            "R10" => Some(RuleId::R10),
+            "R11" => Some(RuleId::R11),
             _ => None,
         }
     }
@@ -85,7 +117,11 @@ impl RuleId {
             RuleId::R5 => "panic path in library code",
             RuleId::R6 => "thread creation outside the engine pool",
             RuleId::R7 => "entropy-sourced RNG construction",
-            RuleId::Suppress => "malformed or unused suppression",
+            RuleId::R8 => "clock/entropy source reachable from a determinism root",
+            RuleId::R9 => "lock-order cycle or lock held across dyn dispatch",
+            RuleId::R10 => "heap allocation on a kernel hot path",
+            RuleId::R11 => "seed argument not derived from a seeded stream or named constant",
+            RuleId::Suppress => "malformed, unused, or expired suppression",
         }
     }
 }
@@ -180,20 +216,8 @@ const R6_POOL_FILE: &str = "crates/core/src/engine.rs";
 /// also documents the intent) and lossy-by-design ones carry a reason.
 const NARROW_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
 
-/// Identifiers whose presence means an RNG is being seeded from ambient
-/// entropy rather than an explicit seed.
-const ENTROPY_IDENTS: [&str; 8] = [
-    "thread_rng",
-    "ThreadRng",
-    "from_entropy",
-    "from_os_rng",
-    "OsRng",
-    "StdRng",
-    "getrandom",
-    "RandomState",
-];
-
-/// Does `rule` govern `file` at all? (Test regions are handled separately.)
+/// Does a phase-1 `rule` govern `file` at all? (Test regions are handled
+/// separately; phase-2 rules scope themselves on the graph.)
 fn rule_applies(rule: RuleId, file: &FileContext) -> bool {
     if file.target == TargetKind::TestOrBench {
         return false;
@@ -205,17 +229,34 @@ fn rule_applies(rule: RuleId, file: &FileContext) -> bool {
         RuleId::R4 | RuleId::R7 => true,
         RuleId::R5 => file.target == TargetKind::Library,
         RuleId::R6 => file.path != R6_POOL_FILE,
+        RuleId::R8 | RuleId::R9 | RuleId::R10 | RuleId::R11 => false,
         RuleId::Suppress => true,
     }
 }
 
 /// A parsed `// nc-lint: allow(...)` comment.
-#[derive(Debug)]
-struct Suppression {
-    line: u32,
-    rules: Vec<RuleId>,
-    file_wide: bool,
-    used: bool,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rules it waives.
+    pub rules: Vec<RuleId>,
+    /// `allow-file(...)` — covers the whole file.
+    pub file_wide: bool,
+    /// `expires = "PR<n>"`, if given.
+    pub expires: Option<u32>,
+    /// The code line a line-level waiver covers (the next line holding
+    /// any code), resolved at scan time.
+    pub covered: Option<u32>,
+    /// Whether it silenced at least one finding (set during resolution).
+    pub used: bool,
+}
+
+impl Suppression {
+    /// Expired waivers no longer suppress and are findings themselves.
+    pub fn expired(&self) -> bool {
+        self.expires.is_some_and(|n| CURRENT_PR >= n)
+    }
 }
 
 /// Result of parsing one suppression comment.
@@ -262,6 +303,7 @@ fn parse_suppression(text: &str, line: u32) -> Option<ParsedSuppression> {
     };
     let mut rules = Vec::new();
     let mut reason: Option<&str> = None;
+    let mut expires: Option<u32> = None;
     for part in split_top_level_commas(inner) {
         let part = part.trim();
         if let Some(value) = part.strip_prefix("reason") {
@@ -272,6 +314,25 @@ fn parse_suppression(text: &str, line: u32) -> Option<ParsedSuppression> {
                 .and_then(|v| v.strip_suffix('"'))
                 .unwrap_or(value);
             reason = Some(unquoted);
+        } else if let Some(value) = part.strip_prefix("expires") {
+            let value = value.trim_start();
+            let value = value.strip_prefix('=').unwrap_or(value).trim();
+            let unquoted = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .unwrap_or(value);
+            match unquoted
+                .strip_prefix("PR")
+                .and_then(|n| n.parse::<u32>().ok())
+            {
+                Some(n) => expires = Some(n),
+                None => {
+                    return Some(ParsedSuppression::Malformed {
+                        line,
+                        message: format!("bad `expires` value `{unquoted}` (expected `\"PR<n>\"`)"),
+                    })
+                }
+            }
         } else if let Some(rule) = RuleId::parse(part) {
             rules.push(rule);
         } else {
@@ -292,6 +353,8 @@ fn parse_suppression(text: &str, line: u32) -> Option<ParsedSuppression> {
             line,
             rules,
             file_wide,
+            expires,
+            covered: None,
             used: false,
         })),
         _ => Some(ParsedSuppression::Malformed {
@@ -331,10 +394,81 @@ pub struct FileStats {
     pub suppressions_used: usize,
 }
 
-/// Lints one file's source text. Pure: no filesystem access, so fixture
-/// tests can feed synthetic sources through the identical code path the
+/// A file's live (well-formed, unexpired) waivers, queryable by rule and
+/// line. Phase-2 analyses consult this: an R3/R7 waiver on a source line
+/// sanctions the source for R8 as well.
+#[derive(Debug, Default, Clone)]
+pub struct FileWaivers {
+    lines: BTreeMap<u32, Vec<RuleId>>,
+    file_wide: BTreeSet<RuleId>,
+}
+
+impl FileWaivers {
+    /// Registers a line-level waiver for `rule` covering `line`.
+    pub fn add_line(&mut self, rule: RuleId, line: u32) {
+        self.lines.entry(line).or_default().push(rule);
+    }
+
+    /// Registers a file-wide waiver for `rule`.
+    pub fn add_file_wide(&mut self, rule: RuleId) {
+        self.file_wide.insert(rule);
+    }
+
+    /// Does a waiver for `rule` cover `line`?
+    pub fn covers(&self, rule: RuleId, line: u32) -> bool {
+        self.file_wide.contains(&rule)
+            || self
+                .lines
+                .get(&line)
+                .is_some_and(|rules| rules.contains(&rule))
+    }
+}
+
+/// Everything phase 1 extracts from one file: the parsed model (for the
+/// graph), the raw phase-1 findings (not yet suppressed), and the
+/// suppression table. Pure per-file data — exactly what the incremental
+/// cache stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileScan {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Which target family the file builds into.
+    pub target: TargetKind,
+    /// The parsed item/scope model.
+    pub model: FileModel,
+    /// Raw phase-1 findings, before suppression resolution.
+    pub raw: Vec<Finding>,
+    /// `Suppress` findings from malformed directives.
+    pub malformed: Vec<Finding>,
+    /// Well-formed waivers (resolution marks them used).
+    pub suppressions: Vec<Suppression>,
+}
+
+impl FileScan {
+    /// The live waiver table phase 2 consults.
+    pub fn waivers(&self) -> FileWaivers {
+        let mut table = FileWaivers::default();
+        for s in &self.suppressions {
+            if s.expired() {
+                continue;
+            }
+            for &rule in &s.rules {
+                if s.file_wide {
+                    table.add_file_wide(rule);
+                } else if let Some(line) = s.covered {
+                    table.add_line(rule, line);
+                }
+            }
+        }
+        table
+    }
+}
+
+/// Phase 1 for one file: lex, split comments from code, parse the item
+/// model, run the per-file rules, and collect suppressions. Pure (no
+/// filesystem), so fixtures and the cache share the exact code path the
 /// CLI uses.
-pub fn check_source(path: &str, source: &str) -> (Vec<Finding>, FileStats) {
+pub fn scan_file(path: &str, source: &str) -> FileScan {
     let file = FileContext::classify(path);
     let tokens = lex(source);
 
@@ -344,12 +478,12 @@ pub fn check_source(path: &str, source: &str) -> (Vec<Finding>, FileStats) {
     let mut code: Vec<&Token> = Vec::new();
     let mut code_lines: BTreeSet<u32> = BTreeSet::new();
     let mut suppressions: Vec<Suppression> = Vec::new();
-    let mut findings: Vec<Finding> = Vec::new();
+    let mut malformed: Vec<Finding> = Vec::new();
     for token in &tokens {
         match &token.kind {
             TokenKind::Comment(text) => match parse_suppression(text, token.line) {
                 Some(ParsedSuppression::Ok(s)) => suppressions.push(s),
-                Some(ParsedSuppression::Malformed { line, message }) => findings.push(Finding {
+                Some(ParsedSuppression::Malformed { line, message }) => malformed.push(Finding {
                     file: file.path.clone(),
                     line,
                     rule: RuleId::Suppress,
@@ -363,39 +497,90 @@ pub fn check_source(path: &str, source: &str) -> (Vec<Finding>, FileStats) {
             }
         }
     }
+    for s in &mut suppressions {
+        if !s.file_wide {
+            s.covered = code_lines.range(s.line..).next().copied();
+        }
+    }
 
     let test_regions = test_item_regions(&code);
     let raw = scan_rules(&file, &code, &test_regions);
-
-    // Resolve suppressions. A line-level suppression covers the next code
-    // line at or below it (its own line if that line has code); file-wide
-    // ones cover everything.
-    let mut covered_line: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-    for (index, s) in suppressions.iter().enumerate() {
-        if s.file_wide {
-            continue;
-        }
-        let target = code_lines.range(s.line..).next().copied();
-        if let Some(line) = target {
-            covered_line.entry(line).or_default().push(index);
-        }
+    let model = parse_file(&file.path, &code);
+    FileScan {
+        path: file.path,
+        target: file.target,
+        model,
+        raw,
+        malformed,
+        suppressions,
     }
+}
+
+/// Phase 2: links every non-test file's model into the workspace symbol
+/// graph and runs the cross-file rules (R8–R11). Returns raw findings;
+/// suppression resolution happens in [`resolve_workspace`].
+pub fn run_phase2(scans: &[FileScan]) -> Vec<Finding> {
+    let units: Vec<graph::Unit<'_>> = scans
+        .iter()
+        .filter(|s| s.target != TargetKind::TestOrBench)
+        .map(|s| graph::Unit {
+            path: &s.path,
+            model: &s.model,
+        })
+        .collect();
+    if units.is_empty() {
+        return Vec::new();
+    }
+    let waivers: BTreeMap<String, FileWaivers> = scans
+        .iter()
+        .filter(|s| s.target != TargetKind::TestOrBench)
+        .map(|s| (s.path.clone(), s.waivers()))
+        .collect();
+    let graph = graph::SymbolGraph::build(units);
+    let mut findings = taint::check_determinism_taint(&graph, &waivers);
+    findings.extend(graph::check_lock_order(&graph));
+    findings.extend(graph::check_kernel_allocs(&graph));
+    findings.extend(taint::check_seed_discipline(&graph));
+    findings
+}
+
+/// Resolves suppressions across the whole workspace: folds raw phase-1
+/// and phase-2 findings through each file's waiver table, then reports
+/// malformed, expired, and unused waivers as `SUPPRESS` findings.
+pub fn resolve_workspace(mut scans: Vec<FileScan>, phase2: Vec<Finding>) -> Report {
+    let index: BTreeMap<String, usize> = scans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.path.clone(), i))
+        .collect();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut raw: Vec<Finding> = Vec::new();
+    for s in &mut scans {
+        raw.append(&mut s.raw);
+        findings.append(&mut s.malformed);
+    }
+    raw.extend(phase2);
+
     for f in raw {
+        let Some(&i) = index.get(&f.file) else {
+            findings.push(f);
+            continue;
+        };
+        let scan = &mut scans[i];
         let mut suppressed = false;
-        for &index in covered_line.get(&f.line).into_iter().flatten() {
-            if suppressions[index].rules.contains(&f.rule) {
-                suppressions[index].used = true;
+        for s in scan.suppressions.iter_mut() {
+            if s.expired() || !s.rules.contains(&f.rule) {
+                continue;
+            }
+            let hit = if s.file_wide {
+                true
+            } else {
+                s.covered == Some(f.line)
+            };
+            if hit {
+                s.used = true;
                 suppressed = true;
                 break;
-            }
-        }
-        if !suppressed {
-            for s in suppressions.iter_mut().filter(|s| s.file_wide) {
-                if s.rules.contains(&f.rule) {
-                    s.used = true;
-                    suppressed = true;
-                    break;
-                }
             }
         }
         if !suppressed {
@@ -403,138 +588,68 @@ pub fn check_source(path: &str, source: &str) -> (Vec<Finding>, FileStats) {
         }
     }
 
-    // Unused suppressions are findings too: a stale allow is an invariant
-    // hole waiting to be widened silently.
-    for s in &suppressions {
-        if !s.used {
+    // Expired and unused suppressions are findings too: a stale allow is
+    // an invariant hole waiting to be widened silently.
+    let mut suppressions_total = 0usize;
+    let mut suppressions_used = 0usize;
+    for scan in &scans {
+        suppressions_total += scan.suppressions.len();
+        suppressions_used += scan.suppressions.iter().filter(|s| s.used).count();
+        for s in &scan.suppressions {
             let names: Vec<&str> = s.rules.iter().map(|r| r.name()).collect();
-            findings.push(Finding {
-                file: file.path.clone(),
-                line: s.line,
-                rule: RuleId::Suppress,
-                message: format!(
-                    "unused suppression for {} (nothing on the covered line trips it)",
-                    names.join(", ")
-                ),
-            });
+            if s.expired() {
+                let at = s.expires.unwrap_or(0);
+                findings.push(Finding {
+                    file: scan.path.clone(),
+                    line: s.line,
+                    rule: RuleId::Suppress,
+                    message: format!(
+                        "suppression for {} expired at PR{at} (current PR{CURRENT_PR}); \
+                         fix the violation or renew the waiver with a fresh audit",
+                        names.join(", ")
+                    ),
+                });
+            } else if !s.used {
+                findings.push(Finding {
+                    file: scan.path.clone(),
+                    line: s.line,
+                    rule: RuleId::Suppress,
+                    message: format!(
+                        "unused suppression for {} (nothing on the covered line trips it)",
+                        names.join(", ")
+                    ),
+                });
+            }
         }
     }
 
-    findings.sort_by_key(|f| (f.line, f.rule));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Report {
+        findings,
+        files_scanned: scans.len(),
+        suppressions_total,
+        suppressions_used,
+        files_reparsed: None,
+    }
+}
+
+/// Lints one file's source text through the full two-phase pipeline
+/// (phase 2 degenerates to a single-file graph). Pure: no filesystem
+/// access, so fixture tests can feed synthetic sources through the
+/// identical code path the CLI uses.
+pub fn check_source(path: &str, source: &str) -> (Vec<Finding>, FileStats) {
+    let scan = scan_file(path, source);
+    let phase2 = run_phase2(std::slice::from_ref(&scan));
+    let report = resolve_workspace(vec![scan], phase2);
     let stats = FileStats {
-        suppressions_total: suppressions.len(),
-        suppressions_used: suppressions.iter().filter(|s| s.used).count(),
+        suppressions_total: report.suppressions_total,
+        suppressions_used: report.suppressions_used,
     };
-    (findings, stats)
+    (report.findings, stats)
 }
 
-/// Token-index ranges (over the comment-free stream) belonging to
-/// `#[test]` / `#[cfg(test)]` items — exempt from every rule.
-fn test_item_regions(code: &[&Token]) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    let mut i = 0usize;
-    while i < code.len() {
-        if !is_punct(code, i, '#') {
-            i += 1;
-            continue;
-        }
-        // `#[...]` or `#![...]`: collect the attribute's identifiers.
-        let mut j = i + 1;
-        if is_punct(code, j, '!') {
-            j += 1;
-        }
-        if !is_punct(code, j, '[') {
-            i += 1;
-            continue;
-        }
-        let Some((attr_end, is_test_attr)) = scan_attribute(code, j) else {
-            break;
-        };
-        if !is_test_attr {
-            i = attr_end + 1;
-            continue;
-        }
-        // Skip any further attributes, then span the annotated item.
-        let mut k = attr_end + 1;
-        while is_punct(code, k, '#') {
-            let mut b = k + 1;
-            if is_punct(code, b, '!') {
-                b += 1;
-            }
-            match scan_attribute(code, b) {
-                Some((end, _)) if is_punct(code, b, '[') => k = end + 1,
-                _ => break,
-            }
-        }
-        let end = item_end(code, k);
-        regions.push((i, end));
-        i = end + 1;
-    }
-    regions
-}
-
-/// Scans a `[...]` group starting at `open` (which must be `[`); returns
-/// the index of the matching `]` and whether the attribute marks test-only
-/// code (`test` present without `not`, e.g. `#[test]`, `#[cfg(test)]`,
-/// `#[cfg(all(test, ...))]` — but not `#[cfg(not(test))]`).
-fn scan_attribute(code: &[&Token], open: usize) -> Option<(usize, bool)> {
-    if !is_punct(code, open, '[') {
-        return None;
-    }
-    let mut depth = 0i32;
-    let mut has_test = false;
-    let mut has_not = false;
-    let mut i = open;
-    while i < code.len() {
-        match &code[i].kind {
-            TokenKind::Punct('[') => depth += 1,
-            TokenKind::Punct(']') => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some((i, has_test && !has_not));
-                }
-            }
-            TokenKind::Ident(s) if s == "test" => has_test = true,
-            TokenKind::Ident(s) if s == "not" => has_not = true,
-            _ => {}
-        }
-        i += 1;
-    }
-    None
-}
-
-/// The token index where the item starting at `start` ends: at a
-/// top-level `;` (e.g. `use`/`static` items) or at the `}` matching the
-/// first `{` (fn bodies, mod blocks, impls).
-fn item_end(code: &[&Token], start: usize) -> usize {
-    let mut depth = 0i32;
-    let mut i = start;
-    while i < code.len() {
-        match &code[i].kind {
-            TokenKind::Punct(';') if depth == 0 => return i,
-            TokenKind::Punct('{') => depth += 1,
-            TokenKind::Punct('}') => {
-                depth -= 1;
-                if depth <= 0 {
-                    return i;
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    code.len().saturating_sub(1)
-}
-
-fn is_punct(code: &[&Token], i: usize, c: char) -> bool {
-    matches!(code.get(i), Some(t) if t.kind == TokenKind::Punct(c))
-}
-
-fn ident_at<'a>(code: &[&'a Token], i: usize) -> Option<&'a str> {
-    code.get(i).and_then(|t| t.kind.ident())
-}
-
-/// Runs every applicable rule's detector over the comment-free tokens.
+/// Runs every applicable phase-1 rule's detector over the comment-free
+/// tokens.
 fn scan_rules(
     file: &FileContext,
     code: &[&Token],
@@ -628,13 +743,15 @@ fn scan_rules(
                         RuleId::R6,
                         String::from("thread creation outside the engine pool"),
                     ),
-                    _ if applies.contains(&RuleId::R7) && ENTROPY_IDENTS.contains(&name) => push(
-                        token.line,
-                        RuleId::R7,
-                        format!(
-                            "`{name}` draws ambient entropy; construct RNGs from explicit seeds"
-                        ),
-                    ),
+                    _ if applies.contains(&RuleId::R7) && parse::ENTROPY_IDENTS.contains(&name) => {
+                        push(
+                            token.line,
+                            RuleId::R7,
+                            format!(
+                                "`{name}` draws ambient entropy; construct RNGs from explicit seeds"
+                            ),
+                        )
+                    }
                     _ => {}
                 }
             }
@@ -725,5 +842,74 @@ mod tests {
         let src = "use std::collections::HashMap; // nc-lint: allow(R4, reason = \"scratch\")\n";
         let (findings, _) = check_source("crates/core/src/x.rs", src);
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unexpired_waiver_still_suppresses() {
+        let src = "
+            // nc-lint: allow(R4, reason = \"scratch\", expires = \"PR99\")
+            use std::collections::HashMap;
+        ";
+        let (findings, stats) = check_source("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(stats.suppressions_used, 1);
+    }
+
+    #[test]
+    fn expired_waiver_surfaces_both_findings() {
+        let src = "
+            // nc-lint: allow(R4, reason = \"scratch\", expires = \"PR8\")
+            use std::collections::HashMap;
+        ";
+        let (findings, stats) = check_source("crates/core/src/x.rs", src);
+        let rules: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+        // Sorted by line: the expired waiver (line 2) precedes the
+        // resurfaced R4 (line 3).
+        assert_eq!(rules, vec![RuleId::Suppress, RuleId::R4], "{findings:?}");
+        assert!(
+            findings[0].message.contains("expired at PR8"),
+            "{findings:?}"
+        );
+        assert_eq!(stats.suppressions_used, 0);
+    }
+
+    #[test]
+    fn malformed_expires_is_a_finding() {
+        let src = "
+            // nc-lint: allow(R4, reason = \"scratch\", expires = \"v2\")
+            use std::collections::HashMap;
+        ";
+        let rules = rules_hit("crates/core/src/x.rs", src);
+        assert!(rules.contains(&RuleId::Suppress), "{rules:?}");
+    }
+
+    #[test]
+    fn phase2_findings_can_be_waived_and_count_used() {
+        let src = "
+            impl Gate {
+                pub fn spin(&self) {
+                    let g = lock_or_recover(&self.state);
+                    // nc-lint: allow(R9, reason = \"re-entrant by design in this fixture\")
+                    lock_or_recover(&self.state).clear();
+                }
+            }
+        ";
+        let (findings, stats) = check_source("crates/serve/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(stats.suppressions_used, 1);
+    }
+
+    #[test]
+    fn self_deadlock_is_found_single_file() {
+        let src = "
+            impl Gate {
+                pub fn spin(&self) {
+                    let g = lock_or_recover(&self.state);
+                    lock_or_recover(&self.state).clear();
+                }
+            }
+        ";
+        let rules = rules_hit("crates/serve/src/x.rs", src);
+        assert_eq!(rules, vec![RuleId::R9], "{rules:?}");
     }
 }

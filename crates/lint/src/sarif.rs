@@ -1,0 +1,110 @@
+//! SARIF 2.1.0 rendering, so CI can upload findings to GitHub code
+//! scanning and annotate PRs in place.
+//!
+//! Only the schema subset code scanning consumes is emitted: one run,
+//! the tool driver with its rule table, and one `result` per finding
+//! with a `physicalLocation` (workspace-relative URI + start line).
+//! Findings are already sorted `(file, line, rule)` by the caller, so
+//! the document is byte-stable across runs.
+
+use crate::report::{json_string, Report};
+use crate::rules::RuleId;
+use std::fmt::Write as _;
+
+/// The schema URI GitHub's upload action validates against.
+const SCHEMA_URI: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders the report as a SARIF 2.1.0 document.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"$schema\": {},", json_string(SCHEMA_URI));
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"nc-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/example/neurocmp\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in RuleId::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "            {{ \"id\": {}, \"shortDescription\": {{ \"text\": {} }} }}",
+            json_string(rule.name()),
+            json_string(rule.summary()),
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n        {\n");
+        let _ = writeln!(out, "          \"ruleId\": {},", json_string(f.rule.name()));
+        out.push_str("          \"level\": \"error\",\n");
+        let _ = writeln!(
+            out,
+            "          \"message\": {{ \"text\": {} }},",
+            json_string(&f.message)
+        );
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        let _ = writeln!(
+            out,
+            "                \"artifactLocation\": {{ \"uri\": {} }},",
+            json_string(&f.file)
+        );
+        let _ = writeln!(
+            out,
+            "                \"region\": {{ \"startLine\": {} }}",
+            f.line
+        );
+        out.push_str("              }\n            }\n          ]\n        }");
+    }
+    if report.findings.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n      ]\n");
+    }
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn sarif_shape_holds() {
+        let report = Report {
+            findings: vec![Finding {
+                file: String::from("crates/x/src/a.rs"),
+                line: 7,
+                rule: RuleId::R9,
+                message: String::from("lock-order cycle: `A` vs `B`"),
+            }],
+            files_scanned: 1,
+            ..Report::default()
+        };
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("sarif-2.1.0.json"));
+        assert!(sarif.contains("\"name\": \"nc-lint\""));
+        assert!(sarif.contains("\"ruleId\": \"R9\""));
+        assert!(sarif.contains("\"uri\": \"crates/x/src/a.rs\""));
+        assert!(sarif.contains("\"startLine\": 7"));
+        // Every rule is declared in the driver table.
+        for rule in RuleId::ALL {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.name())));
+        }
+    }
+
+    #[test]
+    fn empty_report_has_empty_results() {
+        let sarif = render_sarif(&Report::default());
+        assert!(sarif.contains("\"results\": []"));
+    }
+}

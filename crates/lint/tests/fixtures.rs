@@ -113,7 +113,7 @@ fn clean_corpus_produces_no_findings() {
 #[test]
 fn json_report_round_trips_the_verdict() {
     let bad = lint("violations").render_json();
-    assert!(bad.contains("\"version\": 1"), "{bad}");
+    assert!(bad.contains("\"version\": 2"), "{bad}");
     assert!(bad.contains("\"clean\": false"), "{bad}");
     assert!(bad.contains("\"rule\": \"R6\""), "{bad}");
     assert!(bad.contains("\"rule\": \"SUPPRESS\""), "{bad}");
@@ -159,4 +159,180 @@ fn cli_exit_codes_and_json_match_the_library() {
         .output()
         .expect("spawn nc-lint");
     assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+}
+
+// ---------------------------------------------------------------------
+// Phase-2 corpora: tests/fixtures/graph_violations/ trips every
+// cross-file rule (R8–R11) plus an expired waiver; graph_clean/ holds
+// the near-misses (obs-quarantined clocks, consistent lock order,
+// dropped guards, setup-only allocation, derived seeds) and the two
+// waiver flavours that must still suppress.
+
+#[test]
+fn graph_violations_corpus_trips_every_phase2_rule() {
+    let report = lint("graph_violations");
+    assert_eq!(count(&report, RuleId::R4), 1, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R7), 1, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R8), 2, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R9), 4, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R10), 2, "{report:#?}");
+    assert_eq!(count(&report, RuleId::R11), 1, "{report:#?}");
+    assert_eq!(count(&report, RuleId::Suppress), 1, "{report:#?}");
+    assert_eq!(report.findings.len(), 12);
+    assert_eq!(report.files_scanned, 12);
+    // The corpus's only suppression is the expired one, which never
+    // counts as used.
+    assert_eq!(report.suppressions_total, 1);
+    assert_eq!(report.suppressions_used, 0);
+}
+
+#[test]
+fn phase2_violations_land_on_the_expected_lines() {
+    let report = lint("graph_violations");
+    let at = |rule: RuleId, file: &str, line: u32| {
+        assert!(
+            report
+                .findings_for(rule)
+                .iter()
+                .any(|f| f.file == file && f.line == line),
+            "missing {rule} at {file}:{line}: {report:#?}"
+        );
+    };
+    // R8: a clock two hops from `evaluate_batch`, entropy one hop from
+    // a figure writer.
+    at(RuleId::R8, "crates/bench/src/timing.rs", 6);
+    at(RuleId::R8, "crates/core/src/noise.rs", 6);
+    // R9: self-deadlock, both halves of the ALPHA/BETA cycle, and a
+    // dyn dispatch under the registry lock.
+    at(RuleId::R9, "crates/serve/src/queue.rs", 12);
+    at(RuleId::R9, "crates/serve/src/ab.rs", 6);
+    at(RuleId::R9, "crates/core/src/ba.rs", 7);
+    at(RuleId::R9, "crates/serve/src/sink.rs", 18);
+    // R10: the hot fn's own temporary plus the helper it reaches.
+    at(RuleId::R10, "crates/substrate/src/kernel.rs", 6);
+    at(RuleId::R10, "crates/substrate/src/scratch.rs", 6);
+    // R11: the magic literal seed.
+    at(RuleId::R11, "crates/snn/src/net.rs", 18);
+    // The expired waiver surfaces itself AND the R4 it used to hide.
+    at(RuleId::Suppress, "crates/core/src/stale.rs", 5);
+    at(RuleId::R4, "crates/core/src/stale.rs", 6);
+}
+
+#[test]
+fn phase2_findings_carry_call_chains_and_canonical_locks() {
+    let report = lint("graph_violations");
+    let m = |rule: RuleId, file: &str| {
+        report
+            .findings_for(rule)
+            .iter()
+            .find(|f| f.file == file)
+            .map(|f| f.message.clone())
+            .unwrap_or_default()
+    };
+    let r8 = m(RuleId::R8, "crates/bench/src/timing.rs");
+    assert!(r8.contains("Mlp::evaluate_batch"), "{r8}");
+    assert!(r8.contains("→ timed_len"), "{r8}");
+    let r9 = m(RuleId::R9, "crates/serve/src/queue.rs");
+    assert!(r9.contains("Queue.state"), "{r9}");
+    assert!(r9.contains("self-deadlock"), "{r9}");
+    let dyn_r9 = m(RuleId::R9, "crates/serve/src/sink.rs");
+    assert!(dyn_r9.contains("Sink::emit"), "{dyn_r9}");
+    let expired = m(RuleId::Suppress, "crates/core/src/stale.rs");
+    assert!(expired.contains("expired at PR7"), "{expired}");
+}
+
+#[test]
+fn graph_clean_corpus_produces_no_findings() {
+    let report = lint("graph_clean");
+    assert!(report.is_clean(), "{report:#?}");
+    assert_eq!(report.files_scanned, 9);
+    // Both waivers — the explicit allow(R8) on the probe's clock and
+    // the future-dated R4 one — suppress something real.
+    assert_eq!(report.suppressions_total, 2);
+    assert_eq!(report.suppressions_used, 2);
+}
+
+#[test]
+fn sarif_output_matches_the_corpus_reports() {
+    let bad = nc_lint::sarif::render_sarif(&lint("graph_violations"));
+    assert!(bad.contains("\"version\": \"2.1.0\""), "{bad}");
+    assert!(bad.contains("sarif-2.1.0.json"), "{bad}");
+    assert!(bad.contains("\"name\": \"nc-lint\""), "{bad}");
+    assert!(bad.contains("\"ruleId\": \"R9\""), "{bad}");
+    assert!(bad.contains("\"ruleId\": \"R11\""), "{bad}");
+    assert!(
+        bad.contains("\"uri\": \"crates/serve/src/queue.rs\""),
+        "{bad}"
+    );
+    assert!(bad.contains("\"startLine\": 12"), "{bad}");
+
+    let good = nc_lint::sarif::render_sarif(&lint("graph_clean"));
+    assert!(good.contains("\"results\": []"), "{good}");
+    // The rule table ships even when nothing fired.
+    assert!(good.contains("\"id\": \"R10\""), "{good}");
+}
+
+#[test]
+fn cli_writes_sarif_alongside_the_terminal_report() {
+    let exe = env!("CARGO_BIN_EXE_nc-lint");
+    let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli-sarif.sarif");
+    let run = Command::new(exe)
+        .args(["--sarif"])
+        .arg(&out)
+        .args(["--root"])
+        .arg(fixture("graph_violations"))
+        .output()
+        .expect("spawn nc-lint");
+    // Findings still drive the exit code; the SARIF file is a side
+    // output for upload.
+    assert_eq!(run.status.code(), Some(1), "{run:?}");
+    let doc = std::fs::read_to_string(&out).expect("SARIF file written");
+    assert!(doc.contains("\"ruleId\": \"R8\""), "{doc}");
+    assert!(doc.contains("\"ruleId\": \"R10\""), "{doc}");
+}
+
+/// Copies a fixture corpus into a scratch dir so the incremental cache
+/// test can rewrite files without touching the checked-in corpus.
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("mkdir");
+    for entry in std::fs::read_dir(from).expect("readdir") {
+        let entry = entry.expect("entry");
+        let target = to.join(entry.file_name());
+        if entry.file_type().expect("ftype").is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).expect("copy");
+        }
+    }
+}
+
+#[test]
+fn incremental_cache_reparses_only_changed_files() {
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("incremental-corpus");
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_tree(&fixture("graph_violations"), &scratch);
+    let cache = Path::new(env!("CARGO_TARGET_TMPDIR")).join("incremental-cache.v1");
+    let _ = std::fs::remove_file(&cache);
+
+    // Cold: everything parses.
+    let cold = nc_lint::lint_tree_cached(&scratch, &cache).expect("cold run");
+    assert_eq!(cold.files_reparsed, Some(12), "{cold:#?}");
+    // Warm, nothing changed: zero re-parses, byte-identical findings.
+    let warm = nc_lint::lint_tree_cached(&scratch, &cache).expect("warm run");
+    assert_eq!(warm.files_reparsed, Some(0), "{warm:#?}");
+    assert_eq!(cold.findings, warm.findings);
+
+    // Touch one file (append a comment): exactly that file re-parses
+    // and the verdict is unchanged.
+    let touched = scratch.join("crates/snn/src/net.rs");
+    let mut source = std::fs::read_to_string(&touched).expect("read fixture");
+    source.push_str("// trailing note\n");
+    std::fs::write(&touched, source).expect("rewrite fixture");
+    let third = nc_lint::lint_tree_cached(&scratch, &cache).expect("third run");
+    assert_eq!(third.files_reparsed, Some(1), "{third:#?}");
+    assert_eq!(cold.findings, third.findings);
+
+    // The plain tree walk agrees with every cached run.
+    let uncached = nc_lint::lint_tree(&scratch).expect("uncached run");
+    assert_eq!(uncached.findings, third.findings);
 }

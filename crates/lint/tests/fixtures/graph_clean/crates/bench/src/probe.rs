@@ -1,0 +1,10 @@
+//! Probe with an explicit, audited R8 waiver on its clock read: the
+//! taint still flows, but the waiver absorbs it and counts as used.
+
+/// Spends the budget against the wall clock, by design.
+pub fn probe_budget(budget: u64) -> u64 {
+    // nc-lint: allow(R8, reason = "calibration probe reads wall time by design; audited at PR8")
+    let start = Instant::now();
+    let _ = start;
+    budget
+}

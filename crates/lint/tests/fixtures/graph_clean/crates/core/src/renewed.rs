@@ -1,0 +1,8 @@
+//! A live waiver with a future expiry: it still suppresses, still
+//! counts as used, and will resurface for re-audit at PR40.
+
+/// Interim hash-ordered cache index.
+// nc-lint: allow(R4, reason = "hot-path map until the BTree port lands", expires = "PR40")
+pub fn interim() -> HashMap<u32, u32> {
+    fresh_map()
+}

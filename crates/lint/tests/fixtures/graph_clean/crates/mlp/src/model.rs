@@ -1,0 +1,13 @@
+//! Clean batch root: the only clock in reach is quarantined inside the
+//! sanctioned nc-obs timing layer.
+
+pub struct Mlp {
+    dim: usize,
+}
+
+impl Mlp {
+    /// Scores a batch; timing flows through gated nc-obs stopwatches.
+    pub fn evaluate_batch(&mut self, inputs: &[u8]) -> usize {
+        observed_len(inputs)
+    }
+}

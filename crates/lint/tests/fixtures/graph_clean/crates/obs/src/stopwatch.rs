@@ -1,0 +1,9 @@
+//! Sanctioned timing layer: clocks are allowed here, and the
+//! determinism-taint rule quarantines the whole crate.
+
+/// Reads the wall clock while counting the batch.
+pub fn observed_len(inputs: &[u8]) -> usize {
+    let start = Instant::now();
+    let _ = start;
+    inputs.len()
+}

@@ -1,0 +1,24 @@
+//! Near-miss locking: consistent alpha→beta order everywhere, and a
+//! re-take that only happens once the first guard is dropped.
+
+/// Takes the pair in the canonical order.
+pub fn forward() {
+    let alpha = lock_or_recover(&ALPHA);
+    let beta = lock_or_recover(&BETA);
+    let _ = (alpha, beta);
+}
+
+/// Re-takes ALPHA only once the first guard is gone.
+pub fn reenter() {
+    let alpha = lock_or_recover(&ALPHA);
+    drop(alpha);
+    let again = lock_or_recover(&ALPHA);
+    let _ = again;
+}
+
+/// Same canonical order from a second function.
+pub fn also_forward() {
+    let alpha = lock_or_recover(&ALPHA);
+    let beta = lock_or_recover(&BETA);
+    let _ = (alpha, beta);
+}

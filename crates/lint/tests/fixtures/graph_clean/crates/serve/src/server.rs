@@ -1,0 +1,13 @@
+//! Clean drain root: the probe it reaches carries an audited,
+//! explicit R8 waiver on its clock line.
+
+pub struct Server {
+    depth: usize,
+}
+
+impl Server {
+    /// Drains one batch; the probe's wall-clock read is waived.
+    pub fn drain(&self, budget: u64) -> u64 {
+        probe_budget(budget)
+    }
+}

@@ -1,0 +1,22 @@
+//! Near-miss dyn dispatch: the registry lock is released before the
+//! open-ended `dyn Sink` methods run.
+
+pub trait Sink {
+    fn emit(&self, value: u64);
+}
+
+pub struct Fanout {
+    state: Mutex<u64>,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl Fanout {
+    /// Reads the generation under the lock, publishes after dropping it.
+    pub fn publish(&self, value: u64) {
+        let state = lock_or_recover(&self.state);
+        drop(state);
+        for sink in &self.sinks {
+            sink.emit(value);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Clean kernel: construction may allocate (setup functions are
+//! exempt); the hot path only writes into caller-provided scratch.
+
+pub struct Scratch {
+    buf: Vec<u32>,
+}
+
+impl Scratch {
+    /// Builds the scratch buffer once, outside the hot path.
+    pub fn new(len: usize) -> Scratch {
+        Scratch {
+            buf: Vec::with_capacity(len),
+        }
+    }
+}
+
+/// Accumulates into caller scratch; nothing on this path allocates.
+pub fn gemv_hot(acc: &mut [u32], weights: &[u32]) {
+    for (slot, value) in acc.iter_mut().zip(weights.iter()) {
+        *slot = slot.wrapping_add(*value);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture figure writer: calling `write_results` makes this a
+//! determinism root, so the entropy behind `noisy_rows` is a finding.
+
+/// Emits one figure CSV built from a helper that draws OS entropy.
+pub fn fig_noise() {
+    let rows = noisy_rows();
+    write_results("fig_noise.csv", &rows);
+}

@@ -1,0 +1,9 @@
+//! Fixture lock-order cycle, second half: BETA taken before ALPHA,
+//! the reverse of `crates/serve/src/ab.rs`.
+
+/// Takes the pair in beta→alpha order.
+pub fn backward() {
+    let beta = lock_or_recover(&BETA);
+    let alpha = lock_or_recover(&ALPHA);
+    let _ = (beta, alpha);
+}

@@ -1,0 +1,8 @@
+//! Fixture entropy helper: trips R7 on its own line and R8 again once a
+//! figure writer reaches it through the call graph.
+
+/// Draws ambient entropy into a CSV body.
+pub fn noisy_rows() -> String {
+    let gen = thread_rng();
+    render_csv(gen)
+}

@@ -1,0 +1,13 @@
+//! Fixture batch-entry root for the determinism-taint rule: the clock
+//! read lives two hops away in another crate.
+
+pub struct Mlp {
+    dim: usize,
+}
+
+impl Mlp {
+    /// Scores a batch; leans on a helper that secretly reads the clock.
+    pub fn evaluate_batch(&mut self, inputs: &[u8]) -> usize {
+        timed_len(inputs)
+    }
+}

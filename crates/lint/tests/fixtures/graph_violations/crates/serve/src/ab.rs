@@ -1,0 +1,8 @@
+//! Fixture lock-order cycle, first half: ALPHA taken before BETA.
+
+/// Takes the pair in alpha→beta order.
+pub fn forward() {
+    let alpha = lock_or_recover(&ALPHA);
+    let beta = lock_or_recover(&BETA);
+    let _ = (alpha, beta);
+}

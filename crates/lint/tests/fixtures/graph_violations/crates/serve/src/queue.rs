@@ -1,0 +1,20 @@
+//! Fixture self-deadlock: `push_back` holds the queue lock and calls a
+//! helper that takes the same lock again.
+
+pub struct Queue {
+    state: Mutex<u64>,
+}
+
+impl Queue {
+    /// Appends and bumps the generation counter — deadlocks.
+    pub fn push_back(&self, item: u64) {
+        let state = lock_or_recover(&self.state);
+        self.bump_generation();
+        let _ = (state, item);
+    }
+
+    fn bump_generation(&self) {
+        let state = lock_or_recover(&self.state);
+        let _ = state;
+    }
+}

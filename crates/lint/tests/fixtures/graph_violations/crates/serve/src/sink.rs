@@ -1,0 +1,22 @@
+//! Fixture dyn-dispatch hazard: the registry lock is held across an
+//! open-ended `dyn Sink` method.
+
+pub trait Sink {
+    fn emit(&self, value: u64);
+}
+
+pub struct Fanout {
+    state: Mutex<u64>,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl Fanout {
+    /// Publishes under the state lock — a sink may block or re-enter.
+    pub fn publish(&self, value: u64) {
+        let state = lock_or_recover(&self.state);
+        for sink in &self.sinks {
+            sink.emit(value);
+        }
+        let _ = state;
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture seed discipline: a bare magic literal flows into a
+//! seed-named parameter.
+
+pub struct Net {
+    dim: usize,
+    s: u64,
+}
+
+impl Net {
+    /// Builds a network from an explicit seed.
+    pub fn new(dim: usize, seed: u64) -> Net {
+        Net { dim, s: seed }
+    }
+}
+
+/// Demo constructor hiding a magic seed literal.
+pub fn demo(dim: usize) -> Net {
+    Net::new(dim, 42)
+}

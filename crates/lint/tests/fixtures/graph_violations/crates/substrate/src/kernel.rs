@@ -1,0 +1,13 @@
+//! Fixture kernel hot path: allocates where only caller-provided
+//! scratch is allowed, and reaches a second allocation in a helper.
+
+/// Row-major accumulate with a hidden temporary.
+pub fn gemv_hot(acc: &mut [u32], weights: &[u32]) {
+    let scratch: Vec<u32> = Vec::new();
+    accumulate(acc, weights, &scratch);
+}
+
+fn accumulate(acc: &mut [u32], weights: &[u32], scratch: &[u32]) {
+    let spilled = spill(weights);
+    let _ = (acc, scratch, spilled);
+}

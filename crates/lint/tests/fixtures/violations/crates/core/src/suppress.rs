@@ -3,7 +3,7 @@
 // nc-lint: allow(R4)
 use std::collections::HashMap;
 
-// nc-lint: allow(R9, reason = "no such rule")
+// nc-lint: allow(R99, reason = "no such rule")
 pub type Scratch = HashMap<u8, u8>;
 
 // nc-lint: allow(R7, reason = "stale waiver, nothing below trips R7")

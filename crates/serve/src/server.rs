@@ -230,8 +230,28 @@ impl Server {
             },
         );
 
+        // Pull every finished stopwatch out in one short critical
+        // section, then read the clock and file metrics with the lock
+        // dropped: `Recorder` is open-ended `dyn` (an implementation may
+        // block, or call back into the server and re-take `state`), and
+        // `submit` already records outside the lock for the same reason
+        // — the admission and drain paths must agree on that order.
+        let mut pulled: Vec<(u64, Option<Stopwatch>)> = Vec::new();
+        {
+            let mut state = lock_or_recover(&self.state);
+            for meta in &metas {
+                for &(ticket, _) in &meta.tickets {
+                    pulled.push((ticket.0, state.watches.remove(&ticket.0)));
+                }
+            }
+        }
+        let latencies: BTreeMap<u64, u64> = pulled
+            .into_iter()
+            .filter_map(|(id, watch)| watch.and_then(|w| w.elapsed_ns()).map(|ns| (id, ns)))
+            .collect();
+
         let mut completed = 0usize;
-        let mut state = lock_or_recover(&self.state);
+        let mut responses: Vec<Response> = Vec::new();
         for (meta, result) in metas.iter().zip(results) {
             recorder.add("serve.batches", 1);
             recorder.observe("serve.batch_size", meta.tickets.len() as f64);
@@ -252,27 +272,26 @@ impl Server {
                         message: engine_err.to_string(),
                     }),
                 };
-                let latency_ns = state
-                    .watches
-                    .remove(&ticket.0)
-                    .and_then(|watch| watch.elapsed_ns());
+                let latency_ns = latencies.get(&ticket.0).copied();
                 if let Some(nanos) = latency_ns {
                     recorder.record_latency("serve.latency_ns", nanos);
                 }
-                state.responses.insert(
-                    ticket.0,
-                    Response {
-                        ticket,
-                        model: meta.model,
-                        item,
-                        batch: meta.seq,
-                        outcome,
-                        latency_ns,
-                    },
-                );
-                state.in_flight = state.in_flight.saturating_sub(1);
+                responses.push(Response {
+                    ticket,
+                    model: meta.model,
+                    item,
+                    batch: meta.seq,
+                    outcome,
+                    latency_ns,
+                });
                 completed += 1;
             }
+        }
+
+        let mut state = lock_or_recover(&self.state);
+        for response in responses {
+            state.responses.insert(response.ticket.0, response);
+            state.in_flight = state.in_flight.saturating_sub(1);
         }
         drop(state);
         recorder.add(
