@@ -19,16 +19,23 @@
 //! * `--check-invariance` replays the window-8 plan at 1 and 4 engine
 //!   worker threads and fails unless the load traces are identical
 //!   (the serving determinism contract, as a smoke command).
+//! * `--check-chaos` replays the same plan under a seeded [`ChaosPlan`]
+//!   (replica panics, slow batches, poison, bursts) plus the full
+//!   resilience policy, and fails unless the complete `LoadOutcome` —
+//!   counters *and* the resilience event trace — is byte-identical at
+//!   1 and 4 threads.
 //! * `NC_BENCH_SMOKE=1` shrinks the workload for CI smoke runs.
 
 use nc_bench::{baseline_from_args, baseline_per_sec, git_short_sha, json_path_from_args};
 use nc_core::{
-    BenchRecord, Engine, ExperimentScale, FitBudget, MemoryRecorder, ModelSpec, ObsSnapshot,
-    Recorder, SectionRecord,
+    BenchRecord, ChaosPlan, Engine, ExperimentScale, FaultModel, FaultPlan, FitBudget,
+    MemoryRecorder, ModelSpec, ObsSnapshot, Recorder, SectionRecord, Supervision,
 };
 use nc_dataset::{digits::DigitsSpec, Dataset, Difficulty};
 use nc_mlp::Activation;
-use nc_serve::{run_load, LoadOutcome, LoadPlan, ModelSnapshot, ServeConfig, Server};
+use nc_serve::{
+    run_load, LoadOutcome, LoadPlan, ModelSnapshot, ResilienceConfig, ServeConfig, Server,
+};
 use nc_snn::SnnParams;
 use std::sync::Arc;
 use std::time::Instant;
@@ -41,6 +48,16 @@ const GATE: &str = "serve/loadgen_w64";
 
 /// Zipf rank order handed to the load generator (hot model first).
 const MODEL_MIX: &[&str] = &["qmlp", "wot", "mlp"];
+
+/// Root seed for the `--check-chaos` schedule (lint rule R11: seeds are
+/// named constants, never magic arguments).
+const CHAOS_SEED: u64 = 0xC4A0_BEAC;
+
+/// Seed for the chaos burst's transient-fault plan.
+const CHAOS_BURST_SEED: u64 = 0xC4A0_B125;
+
+/// Retry-supervision seed for the chaos replay.
+const CHAOS_RETRY_SEED: u64 = 0x50AC_C4A0;
 
 fn smoke() -> bool {
     std::env::var_os("NC_BENCH_SMOKE").is_some()
@@ -154,10 +171,73 @@ fn serve_once(
     (outcome, started.elapsed().as_secs_f64())
 }
 
+/// One chaos replay at the given engine thread count: the window-8 plan
+/// under a seeded chaos schedule and the full resilience policy.
+fn chaotic_once(threads: usize, snaps: &[Arc<ModelSnapshot>], test: &Dataset) -> LoadOutcome {
+    let chaos = ChaosPlan {
+        panic_rate: 0.2,
+        panic_attempts: 1,
+        delay_rate: 0.4,
+        max_delay_ticks: 5,
+        poison_rate: 0.1,
+        burst_period: 4,
+        burst_width: 1,
+        burst_faults: Some(FaultPlan::new(FaultModel::StuckAt1, 0.02, CHAOS_BURST_SEED).unwrap()),
+        ..ChaosPlan::quiet(CHAOS_SEED)
+    };
+    let engine = Arc::new(
+        Engine::builder()
+            .threads(threads)
+            .scale(ExperimentScale::Tiny)
+            .build(),
+    );
+    let server = Server::new(
+        engine,
+        ServeConfig {
+            batch_window: 8,
+            supervision: Supervision::with_retries(1, CHAOS_RETRY_SEED),
+            resilience: ResilienceConfig {
+                queue_limit: Some(48),
+                deadline_ticks: Some(4),
+                batch_retries: 1,
+                ..ResilienceConfig::default()
+            },
+            chaos: Some(chaos),
+        },
+        snaps.to_vec(),
+    )
+    .unwrap();
+    run_load(&server, test, MODEL_MIX, &plan()).unwrap()
+}
+
 fn main() {
     let (train, test) = data();
     let train = Arc::new(train);
     let snaps = snapshots(&train);
+
+    if std::env::args().any(|a| a == "--check-chaos") {
+        let at_1 = chaotic_once(1, &snaps, &test);
+        let at_4 = chaotic_once(4, &snaps, &test);
+        // Compare the Debug renderings so a mismatch prints exactly
+        // what diverged; equality here covers every counter and the
+        // ordered resilience event trace.
+        let (text_1, text_4) = (format!("{at_1:?}"), format!("{at_4:?}"));
+        if text_1 == text_4 {
+            eprintln!(
+                "serve chaos invariance ok: threads 1 == threads 4 over {} requests \
+                 ({} shed, {} deadline-missed, {} events)",
+                at_1.completed + at_1.failed,
+                at_1.shed,
+                at_1.deadline_missed,
+                at_1.events.len()
+            );
+            return;
+        }
+        eprintln!("error: chaos load trace differs across thread counts");
+        eprintln!("  threads 1: {text_1}");
+        eprintln!("  threads 4: {text_4}");
+        std::process::exit(1);
+    }
 
     if std::env::args().any(|a| a == "--check-invariance") {
         let (at_1, _) = serve_once(8, 1, &snaps, &test, None);

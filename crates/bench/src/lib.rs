@@ -312,7 +312,8 @@ mod tests {
         assert_eq!(record.sections[0].name, "selftest/a");
         assert_eq!(record.sections[0].samples, 10);
         let json = record.to_json();
-        assert!(json.contains("\"schema_version\":1"), "{json}");
+        assert!(json.contains("\"schema_version\":2"), "{json}");
+        assert!(json.contains("\"supervision\":"), "{json}");
         assert!(json.contains("\"bin\":\"selftest\""), "{json}");
     }
 }

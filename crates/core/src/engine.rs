@@ -162,6 +162,26 @@ impl Supervision {
         );
         sm.next_u64()
     }
+
+    /// The same policy with its `retry_seed` re-derived for one retry
+    /// *round* — a pure function of `(policy, salt)`, used by layers
+    /// that stack their own bounded retries on top of the engine's
+    /// (nc-serve's batch retry rounds) so each round draws decorrelated
+    /// attempt seeds without consulting a clock.
+    #[must_use]
+    pub fn jittered(&self, salt: u64) -> Supervision {
+        let mut sm = nc_substrate::rng::SplitMix64::new(
+            self.retry_seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // Burn one word so a salt equal to another policy's seed still
+        // diverges immediately (the FaultPlan::stream idiom).
+        let first = sm.next_u64();
+        Supervision {
+            max_retries: self.max_retries,
+            retry_seed: first,
+            sample_budget: self.sample_budget,
+        }
+    }
 }
 
 /// One attempt of a supervised job, passed to the worker closure.
@@ -1182,6 +1202,25 @@ mod tests {
                 supervision.attempt_seed(job, 1),
                 "retries must re-derive, not reuse"
             );
+        }
+    }
+
+    #[test]
+    fn jittered_policies_reseed_deterministically_and_keep_limits() {
+        let base = Supervision {
+            max_retries: 2,
+            retry_seed: 0xDECAF,
+            sample_budget: Some(64),
+        };
+        let round1 = base.jittered(1);
+        assert_eq!(round1, base.jittered(1), "pure function of (policy, salt)");
+        assert_ne!(round1.retry_seed, base.retry_seed);
+        assert_ne!(round1.retry_seed, base.jittered(2).retry_seed);
+        assert_eq!(round1.max_retries, base.max_retries);
+        assert_eq!(round1.sample_budget, base.sample_budget);
+        // Attempt seeds from distinct rounds decorrelate per job.
+        for job in 0..8 {
+            assert_ne!(round1.attempt_seed(job, 0), base.attempt_seed(job, 0));
         }
     }
 

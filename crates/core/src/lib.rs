@@ -56,7 +56,7 @@ pub use error::Error;
 pub use experiment::{AccuracyComparison, AccuracyResults, ExperimentScale, Workload};
 pub use fault_sweep::{FaultPoint, FaultSweep};
 pub use nc_dataset::{FitBudget, Model, ModelError};
-pub use nc_faults::{FaultModel, FaultPlan};
+pub use nc_faults::{ChaosPlan, FaultModel, FaultPlan};
 pub use nc_obs::{
     BenchRecord, EpochMetrics, MemoryRecorder, NullRecorder, ObsSnapshot, Recorder, SectionRecord,
     Span,

@@ -46,6 +46,10 @@
 //! assert_eq!(weights, again); // same plan => same defect pattern
 //! ```
 
+mod chaos;
+
+pub use chaos::ChaosPlan;
+
 use nc_substrate::SplitMix64;
 use std::cell::RefCell;
 use std::fmt;
@@ -98,6 +102,13 @@ impl fmt::Display for FaultModel {
 pub enum FaultError {
     /// The fault rate was outside `[0, 1]` or not finite.
     BadRate(f64),
+    /// A chaos plan's burst window does not fit its period.
+    BadBurst {
+        /// The configured burst period in virtual ticks.
+        period: u64,
+        /// The configured burst width in virtual ticks.
+        width: u64,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -105,6 +116,12 @@ impl fmt::Display for FaultError {
         match self {
             FaultError::BadRate(rate) => {
                 write!(f, "fault rate {rate} must be a finite value in [0, 1]")
+            }
+            FaultError::BadBurst { period, width } => {
+                write!(
+                    f,
+                    "burst width {width} must be in 1..={period} (the burst period)"
+                )
             }
         }
     }

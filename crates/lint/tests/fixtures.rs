@@ -171,6 +171,7 @@ fn cli_exit_codes_and_json_match_the_library() {
 #[test]
 fn graph_violations_corpus_trips_every_phase2_rule() {
     let report = lint("graph_violations");
+    assert_eq!(count(&report, RuleId::R3), 1, "{report:#?}");
     assert_eq!(count(&report, RuleId::R4), 1, "{report:#?}");
     assert_eq!(count(&report, RuleId::R7), 1, "{report:#?}");
     assert_eq!(count(&report, RuleId::R8), 2, "{report:#?}");
@@ -178,8 +179,8 @@ fn graph_violations_corpus_trips_every_phase2_rule() {
     assert_eq!(count(&report, RuleId::R10), 2, "{report:#?}");
     assert_eq!(count(&report, RuleId::R11), 1, "{report:#?}");
     assert_eq!(count(&report, RuleId::Suppress), 1, "{report:#?}");
-    assert_eq!(report.findings.len(), 12);
-    assert_eq!(report.files_scanned, 12);
+    assert_eq!(report.findings.len(), 13);
+    assert_eq!(report.files_scanned, 13);
     // The corpus's only suppression is the expired one, which never
     // counts as used.
     assert_eq!(report.suppressions_total, 1);
@@ -198,6 +199,8 @@ fn phase2_violations_land_on_the_expected_lines() {
             "missing {rule} at {file}:{line}: {report:#?}"
         );
     };
+    // R3: the chaos delay that reads the wall clock instead of ticks.
+    at(RuleId::R3, "crates/serve/src/chaos.rs", 6);
     // R8: a clock two hops from `evaluate_batch`, entropy one hop from
     // a figure writer.
     at(RuleId::R8, "crates/bench/src/timing.rs", 6);
@@ -245,7 +248,7 @@ fn phase2_findings_carry_call_chains_and_canonical_locks() {
 fn graph_clean_corpus_produces_no_findings() {
     let report = lint("graph_clean");
     assert!(report.is_clean(), "{report:#?}");
-    assert_eq!(report.files_scanned, 9);
+    assert_eq!(report.files_scanned, 10);
     // Both waivers — the explicit allow(R8) on the probe's clock and
     // the future-dated R4 one — suppress something real.
     assert_eq!(report.suppressions_total, 2);
@@ -316,7 +319,7 @@ fn incremental_cache_reparses_only_changed_files() {
 
     // Cold: everything parses.
     let cold = nc_lint::lint_tree_cached(&scratch, &cache).expect("cold run");
-    assert_eq!(cold.files_reparsed, Some(12), "{cold:#?}");
+    assert_eq!(cold.files_reparsed, Some(13), "{cold:#?}");
     // Warm, nothing changed: zero re-parses, byte-identical findings.
     let warm = nc_lint::lint_tree_cached(&scratch, &cache).expect("warm run");
     assert_eq!(warm.files_reparsed, Some(0), "{warm:#?}");

@@ -1,0 +1,13 @@
+//! Chaos-delay near-miss: the slow-batch stall is measured in virtual
+//! ticks (a counter the caller advances), so no clock identifier ever
+//! appears — the word "instant" in prose must not trip R3.
+
+/// Absolute tick the delayed batch completes at.
+pub fn delayed_completion(now_tick: u64, delay_ticks: u64) -> u64 {
+    now_tick.saturating_add(delay_ticks)
+}
+
+/// Whether the deadline instant (in ticks) has passed by completion.
+pub fn deadline_missed(completion_tick: u64, deadline_tick: u64) -> bool {
+    completion_tick > deadline_tick
+}

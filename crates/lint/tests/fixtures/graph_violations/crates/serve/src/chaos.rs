@@ -1,0 +1,8 @@
+//! Chaos-delay fixture: schedules a slow batch off the wall clock —
+//! the exact mistake the virtual-tick chaos plan exists to avoid (R3).
+
+/// How long the batch has been stalled, measured against the wall clock.
+pub fn delay_elapsed_ns(budget: u64) -> u64 {
+    let opened = std::time::Instant::now();
+    budget.saturating_sub(u64::from(opened.elapsed().subsec_nanos()))
+}

@@ -6,7 +6,13 @@ use crate::json::Json;
 use crate::memory::ObsSnapshot;
 
 /// Schema version stamped into every record; bump on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 (PR 9): adds the top-level `"supervision"` object — the engine's
+/// panic-isolation counters (`panics`, `retries`, `fault_injections`)
+/// surfaced as first-class fields so soak artifacts show supervision
+/// activity, not just latency. v1 consumers that ignore unknown keys
+/// are unaffected; the counters also remain in `"counters"` verbatim.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Wall-clock and throughput of one named section of a bench run
 /// (for `all`, one table/figure generator).
@@ -153,6 +159,23 @@ impl BenchRecord {
                 })
                 .collect(),
         );
+        let counter = |name: &str| {
+            Json::int(
+                self.snapshot
+                    .counters
+                    .get(name)
+                    .copied()
+                    .unwrap_or_default(),
+            )
+        };
+        let supervision = Json::Obj(vec![
+            ("panics".into(), counter("engine.panics")),
+            ("retries".into(), counter("engine.retries")),
+            (
+                "fault_injections".into(),
+                counter("engine.fault_injections"),
+            ),
+        ]);
         Json::Obj(vec![
             ("schema_version".into(), Json::int(SCHEMA_VERSION)),
             ("git_sha".into(), Json::str(self.git_sha.clone())),
@@ -161,6 +184,7 @@ impl BenchRecord {
             ("scale".into(), Json::str(self.scale.clone())),
             ("total_wall_s".into(), Json::Num(self.total_wall_s())),
             ("sections".into(), sections),
+            ("supervision".into(), supervision),
             ("counters".into(), counters),
             ("series".into(), series),
             ("spans".into(), spans),
@@ -196,6 +220,8 @@ mod tests {
     fn record_serializes_every_block() {
         let rec = MemoryRecorder::new();
         rec.add("spikes", 9);
+        rec.add("engine.panics", 3);
+        rec.add("engine.retries", 2);
         rec.observe("accuracy", 0.5);
         rec.record_span("fit", Duration::from_millis(250));
         rec.record_latency("serve.latency_ns", 64);
@@ -224,7 +250,10 @@ mod tests {
         };
         let json = record.to_json();
         for needle in [
-            "\"schema_version\":1",
+            "\"schema_version\":2",
+            // The v2 supervision block: explicitly-recorded counters
+            // surface, unrecorded ones default to zero.
+            "\"supervision\":{\"panics\":3,\"retries\":2,\"fault_injections\":0}",
             "\"git_sha\":\"abc1234\"",
             "\"threads\":4",
             "\"scale\":\"tiny\"",

@@ -37,6 +37,11 @@ pub struct CoalescedRequest {
     pub item: u64,
     /// The image.
     pub pixels: Vec<u8>,
+    /// Absolute virtual-tick deadline (admission tick + the policy's
+    /// `deadline_ticks`), or `None` when the server enforces none. The
+    /// server checks it at seal and again at (possibly chaos-delayed)
+    /// completion.
+    pub deadline: Option<u64>,
 }
 
 /// A batch sealed for execution: one model, at most `window` requests,
@@ -90,7 +95,13 @@ impl Coalescer {
     ///
     /// Panics if `model` is out of range — the server validates names
     /// before admission.
-    pub fn admit(&mut self, model: usize, item: u64, pixels: Vec<u8>) -> Ticket {
+    pub fn admit(
+        &mut self,
+        model: usize,
+        item: u64,
+        pixels: Vec<u8>,
+        deadline: Option<u64>,
+    ) -> Ticket {
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
         self.pending[model].push(CoalescedRequest {
@@ -98,6 +109,7 @@ impl Coalescer {
             model,
             item,
             pixels,
+            deadline,
         });
         if self.pending[model].len() >= self.window {
             self.seal(model);
@@ -145,9 +157,9 @@ mod tests {
     fn window_seals_exactly_on_the_count() {
         let mut c = Coalescer::new(2, 3);
         for i in 0..5u64 {
-            c.admit(0, i, vec![0]);
+            c.admit(0, i, vec![0], None);
         }
-        c.admit(1, 100, vec![1]);
+        c.admit(1, 100, vec![1], None);
         // Model 0 sealed once at 3; 2 + 1 requests still pending.
         assert_eq!(c.pending_len(), 3);
         let sealed = c.take_sealed();
@@ -161,9 +173,9 @@ mod tests {
     #[test]
     fn flush_seals_partials_in_model_order() {
         let mut c = Coalescer::new(3, 8);
-        c.admit(2, 0, vec![]);
-        c.admit(0, 1, vec![]);
-        c.admit(2, 2, vec![]);
+        c.admit(2, 0, vec![], None);
+        c.admit(0, 1, vec![], None);
+        c.admit(2, 2, vec![], None);
         c.flush();
         let sealed = c.take_sealed();
         assert_eq!(
@@ -180,7 +192,7 @@ mod tests {
     #[test]
     fn tickets_are_dense_and_monotone_across_models() {
         let mut c = Coalescer::new(4, 1);
-        let tickets: Vec<u64> = (0..8).map(|i| c.admit(i % 4, 0, vec![]).0).collect();
+        let tickets: Vec<u64> = (0..8).map(|i| c.admit(i % 4, 0, vec![], None).0).collect();
         assert_eq!(tickets, (0..8).collect::<Vec<u64>>());
         assert_eq!(c.take_sealed().len(), 8);
     }
@@ -189,8 +201,18 @@ mod tests {
     fn zero_window_is_clamped_to_one() {
         let mut c = Coalescer::new(1, 0);
         assert_eq!(c.window(), 1);
-        c.admit(0, 0, vec![]);
+        c.admit(0, 0, vec![], None);
         assert_eq!(c.take_sealed().len(), 1);
+    }
+
+    #[test]
+    fn deadlines_ride_through_sealing_untouched() {
+        let mut c = Coalescer::new(1, 2);
+        c.admit(0, 0, vec![], Some(7));
+        c.admit(0, 1, vec![], None);
+        let sealed = c.take_sealed();
+        assert_eq!(sealed[0].requests[0].deadline, Some(7));
+        assert_eq!(sealed[0].requests[1].deadline, None);
     }
 
     #[test]

@@ -74,11 +74,13 @@
 
 mod coalescer;
 mod loadgen;
+mod resilience;
 mod server;
 mod snapshot;
 
 pub use coalescer::{presentation_seed, CoalescedRequest, Coalescer, SealedBatch, Ticket};
 pub use loadgen::{run_load, LoadOutcome, LoadPlan};
+pub use resilience::{BreakerConfig, ResilienceConfig, ServeEvent, DEFAULT_SERVE_RETRY_SEED};
 pub use server::{Response, ServeConfig, Server};
 pub use snapshot::ModelSnapshot;
 
@@ -111,8 +113,28 @@ pub enum ServeError {
         message: String,
     },
     /// A load-generation plan was inconsistent (no users, empty
-    /// dataset, …).
+    /// dataset, …), or a serve/chaos configuration was invalid.
     Config(String),
+    /// The bounded admission queue is full; the request was shed
+    /// before consuming any batch slot ([`ResilienceConfig::queue_limit`]).
+    Shed {
+        /// The model the refused request addressed.
+        model: String,
+    },
+    /// The model's circuit breaker is open and no geometry-compatible
+    /// fallback exists; the request was refused at admission.
+    BreakerOpen {
+        /// The model whose breaker refused the request.
+        model: String,
+    },
+    /// The request's virtual-tick deadline passed before (or while) its
+    /// batch ran; the answer, if any, was discarded.
+    DeadlineMissed {
+        /// Absolute tick the request had to complete by.
+        deadline: u64,
+        /// Tick it actually would have completed at.
+        at: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -136,6 +158,18 @@ impl std::fmt::Display for ServeError {
                 write!(f, "batch {batch} failed every attempt: {message}")
             }
             ServeError::Config(reason) => write!(f, "bad load plan: {reason}"),
+            ServeError::Shed { model } => {
+                write!(f, "admission queue full, request for `{model}` shed")
+            }
+            ServeError::BreakerOpen { model } => {
+                write!(f, "circuit breaker open for `{model}`, request refused")
+            }
+            ServeError::DeadlineMissed { deadline, at } => {
+                write!(
+                    f,
+                    "deadline tick {deadline} missed (completed at tick {at})"
+                )
+            }
         }
     }
 }
@@ -169,6 +203,12 @@ mod tests {
                 "batch 7",
             ),
             (ServeError::Config("no users".into()), "no users"),
+            (ServeError::Shed { model: "m".into() }, "shed"),
+            (ServeError::BreakerOpen { model: "m".into() }, "breaker"),
+            (
+                ServeError::DeadlineMissed { deadline: 4, at: 6 },
+                "deadline tick 4",
+            ),
         ] {
             assert!(err.to_string().contains(needle), "{err}");
         }

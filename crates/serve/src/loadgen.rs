@@ -15,6 +15,7 @@
 //! deterministic, so the full request/response trace is identical at
 //! any engine thread count.
 
+use crate::resilience::ServeEvent;
 use crate::server::Server;
 use crate::ServeError;
 use nc_dataset::Dataset;
@@ -60,6 +61,23 @@ pub struct LoadOutcome {
     pub ticks: u64,
     /// Requests issued per model index — the observed Zipfian mix.
     pub per_model: Vec<u64>,
+    /// Admission refusals (queue full or breaker open). Shed attempts
+    /// do not count as issued; the user retries on a later tick.
+    pub shed: u64,
+    /// Requests answered with [`ServeError::DeadlineMissed`] (a subset
+    /// of `failed`).
+    pub deadline_missed: u64,
+    /// Completed-or-failed requests a tripped breaker degraded to the
+    /// fallback model.
+    pub degraded: u64,
+    /// Requests completed by a flush-on-stall drain — requests that sat
+    /// in a partial window until the stream stalled, accounted
+    /// explicitly so a stall-heavy run is visible in the outcome.
+    pub stalled: u64,
+    /// The server's resilience event trace for the run, in emission
+    /// order — part of the bit-identical outcome contract the chaos
+    /// conformance suite pins across thread counts.
+    pub events: Vec<ServeEvent>,
 }
 
 impl LoadOutcome {
@@ -140,9 +158,13 @@ pub fn run_load(
         ..LoadOutcome::default()
     };
     let samples = test.samples();
+    // Hard tick ceiling: under permanent shedding (a breaker that never
+    // heals, a queue limit of 0) the closed loop could otherwise spin
+    // forever. Generous enough that any healthy plan finishes first.
+    let tick_cap = 256 + plan.requests.saturating_mul(u64::from(plan.think_max) + 8);
 
-    while outcome.completed + outcome.failed < plan.requests {
-        outcome.ticks += 1;
+    while outcome.completed + outcome.failed < plan.requests && outcome.ticks < tick_cap {
+        outcome.ticks = server.advance_tick();
         // Admission, in user-index order (the determinism contract).
         for user in &mut users {
             if user.waiting.is_some() {
@@ -157,14 +179,24 @@ pub fn run_load(
             }
             let model = pick_model(&cumulative, &mut user.rng);
             let item = user.rng.next_index(samples.len());
-            let ticket = server.submit(
+            match server.submit(
                 models[model],
                 &samples[item].pixels,
                 u64::try_from(item).unwrap_or(u64::MAX),
-            )?;
-            user.waiting = Some((ticket, item));
-            outcome.issued += 1;
-            outcome.per_model[model] += 1;
+            ) {
+                Ok(ticket) => {
+                    user.waiting = Some((ticket, item));
+                    outcome.issued += 1;
+                    outcome.per_model[model] += 1;
+                }
+                // Admission refusals are load-shedding working as
+                // designed: count them and let the user retry with a
+                // fresh draw next tick.
+                Err(ServeError::Shed { .. } | ServeError::BreakerOpen { .. }) => {
+                    outcome.shed += 1;
+                }
+                Err(other) => return Err(other),
+            }
         }
 
         // Service: drain sealed batches; a stalled tick flushes the
@@ -172,7 +204,10 @@ pub fn run_load(
         let mut progressed = server.drain();
         if progressed == 0 {
             server.flush();
-            progressed = server.drain();
+            let flushed = server.drain();
+            // Requests completed only because the stall forced a flush.
+            outcome.stalled += u64::try_from(flushed).unwrap_or(u64::MAX);
+            progressed = flushed;
         }
 
         // Completion, again in user-index order.
@@ -184,12 +219,19 @@ pub fn run_load(
                 continue;
             };
             user.waiting = None;
+            if response.degraded {
+                outcome.degraded += 1;
+            }
             match response.outcome {
                 Ok(prediction) => {
                     outcome.completed += 1;
                     if prediction == samples[item].label {
                         outcome.correct += 1;
                     }
+                }
+                Err(ServeError::DeadlineMissed { .. }) => {
+                    outcome.failed += 1;
+                    outcome.deadline_missed += 1;
                 }
                 Err(_) => outcome.failed += 1,
             }
@@ -209,6 +251,7 @@ pub fn run_load(
             break;
         }
     }
+    outcome.events = server.take_events();
     Ok(outcome)
 }
 

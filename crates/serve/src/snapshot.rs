@@ -3,6 +3,7 @@
 use crate::ServeError;
 use nc_core::{FaultPlan, ModelSpec};
 use nc_dataset::{Dataset, FitBudget, Model};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// See `MemoryRecorder` in nc-obs for the rationale: a poisoned pool
@@ -47,6 +48,14 @@ pub struct ModelSnapshot {
     num_classes: usize,
     source: Source,
     pool: Mutex<Vec<Box<dyn Model>>>,
+    /// Pool-miss rebuilds. Monotone but *schedule-dependent* (worker
+    /// contention decides pool misses), so it is an observability
+    /// counter, never part of a deterministic outcome trace.
+    rebuilds: AtomicU64,
+    /// Replicas consumed by panicking attempts (see
+    /// [`ModelSnapshot::note_lost`]). Deterministic under a seeded
+    /// chaos plan: the panic schedule is item/attempt-keyed.
+    lost: AtomicU64,
 }
 
 impl std::fmt::Debug for ModelSnapshot {
@@ -88,6 +97,8 @@ impl ModelSnapshot {
                 faults,
             },
             pool: Mutex::new(Vec::new()),
+            rebuilds: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
         };
         let replica = snapshot.build_replica()?;
         lock_or_recover(&snapshot.pool).push(replica);
@@ -109,6 +120,8 @@ impl ModelSnapshot {
             num_classes,
             source: Source::Factory(Box::new(factory)),
             pool: Mutex::new(Vec::new()),
+            rebuilds: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
         }
     }
 
@@ -166,12 +179,48 @@ impl ModelSnapshot {
         if let Some(model) = lock_or_recover(&self.pool).pop() {
             return Ok(model);
         }
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
         self.build_replica()
     }
 
     /// Returns a checked-out replica to the pool.
     pub fn release(&self, replica: Box<dyn Model>) {
         lock_or_recover(&self.pool).push(replica);
+    }
+
+    /// A one-shot replica for a transient-fault burst: freshly built
+    /// from the recipe (bit-identical to a pooled one), then injected
+    /// with `faults` on top of the snapshot's own plan. Burst replicas
+    /// are *never pooled* — injected faults cannot be removed, so the
+    /// caller discards the replica after its batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Build`] when the build or injection fails.
+    pub fn burst_replica(&self, faults: &FaultPlan) -> Result<Box<dyn Model>, ServeError> {
+        let mut replica = self.build_replica()?;
+        replica
+            .inject(faults)
+            .map_err(|e| ServeError::Build(e.to_string()))?;
+        Ok(replica)
+    }
+
+    /// Records one replica consumed by a panicking attempt (it never
+    /// returned to the pool; the next checkout rebuilds bit-identically
+    /// from the recipe). Called by the server's quarantine accounting.
+    pub fn note_lost(&self) {
+        self.lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replicas rebuilt on pool misses so far. Schedule-dependent —
+    /// use for observability, not for deterministic traces.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Replicas consumed by panicking attempts so far.
+    pub fn lost(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed)
     }
 }
 
@@ -243,6 +292,58 @@ mod tests {
         snap.release(pooled);
         snap.release(rebuilt);
         assert_eq!(snap.pooled(), 2);
+    }
+
+    #[test]
+    fn rebuild_and_loss_counters_track_pool_traffic() {
+        let (train, _) = tiny_data();
+        let snap = ModelSnapshot::prepare("q", quant_spec(), tiny_budget(), Arc::new(train), None)
+            .unwrap();
+        assert_eq!((snap.rebuilds(), snap.lost()), (0, 0));
+        let pooled = snap.replica().unwrap();
+        assert_eq!(snap.rebuilds(), 0, "pool hit is not a rebuild");
+        let rebuilt = snap.replica().unwrap();
+        assert_eq!(snap.rebuilds(), 1, "pool miss rebuilds");
+        // A panicking attempt consumes its replica: drop without
+        // release, as the unwinding worker would, and note the loss.
+        drop(pooled);
+        snap.note_lost();
+        assert_eq!(snap.lost(), 1);
+        snap.release(rebuilt);
+        assert_eq!(snap.pooled(), 1);
+    }
+
+    #[test]
+    fn burst_replicas_are_injected_and_never_pooled() {
+        use nc_core::FaultModel;
+        let (train, test) = tiny_data();
+        let snap = ModelSnapshot::prepare("q", quant_spec(), tiny_budget(), Arc::new(train), None)
+            .unwrap();
+        let storm = FaultPlan {
+            model: FaultModel::StuckAt1,
+            rate: 0.9,
+            seed: 9,
+        };
+        let mut stormy = snap.burst_replica(&storm).unwrap();
+        let mut stormy_twin = snap.burst_replica(&storm).unwrap();
+        let mut healthy = snap.replica().unwrap();
+        assert_eq!(snap.pooled(), 0, "burst builds never touch the pool");
+        let mut diverged = false;
+        for (i, s) in test.iter().enumerate() {
+            let seed = crate::presentation_seed(u64::try_from(i).unwrap());
+            // The burst is itself deterministic...
+            assert_eq!(
+                stormy.predict(&s.pixels, seed),
+                stormy_twin.predict(&s.pixels, seed),
+                "item {i}"
+            );
+            // ...and actually corrupts relative to the healthy replica.
+            if stormy.predict(&s.pixels, seed) != healthy.predict(&s.pixels, seed) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "a 90% stuck-at-1 burst must disturb something");
+        snap.release(healthy);
     }
 
     #[test]

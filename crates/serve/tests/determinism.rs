@@ -37,8 +37,8 @@ fn coalescer_trace_is_a_pure_function_of_the_stream() {
         let mut a = Coalescer::new(models, window);
         let mut b = Coalescer::new(models, window);
         for &(model, item) in &stream {
-            let ta = a.admit(model, item, vec![]);
-            let tb = b.admit(model, item, vec![]);
+            let ta = a.admit(model, item, vec![], None);
+            let tb = b.admit(model, item, vec![], None);
             assert_eq!(ta, tb, "case {case}");
         }
         a.flush();
@@ -228,6 +228,7 @@ fn poisoned_batch_fails_alone_and_the_server_survives() {
     let config = ServeConfig {
         batch_window: 2,
         supervision: Supervision::with_retries(1, 0xF00D),
+        ..ServeConfig::default()
     };
     let server = Server::new(engine, config, vec![snapshot]).unwrap();
 
