@@ -1,0 +1,7 @@
+//! Many-core mesh deployment sweep: accuracy, fabric energy and link
+//! occupancy vs grid size, plus dead-link / dead-router fault ladders.
+fn main() {
+    let ctx = nc_bench::BenchContext::from_args("fig_mesh");
+    println!("{}", nc_bench::gen_extensions::mesh(&ctx.engine));
+    ctx.finish();
+}

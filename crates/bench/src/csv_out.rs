@@ -113,6 +113,69 @@ pub fn faults_csv(points: &[FaultPoint]) -> String {
     csv(&["family", "fault", "rate", "accuracy"], &rows)
 }
 
+/// One row of the mesh deployment sweep (`fig_mesh.csv`): a grid size
+/// plus fabric fault condition, with the accuracy and per-presentation
+/// fabric costs measured over the test set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshRow {
+    /// Grid label, e.g. `2x2`.
+    pub grid: String,
+    /// Cores hosting at least one neuron.
+    pub cores_used: usize,
+    /// Fabric fault model name (`none` for a healthy fabric).
+    pub fault: String,
+    /// Fabric fault rate in `[0, 1]`.
+    pub rate: f64,
+    /// Test accuracy of the meshed network.
+    pub accuracy: f64,
+    /// Mean router-to-router hops per presentation.
+    pub avg_hops: f64,
+    /// Mean dynamic energy per presentation, µJ.
+    pub energy_uj: f64,
+    /// Worst per-link load inside any 1 ms tick, across the whole run.
+    pub peak_link_load: u64,
+    /// Whether every link stayed within its per-tick cycle budget.
+    pub delivery_ok: bool,
+    /// Silicon area of the mesh, mm².
+    pub area_mm2: f64,
+}
+
+/// The mesh deployment series (`fig_mesh.csv`).
+pub fn mesh_csv(rows: &[MeshRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.grid.clone(),
+                format!("{}", r.cores_used),
+                r.fault.clone(),
+                format!("{:.3}", r.rate),
+                format!("{:.4}", r.accuracy),
+                format!("{:.1}", r.avg_hops),
+                format!("{:.3}", r.energy_uj),
+                format!("{}", r.peak_link_load),
+                format!("{}", u8::from(r.delivery_ok)),
+                format!("{:.2}", r.area_mm2),
+            ]
+        })
+        .collect();
+    csv(
+        &[
+            "grid",
+            "cores_used",
+            "fault",
+            "rate",
+            "accuracy",
+            "avg_hops",
+            "energy_uj",
+            "peak_link_load",
+            "delivery_ok",
+            "area_mm2",
+        ],
+        &cells,
+    )
+}
+
 /// A `bits,accuracy` precision series (`precision_mlp.csv` /
 /// `precision_snn.csv`). Takes `(bits, accuracy)` pairs so the MLP and
 /// SNN sweeps (distinct point types) share one serializer.
@@ -197,6 +260,27 @@ mod tests {
         );
         assert_eq!(family_slug("SNN+STDP - Simplified (SNNwot)"), "snnwot");
         assert_eq!(family_slug("unknown"), "other");
+    }
+
+    #[test]
+    fn mesh_rows_serialize_all_columns() {
+        let out = mesh_csv(&[MeshRow {
+            grid: "2x2".into(),
+            cores_used: 4,
+            fault: "dead_link".into(),
+            rate: 0.05,
+            accuracy: 0.875,
+            avg_hops: 12.5,
+            energy_uj: 1.75,
+            peak_link_load: 42,
+            delivery_ok: true,
+            area_mm2: 3.5,
+        }]);
+        assert_eq!(
+            out,
+            "grid,cores_used,fault,rate,accuracy,avg_hops,energy_uj,peak_link_load,delivery_ok,area_mm2\n\
+             2x2,4,dead_link,0.050,0.8750,12.5,1.750,42,1,3.50\n"
+        );
     }
 
     #[test]

@@ -3,14 +3,18 @@
 //! precision sweeps and the hyper-parameter searches (`DESIGN.md` lists
 //! these as the design decisions worth ablating).
 
+use crate::csv_out::MeshRow;
 use crate::write_results;
 use nc_core::experiment::Workload;
 use nc_core::fault_sweep::FaultSweep;
 use nc_core::report::{csv, pct, TextTable};
 use nc_core::robustness::{self, RobustnessSweep};
-use nc_core::Engine;
+use nc_core::{Engine, FaultModel, FaultPlan, Job};
+use nc_dataset::model::EVAL_PRESENTATION_SEED_BASE;
+use nc_dataset::Dataset;
 use nc_hw::ablation::{bank_width_sweep, count_width_sweep, max_tree_sweep};
 use nc_hw::folded::{FoldedMlp, FoldedSnnWot, FoldedSnnWt};
+use nc_hw::mesh::{Grid, MeshCost, MeshSnn};
 use nc_hw::power;
 use nc_hw::scaling::projection;
 use nc_mlp::{explore as mlp_explore, Activation, Mlp, TrainConfig, Trainer};
@@ -352,6 +356,157 @@ pub fn faults(engine: &Engine) -> String {
     format!(
         "== Hardware fault injection (stuck bits, dead neurons, transient \
          reads, stuck generator taps) ==\n{}",
+        t.render()
+    )
+}
+
+/// Plan seed of the mesh deployment subject network.
+const MESH_SEED: u64 = 0x3E5A;
+
+/// Fabric fault seed of the mesh sweep (defect patterns are per-core
+/// salted streams off this value).
+const MESH_FAULT_SEED: u64 = 0x0F_AB;
+
+/// Samples per parallel evaluation job in the mesh sweep.
+const MESH_JOB_CHUNK: usize = 16;
+
+/// The grid-size / fabric-fault conditions of the mesh sweep.
+fn mesh_conditions() -> Vec<(Grid, Option<FaultPlan>)> {
+    let plan = |model, rate| FaultPlan::new(model, rate, MESH_FAULT_SEED).ok();
+    vec![
+        (Grid::new(1, 1), None),
+        (Grid::new(2, 2), None),
+        (Grid::new(4, 4), None),
+        (Grid::new(4, 4), plan(FaultModel::DeadLink, 0.05)),
+        (Grid::new(4, 4), plan(FaultModel::DeadLink, 0.25)),
+        (Grid::new(4, 4), plan(FaultModel::DeadRouter, 0.15)),
+    ]
+}
+
+/// Evaluates a compiled mesh over the test set, parallelized in fixed
+/// chunks through the engine (results are reassembled in job order, so
+/// the tallies are thread-count invariant). Returns the accuracy and
+/// the aggregate fabric cost.
+fn evaluate_mesh(engine: &Engine, mesh: &MeshSnn, test: &Dataset, label: &str) -> (f64, MeshCost) {
+    let samples = test.samples();
+    let jobs: Vec<Job<(usize, usize)>> = (0..samples.len())
+        .step_by(MESH_JOB_CHUNK)
+        .map(|start| {
+            let end = (start + MESH_JOB_CHUNK).min(samples.len());
+            Job::new(label.to_string(), (end - start) as u64, (start, end))
+        })
+        .collect();
+    let outcomes = engine.run_jobs(jobs, |(start, end)| {
+        let mut local = mesh.clone();
+        let mut correct = 0usize;
+        let mut cost = MeshCost::default();
+        for (i, sample) in samples.iter().enumerate().take(end).skip(start) {
+            let p = local.present(&sample.pixels, EVAL_PRESENTATION_SEED_BASE | i as u64);
+            if p.label == sample.label {
+                correct += 1;
+            }
+            cost.absorb(&p.cost);
+        }
+        (correct, cost)
+    });
+    let mut correct = 0usize;
+    let mut cost = MeshCost::default();
+    for (c, j) in &outcomes {
+        correct += c;
+        cost.absorb(j);
+    }
+    let accuracy = if samples.is_empty() {
+        0.0
+    } else {
+        correct as f64 / samples.len() as f64
+    };
+    (accuracy, cost)
+}
+
+/// The many-core mesh deployment sweep (ROADMAP item 3): one trained
+/// SNN compiled onto growing core grids — partition, place, route —
+/// with accuracy, fabric energy and link occupancy per grid, then the
+/// same 4×4 mesh under dead-link / dead-router fault plans.
+pub fn mesh_rows(engine: &Engine) -> Vec<MeshRow> {
+    let scale = engine.scale();
+    let data = engine.dataset(Workload::Digits);
+    let (train, test) = (&data.0, &data.1);
+    let mut snn = SnnNetwork::new(
+        train.input_dim(),
+        train.num_classes(),
+        SnnParams::tuned(20),
+        MESH_SEED,
+    );
+    snn.set_stdp_delta(scale.stdp_delta());
+    snn.train_stdp(train, scale.stdp_epochs());
+    snn.self_label(train);
+
+    let presentations = test.samples().len().max(1) as f64;
+    mesh_conditions()
+        .into_iter()
+        .map(|(grid, plan)| {
+            let mesh = match &plan {
+                Some(p) => MeshSnn::compile_faulty(&snn, grid, p),
+                None => MeshSnn::compile(&snn, grid),
+            };
+            let (fault, rate) = plan.as_ref().map_or(("none".to_string(), 0.0), |p| {
+                (p.model.name().to_string(), p.rate)
+            });
+            let label = format!("mesh/{}x{}/{fault}", grid.width, grid.height);
+            let (accuracy, cost) = evaluate_mesh(engine, &mesh, test, &label);
+            MeshRow {
+                grid: format!("{}x{}", grid.width, grid.height),
+                cores_used: mesh.used_cores(),
+                fault,
+                rate,
+                accuracy,
+                avg_hops: cost.hops as f64 / presentations,
+                energy_uj: cost.energy_uj() / presentations,
+                peak_link_load: cost.peak_link_load,
+                delivery_ok: cost.delivery_ok(),
+                area_mm2: mesh.area_mm2(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the mesh sweep and writes `fig_mesh.csv`.
+pub fn mesh(engine: &Engine) -> String {
+    let rows = mesh_rows(engine);
+    let mut t = TextTable::new(&[
+        "grid",
+        "cores used",
+        "fault",
+        "rate",
+        "accuracy",
+        "hops/presn",
+        "energy (uJ)",
+        "peak link load",
+        "on time",
+        "area (mm2)",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.grid.clone(),
+            format!("{}", r.cores_used),
+            r.fault.clone(),
+            format!("{:.3}", r.rate),
+            pct(r.accuracy),
+            format!("{:.1}", r.avg_hops),
+            format!("{:.3}", r.energy_uj),
+            format!("{}", r.peak_link_load),
+            if r.delivery_ok {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+            format!("{:.2}", r.area_mm2),
+        ]);
+    }
+    write_results("fig_mesh.csv", &crate::csv_out::mesh_csv(&rows));
+    format!(
+        "== Many-core mesh deployment (partition / place / route; healthy \
+         grids are spike-for-spike equal to the single-core reference) ==\n{}",
         t.render()
     )
 }

@@ -204,6 +204,92 @@ fn thin_potentials(csv: &str) -> String {
 }
 
 #[test]
+fn fig_mesh_snapshot() {
+    // The mesh deployment sweep at tiny scale: healthy 1x1 / 2x2 / 4x4
+    // grids plus dead-link and dead-router ladder rows, 1-thread vs
+    // 4-thread byte-compared like every other series.
+    let csv =
+        deterministic_csv(|engine| csv_out::mesh_csv(&nc_bench::gen_extensions::mesh_rows(engine)));
+    assert_snapshot("fig_mesh.csv", &csv);
+}
+
+#[test]
+fn mesh_replays_the_fig3_network_spike_for_spike() {
+    // The acceptance bar: the fig3 SNN (same seeds and training recipe
+    // as `fig3_trace_snapshots`), compiled onto 2x2 and 4x4 grids, must
+    // reproduce the single-core reference bit for bit.
+    let engine = Engine::sequential(ExperimentScale::Tiny);
+    let data = engine.dataset(Workload::Digits);
+    let train = data.0.take(100);
+    let mut snn = SnnNetwork::new(
+        data.0.input_dim(),
+        data.0.num_classes(),
+        SnnParams::tuned(16),
+        0xF163,
+    );
+    snn.set_stdp_delta(4);
+    snn.train_stdp(&train, 1);
+    snn.self_label(&train);
+    for (w, h) in [(2, 2), (4, 4)] {
+        let mut mesh = nc_hw::mesh::MeshSnn::compile(&snn, nc_hw::mesh::Grid::new(w, h));
+        for (i, sample) in data.1.samples().iter().take(12).enumerate() {
+            let seed = 0x316 + i as u64;
+            let reference = snn.present(&sample.pixels, seed);
+            let routed = mesh.present(&sample.pixels, seed);
+            assert_eq!(routed.winner, reference.winner, "{w}x{h} sample {i}");
+            assert_eq!(routed.fires, reference.fires, "{w}x{h} sample {i}");
+            assert_eq!(
+                routed.potentials, reference.potentials,
+                "{w}x{h} sample {i}"
+            );
+            assert_eq!(routed.readout, reference.readout(), "{w}x{h} sample {i}");
+        }
+    }
+}
+
+#[test]
+fn mesh_routed_traces_are_thread_invariant() {
+    // Satellite determinism bar: the routed-spike traces of a batch of
+    // presentations, produced through the engine's job fan-out, must be
+    // byte-identical on 1 and 4 threads.
+    let run = |threads: usize| -> String {
+        let engine = Engine::builder()
+            .threads(threads)
+            .scale(ExperimentScale::Tiny)
+            .build();
+        let data = engine.dataset(Workload::Digits);
+        let snn = SnnNetwork::new(
+            data.0.input_dim(),
+            data.0.num_classes(),
+            SnnParams::tuned(12),
+            0x3E5A,
+        );
+        let mesh = nc_hw::mesh::MeshSnn::compile(&snn, nc_hw::mesh::Grid::new(2, 2));
+        let samples = data.1.samples();
+        let jobs: Vec<nc_core::Job<usize>> = (0..samples.len().min(8))
+            .map(|i| nc_core::Job::new(format!("mesh-trace/{i}"), 1, i))
+            .collect();
+        engine
+            .run_jobs(jobs, |i| {
+                let mut local = mesh.clone();
+                let (_, trace) = local.present_traced(&samples[i].pixels, 0x316 + i as u64);
+                format!("# presentation {i}\n{trace}")
+            })
+            .concat()
+    };
+    let sequential = run(1);
+    assert!(
+        sequential.contains("E "),
+        "traces should contain input events"
+    );
+    assert_eq!(
+        sequential,
+        run(4),
+        "threads=4 must reproduce threads=1 traces"
+    );
+}
+
+#[test]
 fn precision_snapshots() {
     // Precision sweeps quantize already-trained networks, so the sweep
     // itself is pure; train the subjects once at tiny scale.

@@ -94,6 +94,10 @@ impl FaultSweep {
                 // inference time.
                 matches!(spec, ModelSpec::Snn { .. })
             }
+            // Routing-fabric faults only bite on the nc-hw mesh
+            // substrate; every single-core family here would report an
+            // unperturbed baseline, which is noise, not signal.
+            FaultModel::DeadLink | FaultModel::DeadRouter => false,
             _ => true,
         }
     }

@@ -31,6 +31,14 @@
 //!   spike-interval generators (`Lfsr31::with_stuck_tap` in
 //!   `nc-substrate`): with probability `rate` a per-pixel generator is
 //!   built with its `x^3` tap stuck ([`stuck_tap_for`]).
+//! * [`FaultModel::DeadLink`] / [`FaultModel::DeadRouter`] — broken
+//!   mesh-fabric components on a many-core deployment: each directional
+//!   inter-core link (or each core's router) is independently dead with
+//!   probability `rate` ([`dead_link_mask`] / [`dead_router_mask`]).
+//!   Spike packets that would traverse a dead component are dropped in
+//!   flight; the neuron state they would have updated is untouched.
+//!   These models act on the routing fabric only, so they are inert
+//!   no-ops on single-core (dense) substrates.
 //!
 //! # Examples
 //!
@@ -67,16 +75,25 @@ pub enum FaultModel {
     TransientRead,
     /// Stuck `x^3` feedback taps in the spike-interval LFSRs.
     StuckLfsrTap,
+    /// Dead directional inter-core mesh links (packets dropped at the
+    /// broken hop). Fabric-only: inert on single-core substrates.
+    DeadLink,
+    /// Dead mesh routers (a core's router drops every packet that is
+    /// forwarded *through* it). Fabric-only: inert on single-core
+    /// substrates.
+    DeadRouter,
 }
 
 impl FaultModel {
     /// Every fault model, in sweep order.
-    pub const ALL: [FaultModel; 5] = [
+    pub const ALL: [FaultModel; 7] = [
         FaultModel::StuckAt0,
         FaultModel::StuckAt1,
         FaultModel::DeadNeuron,
         FaultModel::TransientRead,
         FaultModel::StuckLfsrTap,
+        FaultModel::DeadLink,
+        FaultModel::DeadRouter,
     ];
 
     /// Stable machine-readable name (CSV column value).
@@ -87,7 +104,16 @@ impl FaultModel {
             FaultModel::DeadNeuron => "dead_neuron",
             FaultModel::TransientRead => "transient_read",
             FaultModel::StuckLfsrTap => "stuck_lfsr_tap",
+            FaultModel::DeadLink => "dead_link",
+            FaultModel::DeadRouter => "dead_router",
         }
+    }
+
+    /// `true` for the routing-fabric models ([`FaultModel::DeadLink`],
+    /// [`FaultModel::DeadRouter`]) that only have an effect on meshed
+    /// substrates and are inert everywhere else.
+    pub fn is_fabric(self) -> bool {
+        matches!(self, FaultModel::DeadLink | FaultModel::DeadRouter)
     }
 }
 
@@ -239,6 +265,31 @@ pub fn dead_unit_mask(n: usize, plan: &FaultPlan) -> Vec<bool> {
         return vec![false; n];
     }
     let mut rng = plan.stream(1);
+    (0..n).map(|_| bernoulli(&mut rng, plan.rate)).collect()
+}
+
+/// Selects dead directional mesh links: entry `l` is `true` when link
+/// `l` drops every packet. Each of the `n` links dies independently with
+/// probability `plan.rate` (no-op mask for non-`DeadLink` models). Link
+/// numbering is owned by the mesh substrate (`nc-hw`); the mask only
+/// fixes *which* indices die for a given plan.
+pub fn dead_link_mask(n: usize, plan: &FaultPlan) -> Vec<bool> {
+    if plan.model != FaultModel::DeadLink {
+        return vec![false; n];
+    }
+    let mut rng = plan.stream(4);
+    (0..n).map(|_| bernoulli(&mut rng, plan.rate)).collect()
+}
+
+/// Selects dead mesh routers: entry `r` is `true` when core `r`'s router
+/// drops every packet forwarded through it. Each of the `n` routers dies
+/// independently with probability `plan.rate` (no-op mask for
+/// non-`DeadRouter` models).
+pub fn dead_router_mask(n: usize, plan: &FaultPlan) -> Vec<bool> {
+    if plan.model != FaultModel::DeadRouter {
+        return vec![false; n];
+    }
+    let mut rng = plan.stream(5);
     (0..n).map(|_| bernoulli(&mut rng, plan.rate)).collect()
 }
 
@@ -469,8 +520,37 @@ mod tests {
             let mut words = vec![0x5Au8; 64];
             assert_eq!(stuck_bits_u8(&mut words, &p), 0);
             assert!(dead_unit_mask(64, &p).iter().all(|&d| !d));
+            assert!(dead_link_mask(64, &p).iter().all(|&d| !d));
+            assert!(dead_router_mask(64, &p).iter().all(|&d| !d));
             assert_eq!(stuck_tap_for(&p, 0), None);
             assert!(!TransientReads::from_plan(&p).is_active());
+        }
+    }
+
+    #[test]
+    fn fabric_masks_are_deterministic_model_gated_and_decorrelated() {
+        let links = plan(FaultModel::DeadLink, 0.3, 17);
+        let a = dead_link_mask(10_000, &links);
+        assert_eq!(a, dead_link_mask(10_000, &links));
+        let dead = a.iter().filter(|&&d| d).count();
+        assert!((2500..=3500).contains(&dead), "dead links = {dead}");
+        // A DeadLink plan never kills routers (and vice versa), and
+        // neither kills neurons.
+        assert!(dead_router_mask(100, &links).iter().all(|&d| !d));
+        assert!(dead_unit_mask(100, &links).iter().all(|&d| !d));
+        let routers = plan(FaultModel::DeadRouter, 0.3, 17);
+        let r = dead_router_mask(10_000, &routers);
+        let dead_r = r.iter().filter(|&&d| d).count();
+        assert!((2500..=3500).contains(&dead_r), "dead routers = {dead_r}");
+        assert!(dead_link_mask(100, &routers).iter().all(|&d| !d));
+        // Same seed, different salt: link and router defect patterns
+        // must not be copies of each other.
+        let same_seed_links = plan(FaultModel::DeadLink, 0.3, 17);
+        assert_ne!(dead_link_mask(10_000, &same_seed_links), r);
+        // Fabric classification is exactly the two mesh models.
+        for model in FaultModel::ALL {
+            let expect = matches!(model, FaultModel::DeadLink | FaultModel::DeadRouter);
+            assert_eq!(model.is_fabric(), expect, "{model}");
         }
     }
 
@@ -484,7 +564,9 @@ mod tests {
                 "stuck_at_1",
                 "dead_neuron",
                 "transient_read",
-                "stuck_lfsr_tap"
+                "stuck_lfsr_tap",
+                "dead_link",
+                "dead_router"
             ]
         );
         assert_eq!(FaultModel::StuckAt0.to_string(), "stuck_at_0");

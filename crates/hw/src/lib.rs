@@ -34,6 +34,9 @@
 //! * [`sim`] — cycle-level functional simulators of the folded datapaths,
 //!   validated against the model-level implementations in `nc-mlp` /
 //!   `nc-snn` (the same role the paper's RTL-vs-C++ validation plays).
+//! * [`mesh`] — the many-core mesh deployment pipeline: partition /
+//!   place / route plus a bit-exact distributed event simulator with
+//!   dead-link / dead-router fault injection.
 //! * [`report`] — the common area/delay/energy/cycles report type.
 //!
 //! # Examples
@@ -56,6 +59,7 @@ pub mod ablation;
 pub mod expanded;
 pub mod folded;
 pub mod gpu;
+pub mod mesh;
 pub mod online;
 pub mod pipeline;
 pub mod power;

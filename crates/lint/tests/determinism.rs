@@ -46,7 +46,7 @@ fn reports_are_byte_identical_across_walk_orders() {
     let root = corpus_root();
     let mut files = Vec::new();
     collect(&root, &root, &mut files);
-    assert_eq!(files.len(), 13, "corpus drifted: {files:?}");
+    assert_eq!(files.len(), 15, "corpus drifted: {files:?}");
 
     let baseline = nc_lint::lint_sources(&files);
     let base_text = baseline.render_text();

@@ -1,0 +1,9 @@
+//! Fixture mesh figure writer: calling `write_results` makes this a
+//! determinism root, so the entropy behind `jittered_placement` is a
+//! second R8 taint chain.
+
+/// Emits the mesh CSV from a placement that draws OS entropy.
+pub fn fig_mesh() {
+    let core = jittered_placement(16);
+    write_results("fig_mesh.csv", &format!("{core}"));
+}

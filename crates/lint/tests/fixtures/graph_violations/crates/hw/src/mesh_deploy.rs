@@ -1,0 +1,24 @@
+//! Fixture mesh deployment: placement jitter draws OS entropy (R7, and
+//! R8 once the mesh figure writer reaches it) and a magic literal flows
+//! into the fabric's seed parameter (R11).
+
+pub struct Fabric {
+    cores: usize,
+    s: u64,
+}
+
+/// Builds a fault fabric from an explicit seed.
+pub fn fabric(cores: usize, seed: u64) -> Fabric {
+    Fabric { cores, s: seed }
+}
+
+/// Placement jitter from ambient entropy.
+pub fn jittered_placement(cores: usize) -> usize {
+    let gen = thread_rng();
+    scatter(gen, cores)
+}
+
+/// Demo compile hiding a magic fabric seed.
+pub fn demo_fabric(cores: usize) -> Fabric {
+    fabric(cores, 1234)
+}

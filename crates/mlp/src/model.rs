@@ -77,6 +77,9 @@ impl Model for Mlp {
                 }
                 Ok(())
             }
+            // Routing-fabric faults live in the mesh substrate (nc-hw);
+            // a single-core reference has no links or routers to break.
+            FaultModel::DeadLink | FaultModel::DeadRouter => Ok(()),
             _ => Err(ModelError::FaultUnsupported {
                 model: "MLP+BP",
                 fault: plan.model.name(),

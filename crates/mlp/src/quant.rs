@@ -397,6 +397,9 @@ impl QuantizedMlp {
                 model: "MLP+BP (8-bit fixed point)",
                 fault: plan.model.name(),
             }),
+            // Routing-fabric faults live in the mesh substrate (nc-hw);
+            // a single-core datapath has no links or routers to break.
+            FaultModel::DeadLink | FaultModel::DeadRouter => Ok(()),
         }
     }
 }

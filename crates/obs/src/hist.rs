@@ -143,10 +143,18 @@ impl LatencyHistogram {
     /// The quantile at `ppm` parts per million (e.g. p99 = 990 000):
     /// the bucket upper bound of the sample with rank `⌈ppm·n / 10⁶⌉`
     /// (clamped to `[1, n]`, so `ppm = 0` reports the smallest bucket).
-    /// Returns `None` on an empty histogram.
+    /// Returns `None` on an empty histogram — there is no rank to
+    /// report, not a zero — and the *exact* sole sample on a
+    /// single-sample histogram: with one sample every quantile is that
+    /// sample, which `min` stores losslessly, so quantizing it through
+    /// its bucket's upper bound would manufacture error where none is
+    /// necessary.
     pub fn quantile_ppm(&self, ppm: u32) -> Option<u64> {
         if self.total == 0 {
             return None;
+        }
+        if self.total == 1 {
+            return self.min;
         }
         let total = u128::from(self.total);
         let rank_wide = (u128::from(ppm) * total).div_ceil(PPM_SCALE);
@@ -264,6 +272,10 @@ mod tests {
         if samples.is_empty() {
             return None;
         }
+        if samples.len() == 1 {
+            // Mirror of the histogram's exact single-sample rail.
+            return Some(samples[0]);
+        }
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
         let n = u128::try_from(sorted.len()).expect("len fits");
@@ -284,17 +296,53 @@ mod tests {
     }
 
     #[test]
-    fn single_sample_is_every_quantile() {
+    fn single_sample_is_every_quantile_exactly() {
+        // One sample: every quantile is that sample, reported exactly —
+        // not rounded up to its bucket boundary (129 must report 129,
+        // not 130; u64::MAX must not overflow the rank arithmetic).
         for value in [0u64, 1, 127, 128, 129, 1_000, u64::MAX] {
             let mut h = LatencyHistogram::new();
             h.record(value);
-            let expected = LatencyHistogram::bucket_upper_bound(value);
             for ppm in [0, 1, 500_000, 950_000, 990_000, 1_000_000] {
-                assert_eq!(h.quantile_ppm(ppm), Some(expected), "{value} at {ppm}");
+                assert_eq!(h.quantile_ppm(ppm), Some(value), "{value} at {ppm}");
             }
             assert_eq!(h.min(), Some(value));
             assert_eq!(h.max(), Some(value));
             assert_eq!(h.mean_ns(), Some(value));
+        }
+    }
+
+    #[test]
+    fn two_samples_split_at_the_median_rank() {
+        // The smallest histogram where bucket quantization is allowed to
+        // show: rank ⌈0.5·2⌉ = 1 picks the low sample, p99 picks the
+        // high one, each through its bucket upper bound.
+        let mut h = LatencyHistogram::new();
+        h.record(129);
+        h.record(1_000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p50(), Some(LatencyHistogram::bucket_upper_bound(129)));
+        assert_eq!(h.p99(), Some(LatencyHistogram::bucket_upper_bound(1_000)));
+        assert_eq!(
+            h.quantile_ppm(0),
+            Some(LatencyHistogram::bucket_upper_bound(129))
+        );
+        assert_eq!(h.min(), Some(129));
+        assert_eq!(h.max(), Some(1_000));
+    }
+
+    #[test]
+    fn all_equal_samples_report_one_bucket_at_every_rank() {
+        for n in [2u32, 3, 17] {
+            let mut h = LatencyHistogram::new();
+            for _ in 0..n {
+                h.record(777);
+            }
+            let expected = LatencyHistogram::bucket_upper_bound(777);
+            for ppm in [0, 1, 500_000, 990_000, 1_000_000] {
+                assert_eq!(h.quantile_ppm(ppm), Some(expected), "n={n} at {ppm}");
+            }
+            assert_eq!((h.min(), h.max()), (Some(777), Some(777)));
         }
     }
 

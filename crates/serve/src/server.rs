@@ -516,8 +516,22 @@ impl Server {
             .filter_map(|(id, watch)| watch.and_then(|w| w.elapsed_ns()).map(|ns| (id, ns)))
             .collect();
 
+        // Every response built so far is a seal-time expiration (the
+        // batch loop below appends the rest). They must report exactly
+        // like completion-time misses: same latency accounting from the
+        // pulled stopwatches, same `serve.deadline_missed` metric —
+        // whether the batch sealed on its count window or on a
+        // flush-on-stall makes no difference to the request that missed.
+        let mut deadline_missed = u64::try_from(responses.len()).unwrap_or(u64::MAX);
+        for response in &mut responses {
+            let latency_ns = latencies.get(&response.ticket.0).copied();
+            if let Some(nanos) = latency_ns {
+                recorder.record_latency("serve.latency_ns", nanos);
+            }
+            response.latency_ns = latency_ns;
+        }
+
         let mut replica_lost = 0u64;
-        let mut deadline_missed = 0u64;
         let mut poisoned = 0u64;
         // `(model, ok, ticket ids)` per batch, fed to the breakers in
         // seal order inside the final critical section.

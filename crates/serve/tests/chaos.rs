@@ -11,6 +11,10 @@
 //!    fallback model when one is configured.
 //! 4. Replicas lost to chaos panics are **rebuilt bit-identically**:
 //!    post-retry predictions equal a never-chaos'd twin's.
+//! 5. A request expired when a **flush-on-stall** seals its partial
+//!    window reports `DeadlineMissed` exactly like a count-window
+//!    seal: same event shape, same measured latency, same
+//!    `serve.deadline_missed` metric.
 
 use nc_core::{
     ChaosPlan, Engine, ExperimentScale, FaultModel, FaultPlan, FitBudget, ModelSpec, Supervision,
@@ -121,6 +125,67 @@ fn full_outcome_trace_is_bit_identical_across_thread_counts() {
     assert!(has(|e| matches!(e, ServeEvent::ReplicaQuarantined { .. })));
     assert!(has(|e| matches!(e, ServeEvent::Shed { .. })));
     assert!(has(|e| matches!(e, ServeEvent::DeadlineMissed { .. })));
+}
+
+#[test]
+fn stall_flushed_deadline_misses_report_identically_to_count_window_seals() {
+    let (train, test) = data();
+    // A window wider than the request stream: only a flush-on-stall can
+    // ever seal, so every miss below travels the stall path.
+    let recorder = Arc::new(nc_obs::MemoryRecorder::new());
+    let engine = Arc::new(
+        Engine::builder()
+            .threads(1)
+            .scale(ExperimentScale::Tiny)
+            .recorder(Arc::clone(&recorder) as Arc<dyn nc_obs::Recorder>)
+            .build(),
+    );
+    let config = ServeConfig {
+        batch_window: 16,
+        resilience: ResilienceConfig {
+            deadline_ticks: Some(1),
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::new(engine, config, vec![snapshot("q", &train, 51)]).unwrap();
+    let t = server.submit("q", &test.samples()[0].pixels, 0).unwrap();
+    // The request sits in its partial window while the clock outruns
+    // its deadline (admitted at tick 0, deadline 1, flushed at tick 3).
+    for _ in 0..3 {
+        server.advance_tick();
+    }
+    assert_eq!(server.drain(), 0, "the count window must never seal");
+    server.flush();
+    assert_eq!(server.drain(), 1);
+
+    let response = server.take_response(t).unwrap();
+    assert_eq!(
+        response.outcome,
+        Err(ServeError::DeadlineMissed { deadline: 1, at: 3 })
+    );
+    // The unified contract: a seal-time miss pulls its stopwatch like
+    // any completed request (the recorder is enabled, so the watch ran)
+    // and lands in the same metric a completion-time miss feeds.
+    assert!(
+        response.latency_ns.is_some(),
+        "stall-flushed miss must report its measured latency"
+    );
+    assert_eq!(
+        server.take_events(),
+        vec![ServeEvent::DeadlineMissed {
+            tick: 3,
+            ticket: t.0,
+            batch: 0,
+            at_seal: true
+        }]
+    );
+    let snap = recorder.snapshot();
+    assert_eq!(
+        snap.counters.get("serve.deadline_missed").copied(),
+        Some(1),
+        "seal-time miss must count in serve.deadline_missed: {snap:?}"
+    );
 }
 
 #[test]

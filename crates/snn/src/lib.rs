@@ -55,6 +55,6 @@ pub mod trace;
 pub mod wot;
 
 pub use coding::{CodingScheme, RateStreams, SpikeEvent};
-pub use network::SnnNetwork;
+pub use network::{decay_with_lut, tie_broken_readout, SnnNetwork};
 pub use params::SnnParams;
 pub use wot::WotSnn;

@@ -54,6 +54,17 @@ fn decay(lut: &[f64], mut v: f64, mut dt: u64) -> f64 {
     v * lut[usize::try_from(dt).unwrap_or(last)]
 }
 
+/// The analytic leak through a precomputed decay table — the exact
+/// operation sequence the reference event loop applies between input
+/// spikes. Public for external substrates (the `nc-hw` mesh) that must
+/// reproduce potentials bit-for-bit: factor composition is *not*
+/// associative in f64, so re-deriving the decay any other way diverges.
+/// Pair with [`SnnNetwork::decay_lut`].
+#[inline]
+pub fn decay_with_lut(lut: &[f64], v: f64, dt: u64) -> f64 {
+    decay(lut, v, dt)
+}
+
 /// Outcome of presenting one image to the network.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Presentation {
@@ -88,7 +99,7 @@ impl Presentation {
 /// draw from the per-presentation stream: deterministic for a given
 /// `(network seed, presentation seed)` pair, but unbiased across the
 /// tied neurons.
-fn tie_broken_readout(winner: Option<usize>, potentials: &[f64], tie_seed: u64) -> usize {
+pub fn tie_broken_readout(winner: Option<usize>, potentials: &[f64], tie_seed: u64) -> usize {
     if let Some(w) = winner {
         return w;
     }
@@ -397,6 +408,9 @@ impl SnnNetwork {
                     })
                 }
             }
+            // Routing-fabric faults live in the mesh substrate (nc-hw);
+            // a single-core network has no links or routers to break.
+            FaultModel::DeadLink | FaultModel::DeadRouter => Ok(()),
         }
     }
 
@@ -438,6 +452,24 @@ impl SnnNetwork {
     /// Assigned per-neuron labels (populated by [`Self::self_label`]).
     pub fn labels(&self) -> &[Option<usize>] {
         &self.labels
+    }
+
+    /// The precomputed per-millisecond leak table `e^{-dt/Tleak}` for
+    /// `dt ∈ 0..=Tperiod`. External substrates that re-simulate this
+    /// network (the `nc-hw` mesh) must decay through this exact table —
+    /// composing factors for out-of-table gaps as [`decay_with_lut`]
+    /// does — to stay bit-identical to the reference event loop.
+    pub fn decay_lut(&self) -> &[f64] {
+        &self.decay_lut
+    }
+
+    /// The per-presentation RNG stream seed for a given presentation
+    /// seed: the value that [`SnnNetwork::present`] feeds both the input
+    /// encoder and the readout tie-breaker. Public so external
+    /// substrates (the `nc-hw` mesh) can reproduce a presentation
+    /// spike-for-spike from `(network, presentation seed)` alone.
+    pub fn presentation_stream_seed(&self, presentation_seed: u64) -> u64 {
+        self.presentation_rng_seed(presentation_seed)
     }
 
     /// Overrides the STDP weight-update magnitude (default `1`, the

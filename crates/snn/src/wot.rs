@@ -158,6 +158,9 @@ impl WotSnn {
                 model: "SNN+STDP - Simplified (SNNwot)",
                 fault: plan.model.name(),
             }),
+            // Routing-fabric faults live in the mesh substrate (nc-hw);
+            // a single-core engine has no links or routers to break.
+            FaultModel::DeadLink | FaultModel::DeadRouter => Ok(()),
         }
     }
 

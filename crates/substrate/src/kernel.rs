@@ -173,13 +173,30 @@ pub fn gemm_i8xu8(weights: &[i8], rows: usize, inputs: &[u8], cols: usize, out: 
 /// either way the shift yields `a`). The exhaustive test below checks
 /// every luminance against the scalar staircase.
 ///
+/// Above `max_spikes = 16` the lane product would carry into the next
+/// pixel's lane and a release build (no debug overflow checks) would
+/// return silently corrupted counts, so the word-parallel path is
+/// gated: oversized ladders take the scalar staircase instead, with
+/// each count saturating at `u8::MAX` (the widest ladder a `u8` count
+/// can express). The paper's ladder tops out at 10 spikes (§4.2.2), so
+/// nothing on the hot path ever pays for the fallback.
+///
 /// # Panics
 ///
-/// Panics if `out.len() != pixels.len()` or `max_spikes > 16` (the
-/// paper's ladder tops out at 10 spikes, §4.2.2).
+/// Panics if `out.len() != pixels.len()`.
 pub fn swar_spike_counts(pixels: &[u8], max_spikes: u32, out: &mut [u8]) {
     assert_eq!(out.len(), pixels.len(), "output must match pixel count");
-    assert!(max_spikes <= 16, "16-bit lanes overflow above 16 spikes");
+    if max_spikes > 16 {
+        // Scalar rail: bit-exact staircase at any ladder height, no
+        // cross-lane carry to corrupt. `u64` arithmetic cannot overflow
+        // (`255·u32::MAX + 127 < 2^40`) and the count saturates at the
+        // `u8` rail the SWAR path's output type already imposes.
+        for (&p, o) in pixels.iter().zip(out.iter_mut()) {
+            let count = (u64::from(p) * u64::from(max_spikes) + 127) / 255;
+            *o = u8::try_from(count).unwrap_or(u8::MAX);
+        }
+        return;
+    }
     const LANES: u64 = 0x00FF_00FF_00FF_00FF;
     const ONES: u64 = 0x0001_0001_0001_0001;
     let staircase = |x: u64| -> u64 {
@@ -426,10 +443,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "16-bit lanes overflow")]
-    fn swar_counts_reject_oversized_ladders() {
-        let mut out = [0u8; 1];
-        swar_spike_counts(&[255], 17, &mut out);
+    fn swar_counts_are_exact_at_the_sixteen_spike_boundary() {
+        // max_spikes = 16 is the last ladder the 16-bit lanes can hold:
+        // the word-parallel path must still match the scalar staircase
+        // for every luminance, including the 255·16 + 127 = 4207 peak.
+        let pixels: Vec<u8> = (0..=255u8).collect();
+        let mut got = vec![0u8; 256];
+        swar_spike_counts(&pixels, 16, &mut got);
+        for (&p, &c) in pixels.iter().zip(&got) {
+            assert_eq!(u32::from(c), (u32::from(p) * 16 + 127) / 255, "p={p}");
+        }
+        assert_eq!(got[255], 16);
+    }
+
+    #[test]
+    fn swar_counts_take_the_scalar_rail_above_sixteen_spikes() {
+        // One past the boundary: a lane product of 255·17 + 127 = 4462
+        // would carry into the neighbouring pixel's lane, so the call
+        // must route to the scalar staircase — exact counts, neighbours
+        // untouched, on buffers longer and shorter than the SWAR word.
+        let pixels: Vec<u8> = (0..=255u8).collect();
+        for len in [256usize, 9, 8, 7, 1] {
+            let mut got = vec![0u8; len];
+            swar_spike_counts(&pixels[..len], 17, &mut got);
+            for (&p, &c) in pixels[..len].iter().zip(&got) {
+                assert_eq!(
+                    u32::from(c),
+                    (u32::from(p) * 17 + 127) / 255,
+                    "p={p} len={len}"
+                );
+            }
+        }
+        // Ladders beyond the u8 count range saturate at the rail
+        // instead of wrapping: (255·1000 + 127)/255 = 1000 → 255.
+        let mut out = [0u8; 2];
+        swar_spike_counts(&[255, 0], 1_000, &mut out);
+        assert_eq!(out, [255, 0]);
     }
 
     #[test]
